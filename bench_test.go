@@ -1,0 +1,695 @@
+package mpclogic
+
+// One benchmark per reproduced figure / quantitative claim of the
+// paper (see DESIGN.md's experiment index). Domain metrics — maximum
+// load, total communication, messages, rounds — are attached with
+// b.ReportMetric so `go test -bench=. -benchmem` regenerates the
+// numbers behind EXPERIMENTS.md.
+
+import (
+	"fmt"
+	"math"
+	mathrand "math/rand"
+	"testing"
+
+	"mpclogic/internal/cq"
+	"mpclogic/internal/datalog"
+	"mpclogic/internal/gym"
+	"mpclogic/internal/hypercube"
+	"mpclogic/internal/mapreduce"
+	"mpclogic/internal/mono"
+	"mpclogic/internal/mpc"
+	"mpclogic/internal/pc"
+	"mpclogic/internal/policy"
+	"mpclogic/internal/rel"
+	"mpclogic/internal/scale"
+	"mpclogic/internal/stream"
+	"mpclogic/internal/transducer"
+	"mpclogic/internal/workload"
+)
+
+// newDetRand returns a deterministic rand for bench data generation.
+func newDetRand(seed int64) *mathrand.Rand { return mathrand.New(mathrand.NewSource(seed)) }
+
+func triangleQ(d *rel.Dict) *cq.CQ {
+	return cq.MustParse(d, "H(x, y, z) :- R(x, y), S(y, z), T(z, x)")
+}
+
+func joinQ(d *rel.Dict) *cq.CQ {
+	return cq.MustParse(d, "H(x, y, z) :- R(x, y), S(y, z)")
+}
+
+func runLoadOnly(b *testing.B, p int, inst *rel.Instance, r mpc.Round) *mpc.Cluster {
+	b.Helper()
+	r.Compute = nil
+	c := mpc.NewCluster(p)
+	c.LoadRoundRobin(inst)
+	if err := c.Run(r); err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// EXP-F1: the Figure 1 transfer matrix (Πᵖ₃-shaped decision ×12).
+func BenchmarkFigure1Transfer(b *testing.B) {
+	d := rel.NewDict()
+	qs := []*cq.CQ{
+		cq.MustParse(d, "H() :- S(x), R(x, x), T(x)"),
+		cq.MustParse(d, "H() :- R(x, x), T(x)"),
+		cq.MustParse(d, "H() :- S(x), R(x, y), T(y)"),
+		cq.MustParse(d, "H() :- R(x, y), T(y)"),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, qi := range qs {
+			for _, qj := range qs {
+				if _, _, err := pc.Transfers(qi, qj); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// EXP-F2: bounded classification of a query in the Figure 2 hierarchy.
+func BenchmarkFigure2Classify(b *testing.B) {
+	d := rel.NewDict()
+	open := cq.MustParse(d, "H(x, y, z) :- E(x, y), E(y, z), not E(z, x)")
+	q := func(i *rel.Instance) *rel.Instance { return cq.Output(open, i) }
+	schema := rel.Schema{"E": 2}
+	u := []rel.Value{0, 1, 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mono.IsDomainDistinctMonotone(q, schema, u); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// EXP-3.1a: repartition join, skew-free vs skewed load.
+func BenchmarkRepartitionJoinSkewFree(b *testing.B) {
+	benchJoinLoad(b, workload.JoinSkewFree(20000), func(q *cq.CQ, p int) (mpc.Round, error) {
+		return hypercube.RepartitionJoin(q, p, 7)
+	})
+}
+
+func BenchmarkRepartitionJoinSkewed(b *testing.B) {
+	benchJoinLoad(b, workload.JoinSkewed(20000, 0.5), func(q *cq.CQ, p int) (mpc.Round, error) {
+		return hypercube.RepartitionJoin(q, p, 7)
+	})
+}
+
+// EXP-3.1b: grouping join under skew.
+func BenchmarkGroupingJoinSkewed(b *testing.B) {
+	benchJoinLoad(b, workload.JoinSkewed(20000, 0.5), func(q *cq.CQ, p int) (mpc.Round, error) {
+		return hypercube.GroupingJoin(q, p, 7)
+	})
+}
+
+// EXP-SKEW (1-round half): SharesSkew-style router under skew.
+func BenchmarkSkewAwareJoin(b *testing.B) {
+	inst := workload.JoinSkewed(20000, 0.5)
+	heavy := rel.NewValueSet(workload.HeavyHitters(inst, "R", 1, 20000/64)...)
+	benchJoinLoad(b, inst, func(q *cq.CQ, p int) (mpc.Round, error) {
+		return hypercube.SkewAwareJoin(q, p, heavy, 7)
+	})
+}
+
+func benchJoinLoad(b *testing.B, inst *rel.Instance, mk func(*cq.CQ, int) (mpc.Round, error)) {
+	b.Helper()
+	d := rel.NewDict()
+	q := joinQ(d)
+	const p = 64
+	var last *mpc.Cluster
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := mk(q, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = runLoadOnly(b, p, inst, r)
+	}
+	b.ReportMetric(float64(last.MaxLoad()), "maxload")
+	b.ReportMetric(float64(last.TotalComm()), "totalcomm")
+}
+
+// EXP-3.1c: two-round cascaded triangle.
+func BenchmarkCascadeTriangle(b *testing.B) {
+	inst := workload.TriangleSkewFree(5000)
+	var last *mpc.Cluster
+	for i := 0; i < b.N; i++ {
+		c, _, err := gym.CascadeTriangle(64, inst, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = c
+	}
+	b.ReportMetric(float64(last.MaxLoad()), "maxload")
+	b.ReportMetric(float64(last.Rounds()), "rounds")
+}
+
+// EXP-3.2: HyperCube triangle load across p (the paper's headline
+// one-round bound m/p^{2/3}).
+func BenchmarkHyperCubeTriangle(b *testing.B) {
+	d := rel.NewDict()
+	q := triangleQ(d)
+	m := 20000
+	inst := workload.TriangleSkewFree(m)
+	for _, p := range []int{8, 64, 512} {
+		p := p
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			g, err := hypercube.NewOptimalGrid(q, p, 11)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var last *mpc.Cluster
+			for i := 0; i < b.N; i++ {
+				last = runLoadOnly(b, g.P(), inst, hypercube.HyperCubeRound(g))
+			}
+			b.ReportMetric(float64(last.MaxLoad()), "maxload")
+			b.ReportMetric(3*float64(m)/math.Pow(float64(p), 2.0/3.0), "bound")
+		})
+	}
+}
+
+// EXP-SHARES: share optimization (LP + integer repair).
+func BenchmarkShareOptimization(b *testing.B) {
+	d := rel.NewDict()
+	q := cq.MustParse(d, "H(x, y, z, w) :- R(x, y), S(y, z), T(z, w), U(w, x)")
+	for i := 0; i < b.N; i++ {
+		if _, _, err := hypercube.OptimalShares(q, 256); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// EXP-SKEW (2-round half): skewed triangle, one round vs two.
+func BenchmarkSkewTriangle(b *testing.B) {
+	d := rel.NewDict()
+	q := triangleQ(d)
+	m, p := 20000, 64
+	inst := workload.TriangleSkewed(m, 0.5)
+	heavy := rel.NewValueSet(workload.HeavyHitters(inst, "R", 1, m/16)...)
+	g, err := hypercube.NewOptimalGrid(q, p, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("one-round", func(b *testing.B) {
+		var last *mpc.Cluster
+		for i := 0; i < b.N; i++ {
+			last = runLoadOnly(b, g.P(), inst, hypercube.HyperCubeRound(g))
+		}
+		b.ReportMetric(float64(last.MaxLoad()), "maxload")
+	})
+	b.Run("two-rounds", func(b *testing.B) {
+		var last *mpc.Cluster
+		for i := 0; i < b.N; i++ {
+			c, _, err := gym.SkewTriangleTwoRound(p, inst, heavy, 5, g)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = c
+		}
+		b.ReportMetric(float64(last.MaxLoad()), "maxload")
+	})
+}
+
+// EXP-T48: parallel-correctness decision cost growth (Πᵖ₂ shadow).
+func BenchmarkPCDecision(b *testing.B) {
+	d := rel.NewDict()
+	q := cq.MustParse(d, "H(x, z) :- R(x, y), R(y, z), R(x, x)")
+	for _, n := range []int{2, 4, 8} {
+		n := n
+		b.Run(fmt.Sprintf("universe=%d", n), func(b *testing.B) {
+			u := make([]rel.Value, n)
+			for i := range u {
+				u[i] = rel.Value(i)
+			}
+			pol := &policy.Replicate{Nodes: 2}
+			for i := 0; i < b.N; i++ {
+				if _, _, err := pc.Saturates(q, pol, u); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// EXP-CQNEG: bounded CQ¬ parallel-correctness check.
+func BenchmarkCQNegPC(b *testing.B) {
+	d := rel.NewDict()
+	q := cq.MustParse(d, "H(x) :- R(x), not S(x)")
+	pol := &policy.Replicate{Nodes: 2}
+	for i := 0; i < b.N; i++ {
+		if _, err := pc.ParallelCorrectNegBounded(q, pol, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// EXP-GYM: Yannakakis vs cascade on dangling-heavy data.
+func BenchmarkYannakakis(b *testing.B) {
+	d := rel.NewDict()
+	q := cq.MustParse(d, "H(a, dd) :- R0(a, b), R1(b, c), R2(c, dd)")
+	inst := hubInstance(400, 10)
+	b.Run("yannakakis", func(b *testing.B) {
+		var st *gym.Stats
+		for i := 0; i < b.N; i++ {
+			_, s, err := gym.Yannakakis(q, inst)
+			if err != nil {
+				b.Fatal(err)
+			}
+			st = s
+		}
+		b.ReportMetric(float64(st.MaxIntermediate), "max-intermediate")
+	})
+	b.Run("cascade", func(b *testing.B) {
+		var st *gym.Stats
+		for i := 0; i < b.N; i++ {
+			_, s, err := gym.CascadeJoin(q, inst)
+			if err != nil {
+				b.Fatal(err)
+			}
+			st = s
+		}
+		b.ReportMetric(float64(st.MaxIntermediate), "max-intermediate")
+	})
+}
+
+func hubInstance(fan, keep int) *rel.Instance {
+	inst := rel.NewInstance()
+	hub := rel.Value(1 << 30)
+	for i := 0; i < fan; i++ {
+		inst.Add(rel.NewFact("R0", rel.Value(i), hub))
+		inst.Add(rel.NewFact("R1", hub, rel.Value(10000+i)))
+	}
+	for j := 0; j < keep; j++ {
+		inst.Add(rel.NewFact("R2", rel.Value(10000+j), rel.Value(20000+j)))
+	}
+	return inst
+}
+
+// EXP-GYM (distributed): GYM on the triangle.
+func BenchmarkGYMTriangle(b *testing.B) {
+	d := rel.NewDict()
+	q := triangleQ(d)
+	inst := workload.TriangleSkewFree(2000)
+	var last *mpc.Cluster
+	for i := 0; i < b.N; i++ {
+		c, _, _, err := gym.GYM(q, 16, inst, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = c
+	}
+	b.ReportMetric(float64(last.Rounds()), "rounds")
+	b.ReportMetric(float64(last.TotalComm()), "totalcomm")
+}
+
+// EXP-MR: MapReduce transitive closure, linear vs doubling.
+func BenchmarkMapReduceTC(b *testing.B) {
+	g := workload.PathGraph(64)
+	b.Run("linear", func(b *testing.B) {
+		var res *mapreduce.TCResult
+		for i := 0; i < b.N; i++ {
+			r, err := mapreduce.TransitiveClosure(8, g, "E", false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res = r
+		}
+		b.ReportMetric(float64(res.Rounds), "jobs")
+	})
+	b.Run("doubling", func(b *testing.B) {
+		var res *mapreduce.TCResult
+		for i := 0; i < b.N; i++ {
+			r, err := mapreduce.TransitiveClosure(8, g, "E", true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res = r
+		}
+		b.ReportMetric(float64(res.Rounds), "jobs")
+	})
+}
+
+// EXP-CALM / EXP-BCAST: transducer-network communication, naive vs
+// economical broadcast.
+func BenchmarkBroadcast(b *testing.B) {
+	d := rel.NewDict()
+	triQ := cq.MustParse(d, "H(x, y, z) :- E(x, y), E(y, z), E(z, x), x != y, y != z, z != x")
+	tri := func(i *rel.Instance) *rel.Instance { return cq.Output(triQ, i) }
+	g := workload.RandomGraph(20, 60, 13)
+	ballast := workload.Zipf("Noise", 200, 50, 1.2, 1)
+	full := g.Union(ballast)
+	parts := policy.Distribute(&policy.Hash{Nodes: 4}, full)
+	run := func(b *testing.B, mk func() transducer.Program) {
+		var st transducer.Stats
+		for i := 0; i < b.N; i++ {
+			n := transducer.New(4, mk, transducer.WithSeed(4))
+			if err := n.LoadParts(parts); err != nil {
+				b.Fatal(err)
+			}
+			s, err := n.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			st = s
+		}
+		b.ReportMetric(float64(st.Sent), "msgs")
+	}
+	b.Run("naive", func(b *testing.B) {
+		run(b, func() transducer.Program { return &transducer.MonotoneBroadcast{Q: tri} })
+	})
+	b.Run("economical", func(b *testing.B) {
+		run(b, func() transducer.Program {
+			return &transducer.EconomicalBroadcast{Q: tri, Matches: func(f rel.Fact) bool { return f.Rel == "E" }}
+		})
+	})
+}
+
+// EXP-5.12: domain-guided ¬TC network.
+func BenchmarkDisjointCompleteNotTC(b *testing.B) {
+	g := workload.ComponentsGraph(4, 4)
+	pol := &policy.DomainGuided{Nodes: 4, DefaultWidth: 1}
+	var st transducer.Stats
+	for i := 0; i < b.N; i++ {
+		n := transducer.New(4, func() transducer.Program {
+			return &transducer.DisjointComplete{Q: benchNotTC}
+		}, transducer.WithSeed(int64(i)), transducer.WithPolicy(pol))
+		if err := n.LoadPolicy(g, pol); err != nil {
+			b.Fatal(err)
+		}
+		s, err := n.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		st = s
+	}
+	b.ReportMetric(float64(st.Sent), "msgs")
+}
+
+func benchNotTC(i *rel.Instance) *rel.Instance {
+	reach := map[[2]rel.Value]bool{}
+	adom := i.ADom().Sorted()
+	if e := i.Relation("E"); e != nil {
+		e.Each(func(t rel.Tuple) bool {
+			reach[[2]rel.Value{t[0], t[1]}] = true
+			return true
+		})
+	}
+	for changed := true; changed; {
+		changed = false
+		for ab := range reach {
+			for _, c := range adom {
+				if reach[[2]rel.Value{ab[1], c}] && !reach[[2]rel.Value{ab[0], c}] {
+					reach[[2]rel.Value{ab[0], c}] = true
+					changed = true
+				}
+			}
+		}
+	}
+	out := rel.NewInstance()
+	for _, a := range adom {
+		for _, bb := range adom {
+			if !reach[[2]rel.Value{a, bb}] {
+				out.Add(rel.NewFact("NTC", a, bb))
+			}
+		}
+	}
+	return out
+}
+
+// Substrate benchmarks: local CQ evaluation and Datalog fixpoints,
+// the computation-phase costs under all of the above.
+func BenchmarkCQEvaluateTriangle(b *testing.B) {
+	d := rel.NewDict()
+	q := triangleQ(d)
+	inst := workload.TriangleSkewFree(20000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cq.Evaluate(q, inst).Len() != 20000 {
+			b.Fatal("wrong result")
+		}
+	}
+}
+
+func BenchmarkDatalogTransitiveClosure(b *testing.B) {
+	d := rel.NewDict()
+	p := datalog.MustParse(d, "TC(x, y) :- E(x, y)\nTC(x, y) :- TC(x, z), E(z, y)")
+	g := workload.CycleGraph(100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := datalog.EvalQuery(p, g, "TC")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.Len() != 10000 {
+			b.Fatalf("closure size %d", out.Len())
+		}
+	}
+}
+
+func BenchmarkMinimalValuations(b *testing.B) {
+	d := rel.NewDict()
+	q := cq.MustParse(d, "H(x, z) :- R(x, y), R(y, z), R(x, x)")
+	u := []rel.Value{0, 1, 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cq.MinimalValuations(q, u); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ——— Ablation benchmarks: the design choices DESIGN.md calls out ———
+
+// Ablation: LP-optimal shares vs uniform shares for the binary join
+// at p=216. The optimum concentrates the whole budget on the join
+// variable y (load 2m/p); uniform shares replicate each relation
+// p^{1/3} times and co-locate only p^{1/3} of the budget on y, so the
+// load is ~p^{2/3}/2 times worse.
+func BenchmarkAblationShareAllocation(b *testing.B) {
+	d := rel.NewDict()
+	q := joinQ(d)
+	m, p := 20000, 216
+	inst := workload.JoinSkewFree(m)
+	bench := func(b *testing.B, shares map[string]int) {
+		g, err := hypercube.NewGrid(q, shares, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var last *mpc.Cluster
+		for i := 0; i < b.N; i++ {
+			last = runLoadOnly(b, g.P(), inst, hypercube.HyperCubeRound(g))
+		}
+		b.ReportMetric(float64(last.MaxLoad()), "maxload")
+	}
+	b.Run("optimal", func(b *testing.B) {
+		shares, _, err := hypercube.OptimalShares(q, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bench(b, shares)
+	})
+	b.Run("uniform", func(b *testing.B) {
+		bench(b, map[string]int{"x": 6, "y": 6, "z": 6})
+	})
+}
+
+// Ablation: the avalanche finalizer in the partition hash. Without it,
+// values differing only in a high byte (exactly what block-structured
+// generators produce) have hashes with a constant 64-bit difference,
+// so per-dimension coordinates correlate and grid cells load up
+// diagonally. The raw-FNV router below reproduces the pathology the
+// finalizer fixes.
+func BenchmarkAblationHashFinalizer(b *testing.B) {
+	m, p := 20000, 16 // 4×4 grid over (x, y)
+	inst := workload.JoinSkewFree(m)
+	rawFNV := func(v rel.Value) uint64 {
+		const prime = 1099511628211
+		h := uint64(14695981039346656037)
+		u := uint64(v)
+		for i := 0; i < 8; i++ {
+			h ^= u & 0xff
+			h *= prime
+			u >>= 8
+		}
+		return h
+	}
+	route := func(hash func(rel.Value) uint64) mpc.Router {
+		return mpc.RouterFunc(func(f rel.Fact) []int {
+			// Grid cell (hx(col0) mod 4, hy(col1) mod 4).
+			hx := int(hash(f.Tuple[0]) % 4)
+			hy := int(hash(f.Tuple[1]) % 4)
+			return []int{hx*4 + hy}
+		})
+	}
+	bench := func(b *testing.B, r mpc.Router) {
+		var last *mpc.Cluster
+		for i := 0; i < b.N; i++ {
+			last = runLoadOnly(b, p, inst, mpc.Round{Route: r})
+		}
+		b.ReportMetric(float64(last.MaxLoad()), "maxload")
+		b.ReportMetric(float64(2*m)/float64(p), "uniform-ref")
+	}
+	b.Run("avalanched", func(b *testing.B) {
+		bench(b, route(func(v rel.Value) uint64 { return (rel.Tuple{v}).Hash() }))
+	})
+	b.Run("raw-fnv", func(b *testing.B) {
+		bench(b, route(rawFNV))
+	})
+}
+
+// Ablation: Yannakakis with vs without the semijoin full reduction —
+// projection discipline alone does not control intermediates on
+// dangling-heavy data.
+func BenchmarkAblationSemijoinReduction(b *testing.B) {
+	d := rel.NewDict()
+	q := cq.MustParse(d, "H(a, dd) :- R0(a, b), R1(b, c), R2(c, dd)")
+	inst := hubInstance(400, 10)
+	for _, reduce := range []bool{true, false} {
+		reduce := reduce
+		name := "with-reduction"
+		if !reduce {
+			name = "without-reduction"
+		}
+		b.Run(name, func(b *testing.B) {
+			var st *gym.Stats
+			for i := 0; i < b.N; i++ {
+				_, s, err := gym.YannakakisWith(q, inst, reduce)
+				if err != nil {
+					b.Fatal(err)
+				}
+				st = s
+			}
+			b.ReportMetric(float64(st.MaxIntermediate), "max-intermediate")
+		})
+	}
+}
+
+// Ablation: the tractable full-query transfer path vs the general
+// minimality-checking path (Theorem 4.14's complexity discussion).
+func BenchmarkAblationTransferFullPath(b *testing.B) {
+	d := rel.NewDict()
+	q := cq.MustParse(d, "H(x, y, z) :- R(x, y), S(y, z), T(z, x)")
+	qp := cq.MustParse(d, "H(x, y, z) :- R(x, y), S(y, z)")
+	b.Run("full-fast-path", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := pc.CoversFull(q, qp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("general-path", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := pc.Covers(q, qp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// EXP-CBS: worst-case-optimal generic join vs the binary-join plan on
+// the classic adversarial triangle instance where EVERY pairwise join
+// is quadratic (n² intermediate) yet the output is Θ(n) — the regime
+// where Chu-Balazinska-Suciu pair HyperCube with a worst-case-optimal
+// local algorithm.
+func BenchmarkGenericJoin(b *testing.B) {
+	d := rel.NewDict()
+	q := triangleQ(d)
+	n := 300
+	a := func(i int) rel.Value { return rel.Value(i) }
+	bb := func(i int) rel.Value { return rel.Value(100000 + i) }
+	cc := func(i int) rel.Value { return rel.Value(200000 + i) }
+	fan := rel.NewInstance()
+	fan.Add(rel.NewFact("R", a(0), bb(0)))
+	fan.Add(rel.NewFact("S", bb(0), cc(0)))
+	fan.Add(rel.NewFact("T", cc(0), a(0)))
+	for i := 1; i <= n; i++ {
+		fan.Add(rel.NewFact("R", a(i), bb(0)))
+		fan.Add(rel.NewFact("R", a(0), bb(i)))
+		fan.Add(rel.NewFact("S", bb(i), cc(0)))
+		fan.Add(rel.NewFact("S", bb(0), cc(i)))
+		fan.Add(rel.NewFact("T", cc(i), a(0)))
+		fan.Add(rel.NewFact("T", cc(0), a(i)))
+	}
+	wantLen := 3*n + 1
+	b.Run("worst-case-optimal", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			out, err := cq.GenericJoin(q, fan)
+			if err != nil || out.Len() != wantLen {
+				b.Fatalf("%v / %d (want %d)", err, out.Len(), wantLen)
+			}
+		}
+	})
+	b.Run("binary-join-plan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if cq.Evaluate(q, fan).Len() != wantLen {
+				b.Fatal("wrong result")
+			}
+		}
+	})
+}
+
+// EXP-STREAM: finite-memory streaming semijoin over a skewed stream.
+func BenchmarkStreamSemiJoin(b *testing.B) {
+	inst := workload.JoinSkewed(50000, 0.5)
+	facts := inst.Facts()
+	n := &stream.Network{
+		Machines:  8,
+		Key:       stream.KeyOn(map[string][]int{"R": {1}, "S": {0}}),
+		Automaton: stream.SemiJoin("R", "S"),
+	}
+	var st *stream.Stats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, s, err := n.Run(facts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st = s
+	}
+	b.ReportMetric(float64(st.MemoryPerGroup), "mem-per-group")
+	b.ReportMetric(float64(st.LargestGroup), "largest-group")
+}
+
+// EXP-SCALE: bounded plan execution vs full evaluation on a large
+// graph.
+func BenchmarkScaleIndependence(b *testing.B) {
+	d := rel.NewDict()
+	q := cq.MustParse(d, "H(y, z) :- Follows(0, y), Follows(y, z)")
+	cons := scale.Constraints{{Rel: "Follows", On: []int{0}, Fanout: 5}}
+	plan, err := scale.Analyze(q, cons)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := newDetRand(3)
+	inst := rel.NewInstance()
+	users := 50000
+	for j := 0; j < 5; j++ {
+		inst.Add(rel.NewFact("Follows", 0, rel.Value(1+r.Intn(users-1))))
+	}
+	for u := 1; u < users; u++ {
+		for j := 0; j < r.Intn(6); j++ {
+			inst.Add(rel.NewFact("Follows", rel.Value(u), rel.Value(r.Intn(users))))
+		}
+	}
+	b.Run("bounded-plan", func(b *testing.B) {
+		var fetched int
+		for i := 0; i < b.N; i++ {
+			_, f, err := scale.Execute(plan, inst)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fetched = f
+		}
+		b.ReportMetric(float64(fetched), "fetched")
+	})
+	b.Run("full-evaluation", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cq.Evaluate(q, inst)
+		}
+		b.ReportMetric(float64(inst.Len()), "fetched")
+	})
+}

@@ -1,0 +1,59 @@
+// Command experiments regenerates every experiment of the
+// reproduction — both figures, the numbered examples, and the load
+// bound measurements — and prints paper-claim-vs-measured reports.
+//
+// Usage:
+//
+//	experiments            # run everything
+//	experiments -run SKEW  # run experiments whose ID contains SKEW
+//	experiments -list      # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mpclogic/internal/experiments"
+)
+
+func main() {
+	runFilter := flag.String("run", "", "only run experiments whose ID contains this substring")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Println(e.ID)
+		}
+		return
+	}
+
+	failed := 0
+	ran := 0
+	for _, e := range experiments.All() {
+		if *runFilter != "" && !strings.Contains(e.ID, *runFilter) {
+			continue
+		}
+		ran++
+		rep, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s errored: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		fmt.Println(rep)
+		if !rep.Pass {
+			failed++
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matches %q\n", *runFilter)
+		os.Exit(2)
+	}
+	fmt.Printf("%d experiments run, %d failed\n", ran, failed)
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,92 @@
+// Command mpcrun generates a synthetic workload, evaluates a
+// conjunctive query on the simulated MPC cluster with a chosen (or
+// planner-chosen) algorithm, and prints the cost profile the model
+// cares about: rounds, maximum load, total communication.
+//
+// Usage:
+//
+//	mpcrun -workload triangle -m 10000 -p 64
+//	mpcrun -workload join -skew 0.5 -algo grouping -p 16
+//	mpcrun -workload chain -algo yannakakis -p 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mpclogic/internal/core"
+	"mpclogic/internal/cq"
+	"mpclogic/internal/rel"
+	"mpclogic/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "triangle", "workload: triangle | join | chain")
+	m := flag.Int("m", 10000, "tuples per relation")
+	p := flag.Int("p", 64, "number of servers")
+	skew := flag.Float64("skew", 0, "fraction of tuples sharing one heavy join value")
+	algo := flag.String("algo", "", "algorithm: hypercube | repartition | grouping | yannakakis | gym (default: planner decides)")
+	oneRound := flag.Bool("one-round", true, "restrict the planner to one round")
+	wcoj := flag.Bool("wcoj", false, "use the worst-case-optimal generic join as the local engine (hypercube only)")
+	flag.Parse()
+
+	d := rel.NewDict()
+	var q *cq.CQ
+	var inst *rel.Instance
+	switch *wl {
+	case "triangle":
+		q = cq.MustParse(d, "H(x, y, z) :- R(x, y), S(y, z), T(z, x)")
+		if *skew > 0 {
+			inst = workload.TriangleSkewed(*m, *skew)
+		} else {
+			inst = workload.TriangleSkewFree(*m)
+		}
+	case "join":
+		q = cq.MustParse(d, "H(x, y, z) :- R(x, y), S(y, z)")
+		if *skew > 0 {
+			inst = workload.JoinSkewed(*m, *skew)
+		} else {
+			inst = workload.JoinSkewFree(*m)
+		}
+	case "chain":
+		q = cq.MustParse(d, "H(a, dd) :- R0(a, b), R1(b, c), R2(c, dd)")
+		inst, _ = workload.AcyclicChain(3, *m, 0.3, 1)
+	default:
+		fmt.Fprintf(os.Stderr, "mpcrun: unknown workload %q\n", *wl)
+		os.Exit(2)
+	}
+
+	var plan *core.Plan
+	var err error
+	if *algo != "" {
+		plan = &core.Plan{Algorithm: core.Algorithm(*algo), Query: q, Servers: *p, Seed: 42, WCOJ: *wcoj}
+		plan.Rationale = "algorithm forced on the command line"
+	} else {
+		plan, err = core.ChoosePlan(q, *p, *oneRound, *skew > 0)
+		if err != nil {
+			fatal(err)
+		}
+		plan.WCOJ = plan.WCOJ || *wcoj
+	}
+	fmt.Printf("workload: %s, m=%d per relation (%d facts), p=%d, skew=%.2f\n",
+		*wl, *m, inst.Len(), *p, *skew)
+	fmt.Printf("query:    %s\n", q)
+	fmt.Printf("plan:     %s — %s\n", plan.Algorithm, plan.Rationale)
+	if skewed := core.DetectSkew(inst, inst.Len() / *p); len(skewed) > 0 {
+		fmt.Printf("skew:     heavy hitters detected in %d relation column(s)\n", len(skewed))
+	}
+
+	res, err := core.Execute(plan, inst)
+	if err != nil {
+		fatal(err)
+	}
+	outCount := res.Output.Filter(func(f rel.Fact) bool { return f.Rel == q.Head.Rel }).Len()
+	fmt.Printf("result:   %d output facts\n", outCount)
+	fmt.Printf("cost:     rounds=%d maxLoad=%d totalComm=%d\n", res.Rounds, res.MaxLoad, res.TotalComm)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "mpcrun: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,16 @@
+// Package mpclogic is a from-scratch Go reproduction of the systems
+// surveyed in "Logical Aspects of Massively Parallel and Distributed
+// Systems" (Frank Neven, PODS 2016): the MPC model with the
+// Shares/HyperCube, grouping, and GYM/Yannakakis algorithms, the
+// parallel-correctness and transfer framework, a Datalog engine with
+// stratified and well-founded semantics, the monotonicity hierarchy
+// M ⊊ Mdistinct ⊊ Mdisjoint, and relational transducer networks with
+// the coordination-free strategies of the CALM theorem and its
+// refinements.
+//
+// The implementation lives under internal/; see README.md for the
+// package map, DESIGN.md for the system inventory, and EXPERIMENTS.md
+// for the paper-vs-measured record. The root package holds only the
+// cross-cutting benchmark suite (bench_test.go), one benchmark per
+// reproduced figure or quantitative claim.
+package mpclogic

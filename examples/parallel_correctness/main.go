@@ -1,0 +1,90 @@
+// Parallel-correctness walkthrough: reproduces Examples 4.1, 4.3 and
+// 4.11/Figure 1 of the paper live — distributed one-round evaluation
+// under explicit policies, the gap between conditions (PC0) and (PC1),
+// and the orthogonality of pc-transfer and containment.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mpclogic/internal/core"
+	"mpclogic/internal/cq"
+	"mpclogic/internal/pc"
+	"mpclogic/internal/policy"
+	"mpclogic/internal/rel"
+)
+
+func main() {
+	a := core.NewAnalyzer()
+	d := a.Dict
+
+	fmt.Println("— Example 4.1: one-round distributed evaluation —")
+	qe := cq.MustParse(d, "H(x1, x3) :- R(x1, x2), R(x2, x3), S(x3, x1)")
+	ie := rel.MustInstance(d, "R(a,b)", "R(b,a)", "R(b,c)", "S(a,a)", "S(c,a)")
+	p1 := &policy.Func{
+		Nodes: 2,
+		Resp: func(κ policy.Node, f rel.Fact) bool {
+			if f.Rel == "R" {
+				return true // all R-facts on both nodes
+			}
+			if f.Tuple[0] == f.Tuple[1] {
+				return κ == 0 // diagonal S-facts on node κ1
+			}
+			return κ == 1
+		},
+	}
+	fmt.Printf("Qe(Ie)      = %s\n", cq.Output(qe, ie).StringWith(d))
+	fmt.Printf("[Qe,P1](Ie) = %s\n", pc.DistributedEval(qe, p1, ie).StringWith(d))
+	fmt.Printf("parallel-correct on Ie under P1: %v\n\n", pc.ParallelCorrectOn(qe, p1, ie))
+
+	fmt.Println("— Example 4.3: PC0 is sufficient but not necessary —")
+	q := cq.MustParse(d, "H(x, z) :- R(x, y), R(y, z), R(x, x)")
+	ab := rel.MustFact(d, "R(a,b)")
+	ba := rel.MustFact(d, "R(b,a)")
+	pol := &policy.Func{
+		Nodes: 2,
+		Resp: func(κ policy.Node, f rel.Fact) bool {
+			if κ == 0 {
+				return !f.Equal(ab) // everything except R(a,b)
+			}
+			return !f.Equal(ba) // everything except R(b,a)
+		},
+		Univ: d.Values("a", "b"),
+	}
+	strong, why0, err := a.StronglyCorrect(q, pol, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ok, why1, err := a.ParallelCorrect(q, pol, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("PC0 holds: %v (%s)\n", strong, why0)
+	fmt.Printf("parallel-correct (PC1): %v (%s)\n\n", ok, why1)
+
+	fmt.Println("— Figure 1: transfer vs containment over Q1–Q4 —")
+	qs := []*cq.CQ{
+		cq.MustParse(d, "H() :- S(x), R(x, x), T(x)"),
+		cq.MustParse(d, "H() :- R(x, x), T(x)"),
+		cq.MustParse(d, "H() :- S(x), R(x, y), T(y)"),
+		cq.MustParse(d, "H() :- R(x, y), T(y)"),
+	}
+	fmt.Printf("%-9s %-10s %-12s\n", "pair", "transfer", "containment")
+	for i, qi := range qs {
+		for j, qj := range qs {
+			if i == j {
+				continue
+			}
+			tr, _, err := a.Transfers(qi, qj)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cn, err := a.Contained(qi, qj)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("Q%d → Q%d   %-10v %-12v\n", i+1, j+1, tr, cn)
+		}
+	}
+}

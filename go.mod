@@ -1,0 +1,3 @@
+module mpclogic
+
+go 1.22

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+
+	"mpclogic/internal/cq"
+	"mpclogic/internal/gym"
+	"mpclogic/internal/hypercube"
+	"mpclogic/internal/mpc"
+	"mpclogic/internal/rel"
+	"mpclogic/internal/workload"
+)
+
+// Algorithm names the MPC evaluation strategies the planner chooses
+// between (Section 3).
+type Algorithm string
+
+// The implemented strategies.
+const (
+	AlgoHyperCube   Algorithm = "hypercube"   // one round, Shares grid
+	AlgoRepartition Algorithm = "repartition" // one round, hash join
+	AlgoGrouping    Algorithm = "grouping"    // one round, skew-proof
+	AlgoYannakakis  Algorithm = "yannakakis"  // multi-round, acyclic
+	AlgoGYM         Algorithm = "gym"         // multi-round, cyclic
+)
+
+// Plan is a chosen strategy plus its rationale.
+type Plan struct {
+	Algorithm Algorithm
+	Rationale string
+	Query     *cq.CQ
+	Servers   int
+	Seed      uint64
+	// WCOJ runs the worst-case-optimal generic join as the local
+	// computation of the HyperCube round — the pairing of
+	// Chu-Balazinska-Suciu's study.
+	WCOJ bool
+}
+
+// ChoosePlan picks an algorithm for evaluating q on p servers,
+// following the guidance the paper surveys: acyclic queries get
+// Yannakakis (intermediates bounded); cyclic ones get HyperCube when
+// one round is wanted or the output is expected large, GYM otherwise;
+// binary joins under known skew get the grouping strategy.
+func ChoosePlan(q *cq.CQ, p int, oneRound, skewed bool) (*Plan, error) {
+	if q.HasNegation() {
+		return nil, fmt.Errorf("core: MPC planner handles positive CQs")
+	}
+	plan := &Plan{Query: q, Servers: p, Seed: 0x9e3779b9}
+	switch {
+	case oneRound && skewed && len(q.Body) == 2 && q.SelfJoinFree():
+		plan.Algorithm = AlgoGrouping
+		plan.Rationale = "binary join under skew: value-oblivious grouping keeps load at m/√p (Example 3.1(1b))"
+	case oneRound:
+		plan.Algorithm = AlgoHyperCube
+		plan.WCOJ = len(q.Body) > 2 && !q.HasDiseq()
+		plan.Rationale = "single round requested: HyperCube is worst-case optimal at m/p^{1/τ*} on skew-free data (Section 3.1)"
+	case cq.IsAcyclic(q):
+		plan.Algorithm = AlgoYannakakis
+		plan.Rationale = "acyclic query: semijoin reduction bounds intermediates by the output (Section 3.2)"
+	default:
+		plan.Algorithm = AlgoGYM
+		plan.Rationale = "cyclic query, multiple rounds allowed: GYM evaluates a tree decomposition (Section 3.2)"
+	}
+	return plan, nil
+}
+
+// Result of an executed plan.
+type Result struct {
+	Output    *rel.Instance
+	Rounds    int
+	MaxLoad   int
+	TotalComm int
+}
+
+// Execute runs the plan on the instance and reports the MPC cost
+// profile.
+func Execute(plan *Plan, inst *rel.Instance) (*Result, error) {
+	switch plan.Algorithm {
+	case AlgoHyperCube:
+		g, err := hypercube.NewOptimalGrid(plan.Query, plan.Servers, plan.Seed)
+		if err != nil {
+			return nil, fmtErr("hypercube", err)
+		}
+		c := mpc.NewCluster(g.P())
+		c.LoadRoundRobin(inst)
+		round := hypercube.HyperCubeRound(g)
+		if plan.WCOJ {
+			q := plan.Query
+			round.Compute = func(_ int, local *rel.Instance) *rel.Instance {
+				out := rel.NewInstance()
+				res, err := cq.GenericJoin(q, local)
+				if err != nil {
+					out.EnsureRelation(q.Head.Rel, len(q.Head.Args))
+					return out
+				}
+				out.SetRelation(res)
+				return out
+			}
+		}
+		if err := c.Run(round); err != nil {
+			return nil, fmtErr("hypercube", err)
+		}
+		return resultOf(c), nil
+	case AlgoRepartition:
+		r, err := hypercube.RepartitionJoin(plan.Query, plan.Servers, plan.Seed)
+		if err != nil {
+			return nil, fmtErr("repartition", err)
+		}
+		c := mpc.NewCluster(plan.Servers)
+		c.LoadRoundRobin(inst)
+		if err := c.Run(r); err != nil {
+			return nil, fmtErr("repartition", err)
+		}
+		return resultOf(c), nil
+	case AlgoGrouping:
+		r, err := hypercube.GroupingJoin(plan.Query, plan.Servers, plan.Seed)
+		if err != nil {
+			return nil, fmtErr("grouping", err)
+		}
+		c := mpc.NewCluster(plan.Servers)
+		c.LoadRoundRobin(inst)
+		if err := c.Run(r); err != nil {
+			return nil, fmtErr("grouping", err)
+		}
+		return resultOf(c), nil
+	case AlgoYannakakis:
+		c, out, err := gym.DistributedYannakakis(plan.Query, plan.Servers, inst, plan.Seed)
+		if err != nil {
+			return nil, fmtErr("yannakakis", err)
+		}
+		return &Result{Output: out, Rounds: c.Rounds(), MaxLoad: c.MaxLoad(), TotalComm: c.TotalComm()}, nil
+	case AlgoGYM:
+		c, out, _, err := gym.GYM(plan.Query, plan.Servers, inst, plan.Seed)
+		if err != nil {
+			return nil, fmtErr("gym", err)
+		}
+		return &Result{Output: out, Rounds: c.Rounds(), MaxLoad: c.MaxLoad(), TotalComm: c.TotalComm()}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %q", plan.Algorithm)
+	}
+}
+
+func resultOf(c *mpc.Cluster) *Result {
+	return &Result{Output: c.Output(), Rounds: c.Rounds(), MaxLoad: c.MaxLoad(), TotalComm: c.TotalComm()}
+}
+
+// DetectSkew reports whether any relation of the instance has a value
+// whose frequency in some column exceeds m/threshFrac (heavy hitters,
+// Section 3). It returns the offending values per relation/column.
+func DetectSkew(inst *rel.Instance, threshold int) map[string][]rel.Value {
+	out := map[string][]rel.Value{}
+	for _, name := range inst.RelationNames() {
+		r := inst.Relation(name)
+		for col := 0; col < r.Arity; col++ {
+			if hh := workload.HeavyHitters(inst, name, col, threshold); len(hh) > 0 {
+				key := fmt.Sprintf("%s[%d]", name, col)
+				out[key] = hh
+			}
+		}
+	}
+	return out
+}

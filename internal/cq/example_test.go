@@ -1,0 +1,66 @@
+package cq_test
+
+import (
+	"fmt"
+
+	"mpclogic/internal/cq"
+	"mpclogic/internal/rel"
+)
+
+// Parse a conjunctive query and evaluate it on a small instance.
+func ExampleEvaluate() {
+	d := rel.NewDict()
+	q := cq.MustParse(d, "H(x, z) :- R(x, y), S(y, z)")
+	i := rel.MustInstance(d, "R(a,b)", "S(b,c)", "R(a,a)")
+	fmt.Println(cq.Output(q, i).StringWith(d))
+	// Output: {H(a,c)}
+}
+
+// Minimal valuations (Definition 4.4 of the paper): the valuation
+// collapsing all variables of Example 4.5 is minimal, the two-value
+// one is not.
+func ExampleIsMinimal() {
+	d := rel.NewDict()
+	q := cq.MustParse(d, "H(x, z) :- R(x, y), R(y, z), R(x, x)")
+	a, b := d.Value("a"), d.Value("b")
+
+	v1 := cq.Valuation{"x": a, "y": b, "z": a}
+	v2 := cq.Valuation{"x": a, "y": a, "z": a}
+	m1, _ := cq.IsMinimal(q, v1)
+	m2, _ := cq.IsMinimal(q, v2)
+	fmt.Println(m1, m2)
+	// Output: false true
+}
+
+// Classic containment: specializing a variable makes the query
+// smaller.
+func ExampleContained() {
+	d := rel.NewDict()
+	spec := cq.MustParse(d, "H(x) :- R(x, x)")
+	gen := cq.MustParse(d, "H(x) :- R(x, y)")
+	a, _ := cq.Contained(spec, gen)
+	b, _ := cq.Contained(gen, spec)
+	fmt.Println(a, b)
+	// Output: true false
+}
+
+// The triangle query's fractional edge packing value τ* = 3/2 gives
+// the HyperCube load exponent 1/τ* = 2/3 (Section 3.1).
+func ExampleFractionalEdgePacking() {
+	d := rel.NewDict()
+	q := cq.MustParse(d, "H(x, y, z) :- R(x, y), S(y, z), T(z, x)")
+	pack, _ := cq.FractionalEdgePacking(q)
+	fmt.Printf("τ* = %.1f, load = m/p^%.3f\n", pack.Value, 1/pack.Value)
+	// Output: τ* = 1.5, load = m/p^0.667
+}
+
+// GYO detects acyclicity and produces the join tree Yannakakis needs.
+func ExampleGYO() {
+	d := rel.NewDict()
+	path := cq.MustParse(d, "H(x, w) :- R(x, y), S(y, z), T(z, w)")
+	tri := cq.MustParse(d, "H(x, y, z) :- R(x, y), S(y, z), T(z, x)")
+	_, okPath := cq.GYO(path)
+	_, okTri := cq.GYO(tri)
+	fmt.Println(okPath, okTri)
+	// Output: true false
+}

@@ -1,0 +1,104 @@
+package cq
+
+import (
+	"fmt"
+
+	"mpclogic/internal/rel"
+)
+
+// This file implements homomorphism-based containment for conjunctive
+// queries (the Chandra-Merlin classic): Q ⊆ Q′ iff there is a
+// homomorphism from Q′ to Q, iff Q′ derives the frozen head on the
+// canonical instance of Q. Used by the Figure 1 experiment, which
+// contrasts containment with parallel-correctness transfer.
+
+// frozen maps the variables of q to fresh values not colliding with the
+// query's constants and returns the canonical instance plus the frozen
+// head fact and the freezing valuation.
+func frozen(q *CQ) (*rel.Instance, rel.Fact, Valuation) {
+	maxc := rel.Value(0)
+	for c := range q.Constants() {
+		if c >= maxc {
+			maxc = c + 1
+		}
+	}
+	v := make(Valuation)
+	next := maxc
+	for _, name := range q.Vars() {
+		v[name] = next
+		next++
+	}
+	inst := rel.NewInstance()
+	for _, a := range q.Body {
+		inst.Add(v.Apply(a))
+	}
+	return inst, v.Derives(q), v
+}
+
+// Contained decides Q ⊆ Q′ for pure conjunctive queries (no negation,
+// no inequalities on either side). Head relations must agree in arity.
+func Contained(q, qp *CQ) (bool, error) {
+	if q.HasNegation() || qp.HasNegation() {
+		return false, fmt.Errorf("cq: Contained does not handle negation; use ContainedNegBounded")
+	}
+	if q.HasDiseq() || qp.HasDiseq() {
+		return false, fmt.Errorf("cq: Contained does not handle inequalities")
+	}
+	if len(q.Head.Args) != len(qp.Head.Args) {
+		return false, nil
+	}
+	canon, head, _ := frozen(q)
+	res := Evaluate(qp, canon)
+	return res.Contains(head.Tuple) && qp.Head.Rel == head.Rel, nil
+}
+
+// Equivalent decides Q ≡ Q′ for pure conjunctive queries.
+func Equivalent(q, qp *CQ) (bool, error) {
+	a, err := Contained(q, qp)
+	if err != nil || !a {
+		return a, err
+	}
+	return Contained(qp, q)
+}
+
+// HomomorphismTo reports whether there is a homomorphism from q to qp:
+// a mapping h of vars(q) to terms of qp with h(body_q) ⊆ body_qp and
+// h(head_q) = head_qp. This is containment in the other direction of
+// the arrow: hom q→qp exists iff qp ⊆ q.
+func HomomorphismTo(q, qp *CQ) (bool, error) {
+	return Contained(qp, q)
+}
+
+// UCQContained decides U ⊆ U′ for unions of pure CQs: every disjunct of
+// U must be contained in the union U′, which by the classical argument
+// reduces to: the canonical instance of each disjunct makes some
+// disjunct of U′ derive the frozen head.
+func UCQContained(u, up *UCQ) (bool, error) {
+	for _, q := range u.Disjuncts {
+		if q.HasNegation() || q.HasDiseq() {
+			return false, fmt.Errorf("cq: UCQContained handles pure CQ disjuncts only")
+		}
+	}
+	for _, qp := range up.Disjuncts {
+		if qp.HasNegation() || qp.HasDiseq() {
+			return false, fmt.Errorf("cq: UCQContained handles pure CQ disjuncts only")
+		}
+	}
+	for _, q := range u.Disjuncts {
+		canon, head, _ := frozen(q)
+		ok := false
+		for _, qp := range up.Disjuncts {
+			if qp.Head.Rel != head.Rel || len(qp.Head.Args) != len(head.Tuple) {
+				continue
+			}
+			if Evaluate(qp, canon).Contains(head.Tuple) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}

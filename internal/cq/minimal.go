@@ -1,0 +1,114 @@
+package cq
+
+import (
+	"fmt"
+
+	"mpclogic/internal/rel"
+)
+
+// This file implements minimal valuations (Definition 4.4): a valuation
+// V for Q is minimal if no valuation V′ derives the same head fact from
+// a strict subset of V's required facts. Minimal valuations are the
+// key to the semantic characterization of parallel-correctness
+// (Proposition 4.6) and of parallel-correctness transfer via "covers"
+// (Definition 4.12, Proposition 4.13).
+//
+// For queries with inequalities, valuations must satisfy the
+// inequalities to count (the "suitable definition" of [Geck et al.,
+// ICDT 2016] the paper refers to). Queries with negated atoms have no
+// meaningful notion of minimal valuation here; the functions reject
+// them.
+
+// IsMinimal reports whether the valuation v (total on vars(Q), and
+// satisfying the inequalities of Q) is minimal for Q. The strictly
+// smaller witness V′, if any, only needs values from adom(V(body_Q)),
+// so the check is instance- and universe-independent.
+func IsMinimal(q *CQ, v Valuation) (bool, error) {
+	if q.HasNegation() {
+		return false, fmt.Errorf("cq: minimal valuations undefined for CQ¬")
+	}
+	if !v.SatisfiesDiseq(q) {
+		return false, fmt.Errorf("cq: valuation violates inequalities of the query")
+	}
+	required := v.RequiredInstance(q)
+	head := v.Derives(q)
+	vars := q.Vars()
+
+	// Candidate values for V′: adom of the required facts. (Head values
+	// occur in the body by safety.)
+	universe := required.ADom().Sorted()
+
+	found := false
+	AllValuations(vars, universe, func(w Valuation) bool {
+		if !w.SatisfiesDiseq(q) {
+			return true
+		}
+		if !w.Derives(q).Equal(head) {
+			return true
+		}
+		wReq := w.RequiredInstance(q)
+		if wReq.SubsetOf(required) && wReq.Len() < required.Len() {
+			found = true
+			return false
+		}
+		return true
+	})
+	return !found, nil
+}
+
+// MinimalValuations enumerates all minimal valuations for Q over the
+// given universe. The cost is |universe|^|vars(Q)| valuation checks;
+// this exponential behaviour is inherent (Theorem 4.8: the related
+// decision problems are Πᵖ₂-complete).
+func MinimalValuations(q *CQ, universe []rel.Value) ([]Valuation, error) {
+	if q.HasNegation() {
+		return nil, fmt.Errorf("cq: minimal valuations undefined for CQ¬")
+	}
+	vars := q.Vars()
+	var out []Valuation
+	var err error
+	AllValuations(vars, universe, func(v Valuation) bool {
+		if !v.SatisfiesDiseq(q) {
+			return true
+		}
+		min, e := IsMinimal(q, v)
+		if e != nil {
+			err = e
+			return false
+		}
+		if min {
+			out = append(out, v.Clone())
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// EachMinimalValuation streams minimal valuations for Q over universe;
+// iteration stops early when fn returns false. The valuation passed to
+// fn is owned by the callee only for the duration of the call.
+func EachMinimalValuation(q *CQ, universe []rel.Value, fn func(Valuation) bool) error {
+	if q.HasNegation() {
+		return fmt.Errorf("cq: minimal valuations undefined for CQ¬")
+	}
+	vars := q.Vars()
+	var err error
+	AllValuations(vars, universe, func(v Valuation) bool {
+		if !v.SatisfiesDiseq(q) {
+			return true
+		}
+		min, e := IsMinimal(q, v)
+		if e != nil {
+			err = e
+			return false
+		}
+		if min {
+			return fn(v)
+		}
+		return true
+	})
+	return err
+}

@@ -1,0 +1,44 @@
+package cq
+
+import "fmt"
+
+// Minimize computes the core of a pure conjunctive query: the unique
+// (up to renaming) equivalent query with the fewest atoms, obtained by
+// repeatedly deleting a body atom when the smaller query still
+// contains the original (Chandra-Merlin). Minimization matters to the
+// parallel-correctness framework because minimal valuations of Q and
+// of its core coincide up to the deleted redundant atoms, and because
+// a smaller body means cheaper saturation checks.
+func Minimize(q *CQ) (*CQ, error) {
+	if q.HasNegation() || q.HasDiseq() {
+		return nil, fmt.Errorf("cq: minimization for pure CQs")
+	}
+	cur := q.Clone()
+	for {
+		removed := false
+		for i := range cur.Body {
+			if len(cur.Body) == 1 {
+				break
+			}
+			cand := cur.Clone()
+			cand.Body = append(cand.Body[:i], cand.Body[i+1:]...)
+			if cand.Validate() != nil {
+				continue // deletion broke head safety
+			}
+			// Deleting an atom relaxes the query, so cur ⊆ cand always;
+			// equivalence only needs the other direction cand ⊆ cur.
+			ok, err := Contained(cand, cur)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				cur = cand
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			return cur, nil
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package cq
+
+import (
+	"fmt"
+
+	"mpclogic/internal/lp"
+)
+
+// This file computes the fractional edge packing and cover numbers of a
+// query's hypergraph. Beame, Koutris and Suciu showed that a one-round
+// MPC algorithm can achieve maximum load O(m/p^{1/τ*}) on skew-free
+// data, where τ* is the optimal fractional edge packing value, and that
+// this is tight (Section 3.1 of the paper; τ* = 3/2 for the triangle).
+
+// PackingResult carries the optimal edge weights (parallel to q.Body)
+// and the optimum value.
+type PackingResult struct {
+	Weights []float64
+	Value   float64
+}
+
+// FractionalEdgePacking solves
+//
+//	max Σ_e u_e   s.t.  Σ_{e ∋ x} u_e ≤ 1 for every variable x, u ≥ 0.
+//
+// Its optimum is τ*. Atoms without variables are rejected: they do not
+// constrain any vertex and make the packing unbounded.
+func FractionalEdgePacking(q *CQ) (PackingResult, error) {
+	h := HypergraphOf(q)
+	for i, e := range h.Edges {
+		if len(e) == 0 {
+			return PackingResult{}, fmt.Errorf("cq: atom %d (%s) has no variables; edge packing undefined", i, q.Body[i].Rel)
+		}
+	}
+	nE := len(h.Edges)
+	nV := len(h.Vertices)
+	vIdx := map[string]int{}
+	for i, v := range h.Vertices {
+		vIdx[v] = i
+	}
+	c := make([]float64, nE)
+	for j := range c {
+		c[j] = 1
+	}
+	a := make([][]float64, nV)
+	b := make([]float64, nV)
+	for i := range a {
+		a[i] = make([]float64, nE)
+		b[i] = 1
+	}
+	for j, e := range h.Edges {
+		for _, v := range e {
+			a[vIdx[v]][j] = 1
+		}
+	}
+	res, err := lp.Maximize(c, a, b)
+	if err != nil {
+		return PackingResult{}, fmt.Errorf("cq: edge packing LP: %w", err)
+	}
+	return PackingResult{Weights: res.X, Value: res.Value}, nil
+}
+
+// FractionalEdgeCover solves
+//
+//	min Σ_e w_e   s.t.  Σ_{e ∋ x} w_e ≥ 1 for every variable x, w ≥ 0.
+//
+// Its optimum ρ* bounds worst-case join output size (AGM bound) by
+// m^{ρ*}.
+func FractionalEdgeCover(q *CQ) (PackingResult, error) {
+	h := HypergraphOf(q)
+	nE := len(h.Edges)
+	nV := len(h.Vertices)
+	vIdx := map[string]int{}
+	for i, v := range h.Vertices {
+		vIdx[v] = i
+	}
+	// Every vertex must be coverable.
+	covered := make([]bool, nV)
+	for _, e := range h.Edges {
+		for _, v := range e {
+			covered[vIdx[v]] = true
+		}
+	}
+	for i, ok := range covered {
+		if !ok {
+			return PackingResult{}, fmt.Errorf("cq: variable %s not coverable", h.Vertices[i])
+		}
+	}
+	c := make([]float64, nE)
+	for j := range c {
+		c[j] = 1
+	}
+	a := make([][]float64, nV)
+	b := make([]float64, nV)
+	for i := range a {
+		a[i] = make([]float64, nE)
+		b[i] = 1
+	}
+	for j, e := range h.Edges {
+		for _, v := range e {
+			a[vIdx[v]][j] = 1
+		}
+	}
+	res, err := lp.MinimizeCover(c, a, b)
+	if err != nil {
+		return PackingResult{}, fmt.Errorf("cq: edge cover LP: %w", err)
+	}
+	return PackingResult{Weights: res.X, Value: res.Value}, nil
+}
+
+// ShareExponents solves the Shares/HyperCube exponent LP: maximize t
+// subject to Σ_{x ∈ vars(r)} e_x ≥ t for every body atom r and
+// Σ_x e_x ≤ 1, e ≥ 0. With equal relation sizes the optimal maximum
+// load is m/p^t, and LP duality gives t = 1/τ*.
+//
+// The returned map assigns each variable its exponent e_x; shares are
+// then α_x = p^{e_x} (see the hypercube package for integer rounding).
+func ShareExponents(q *CQ) (map[string]float64, float64, error) {
+	h := HypergraphOf(q)
+	for i, e := range h.Edges {
+		if len(e) == 0 {
+			return nil, 0, fmt.Errorf("cq: atom %d (%s) has no variables", i, q.Body[i].Rel)
+		}
+	}
+	nV := len(h.Vertices)
+	vIdx := map[string]int{}
+	for i, v := range h.Vertices {
+		vIdx[v] = i
+	}
+	// Variables: x = (t, e_1 … e_nV).
+	n := 1 + nV
+	c := make([]float64, n)
+	c[0] = 1
+	var a [][]float64
+	var b []float64
+	// t − Σ_{x ∈ e} e_x ≤ 0 per edge.
+	for _, e := range h.Edges {
+		row := make([]float64, n)
+		row[0] = 1
+		for _, v := range e {
+			row[1+vIdx[v]] = -1
+		}
+		a = append(a, row)
+		b = append(b, 0)
+	}
+	// Σ e_x ≤ 1.
+	row := make([]float64, n)
+	for i := 0; i < nV; i++ {
+		row[1+i] = 1
+	}
+	a = append(a, row)
+	b = append(b, 1)
+
+	res, err := lp.Maximize(c, a, b)
+	if err != nil {
+		return nil, 0, fmt.Errorf("cq: share exponent LP: %w", err)
+	}
+	out := make(map[string]float64, nV)
+	for v, i := range vIdx {
+		out[v] = res.X[1+i]
+	}
+	return out, res.X[0], nil
+}

@@ -1,0 +1,156 @@
+package cq
+
+import (
+	"math"
+	"testing"
+
+	"mpclogic/internal/rel"
+)
+
+func near(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+// Section 3.1: τ* for the triangle query is 3/2, giving HyperCube load
+// O(m/p^{2/3}).
+func TestTriangleEdgePacking(t *testing.T) {
+	d := rel.NewDict()
+	q := MustParse(d, "H(x, y, z) :- R(x, y), S(y, z), T(z, x)")
+	res, err := FractionalEdgePacking(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !near(res.Value, 1.5) {
+		t.Errorf("triangle τ* = %v, want 1.5", res.Value)
+	}
+}
+
+func TestEdgePackingShapes(t *testing.T) {
+	d := rel.NewDict()
+	cases := []struct {
+		src string
+		tau float64
+	}{
+		{"H(x, y, z) :- R(x, y), S(y, z)", 1},                      // binary join: load m/p
+		{"H(x, y, z, w) :- R(x, y), S(y, z), T(z, w)", 2},          // path of 3: matching {R,T}
+		{"H(x, y, z, w) :- R(x, y), S(y, z), T(z, w), U(w, x)", 2}, // 4-cycle
+		{"H(x, a, b, c) :- R(x, a), S(x, b), T(x, c)", 1},          // star: center caps packing
+		{"H(x, y) :- R(x, y)", 1},                                  // single atom
+		{"H(x, y, z, u, v, w) :- R(x, y), S(z, u), T(v, w)", 3},    // disjoint edges
+	}
+	for _, c := range cases {
+		q := MustParse(d, c.src)
+		res, err := FractionalEdgePacking(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !near(res.Value, c.tau) {
+			t.Errorf("τ*(%s) = %v, want %v", c.src, res.Value, c.tau)
+		}
+		// Feasibility of returned weights.
+		h := HypergraphOf(q)
+		load := map[string]float64{}
+		for j, e := range h.Edges {
+			for _, v := range e {
+				load[v] += res.Weights[j]
+			}
+		}
+		for v, l := range load {
+			if l > 1+1e-6 {
+				t.Errorf("%s: vertex %s overpacked (%v)", c.src, v, l)
+			}
+		}
+	}
+}
+
+func TestEdgeCoverAGM(t *testing.T) {
+	d := rel.NewDict()
+	q := MustParse(d, "H(x, y, z) :- R(x, y), S(y, z), T(z, x)")
+	res, err := FractionalEdgeCover(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !near(res.Value, 1.5) {
+		t.Errorf("triangle ρ* = %v, want 1.5 (AGM bound m^{3/2})", res.Value)
+	}
+	q2 := MustParse(d, "H(x, y, z) :- R(x, y), S(y, z)")
+	res2, err := FractionalEdgeCover(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !near(res2.Value, 2) {
+		t.Errorf("2-path ρ* = %v, want 2", res2.Value)
+	}
+}
+
+// The share-exponent LP optimum t equals 1/τ* by LP duality.
+func TestShareExponentsDuality(t *testing.T) {
+	d := rel.NewDict()
+	queries := []string{
+		"H(x, y, z) :- R(x, y), S(y, z), T(z, x)",
+		"H(x, y, z) :- R(x, y), S(y, z)",
+		"H(x, y, z, w) :- R(x, y), S(y, z), T(z, w), U(w, x)",
+		"H(x, a, b) :- R(x, a), S(x, b)",
+	}
+	for _, src := range queries {
+		q := MustParse(d, src)
+		pack, err := FractionalEdgePacking(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exps, tval, err := ShareExponents(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !near(tval, 1/pack.Value) {
+			t.Errorf("%s: t = %v, want 1/τ* = %v", src, tval, 1/pack.Value)
+		}
+		// Exponents sum to ≤ 1 and every atom gets at least t.
+		sum := 0.0
+		for _, e := range exps {
+			if e < -1e-9 {
+				t.Errorf("%s: negative exponent", src)
+			}
+			sum += e
+		}
+		if sum > 1+1e-6 {
+			t.Errorf("%s: exponents sum to %v > 1", src, sum)
+		}
+		for _, a := range q.Body {
+			s := 0.0
+			for _, v := range a.Vars() {
+				s += exps[v]
+			}
+			if s < tval-1e-6 {
+				t.Errorf("%s: atom %v gets exponent %v < t=%v", src, a, s, tval)
+			}
+		}
+	}
+}
+
+// Triangle share exponents: e_x = e_y = e_z = 1/3 (Example 3.2).
+func TestTriangleShareExponents(t *testing.T) {
+	d := rel.NewDict()
+	q := MustParse(d, "H(x, y, z) :- R(x, y), S(y, z), T(z, x)")
+	exps, tval, err := ShareExponents(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !near(tval, 2.0/3.0) {
+		t.Errorf("t = %v, want 2/3", tval)
+	}
+	for v, e := range exps {
+		if !near(e, 1.0/3.0) {
+			t.Errorf("exponent of %s = %v, want 1/3", v, e)
+		}
+	}
+}
+
+func TestPackingRejectsConstantOnlyAtom(t *testing.T) {
+	d := rel.NewDict()
+	q := MustParse(d, "H(x) :- R(x), S(1)")
+	if _, err := FractionalEdgePacking(q); err == nil {
+		t.Errorf("constant-only atom accepted by packing")
+	}
+	if _, _, err := ShareExponents(q); err == nil {
+		t.Errorf("constant-only atom accepted by share exponents")
+	}
+}

@@ -1,0 +1,166 @@
+package cq
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"mpclogic/internal/rel"
+)
+
+// testing/quick generators and invariant checks for the core CQ data
+// structures: valuations, required facts, and the evaluation engine.
+
+// smallVal is a domain value drawn from a tiny range so collisions and
+// self-joins actually occur under quick.Check.
+type smallVal rel.Value
+
+// Generate implements quick.Generator.
+func (smallVal) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(smallVal(r.Intn(4)))
+}
+
+// Valuations applied to an atom produce facts whose values are exactly
+// the valuation's images.
+func TestQuickValuationApply(t *testing.T) {
+	d := rel.NewDict()
+	q := MustParse(d, "H(x, z) :- R(x, y), S(y, z)")
+	f := func(x, y, z smallVal) bool {
+		v := Valuation{"x": rel.Value(x), "y": rel.Value(y), "z": rel.Value(z)}
+		facts := v.RequiredFacts(q)
+		// Facts are sorted, deduplicated, and match the bindings.
+		for i := 1; i < len(facts); i++ {
+			if !facts[i-1].Less(facts[i]) {
+				return false
+			}
+		}
+		req := v.RequiredInstance(q)
+		if !req.Contains(rel.NewFact("R", rel.Value(x), rel.Value(y))) {
+			return false
+		}
+		if !req.Contains(rel.NewFact("S", rel.Value(y), rel.Value(z))) {
+			return false
+		}
+		return v.Derives(q).Equal(rel.NewFact("H", rel.Value(x), rel.Value(z)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Satisfies agrees with evaluation: V satisfies Q on I iff V's head
+// fact is derivable and V's bindings appear among the satisfying
+// valuations.
+func TestQuickSatisfiesConsistent(t *testing.T) {
+	d := rel.NewDict()
+	q := MustParse(d, "H(x, z) :- R(x, y), S(y, z)")
+	f := func(a, b, c, x, y, z smallVal) bool {
+		i := rel.FromFacts(
+			rel.NewFact("R", rel.Value(a), rel.Value(b)),
+			rel.NewFact("S", rel.Value(b), rel.Value(c)),
+		)
+		v := Valuation{"x": rel.Value(x), "y": rel.Value(y), "z": rel.Value(z)}
+		if !v.Satisfies(q, i) {
+			return true
+		}
+		// A satisfying valuation's head must be in the evaluated output.
+		return Evaluate(q, i).Contains(v.Derives(q).Tuple)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The canonical-instance containment test is reflexive for arbitrary
+// generated pure CQs over a small atom zoo.
+func TestQuickContainmentReflexive(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	vars := []string{"x", "y", "z"}
+	for trial := 0; trial < 100; trial++ {
+		q := &CQ{Head: Atom{Rel: "H"}}
+		n := 1 + r.Intn(3)
+		for k := 0; k < n; k++ {
+			q.Body = append(q.Body, NewAtom(
+				[]string{"R", "S"}[r.Intn(2)],
+				V(vars[r.Intn(3)]), V(vars[r.Intn(3)])))
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		ok, err := Contained(q, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("containment not reflexive for %v", q)
+		}
+	}
+}
+
+// Containment is transitive on a generated query pool.
+func TestQuickContainmentTransitive(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	vars := []string{"x", "y", "z"}
+	var pool []*CQ
+	for k := 0; k < 10; k++ {
+		q := &CQ{Head: Atom{Rel: "H", Args: []Term{V(vars[r.Intn(3)])}}}
+		n := 1 + r.Intn(3)
+		for j := 0; j < n; j++ {
+			q.Body = append(q.Body, NewAtom("R", V(vars[r.Intn(3)]), V(vars[r.Intn(3)])))
+		}
+		// Ensure safety: head var must occur in body; retry by forcing.
+		hv := q.Head.Args[0].Var
+		q.Body = append(q.Body, NewAtom("R", V(hv), V(vars[r.Intn(3)])))
+		if err := q.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		pool = append(pool, q)
+	}
+	cont := func(a, b *CQ) bool {
+		ok, err := Contained(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ok
+	}
+	for _, a := range pool {
+		for _, b := range pool {
+			for _, c := range pool {
+				if cont(a, b) && cont(b, c) && !cont(a, c) {
+					t.Fatalf("containment not transitive:\n%v\n%v\n%v", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+// AllValuations enumerates exactly |U|^|vars| total functions, each
+// total on vars.
+func TestQuickAllValuationsCount(t *testing.T) {
+	f := func(nVars, nVals uint8) bool {
+		nv := int(nVars%3) + 1
+		nu := int(nVals%3) + 1
+		vars := []string{"a", "b", "c"}[:nv]
+		u := make([]rel.Value, nu)
+		for i := range u {
+			u[i] = rel.Value(i)
+		}
+		count := 0
+		AllValuations(vars, u, func(v Valuation) bool {
+			if len(v) != nv {
+				return false
+			}
+			count++
+			return true
+		})
+		want := 1
+		for i := 0; i < nv; i++ {
+			want *= nu
+		}
+		return count == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,98 @@
+package datalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Coordination analysis in the spirit of Blazes (Alvaro, Conway,
+// Hellerstein, Maier — cited in Section 6 of the paper): analyse a
+// stratified program and report exactly where coordination is needed.
+// Monotone strata can stream coordination-free (CALM); a stratum needs
+// a barrier only before consuming a negated IDB relation, because it
+// must know the lower stratum has sealed. Naively inserting a barrier
+// between every pair of strata "overuses" coordination; this analysis
+// identifies the minimal barrier set.
+
+// Barrier describes one required synchronization point: the consuming
+// stratum must wait for the producing relation to be sealed.
+type Barrier struct {
+	BeforeStratum int      // the stratum that must wait
+	OnRelations   []string // the negated IDB relations it waits for
+}
+
+func (b Barrier) String() string {
+	return fmt.Sprintf("stratum %d waits on sealed {%s}", b.BeforeStratum, strings.Join(b.OnRelations, ", "))
+}
+
+// CoordinationReport is the outcome of the analysis.
+type CoordinationReport struct {
+	Strata   int
+	Barriers []Barrier // minimal barrier set
+	// NaiveBarriers counts the inter-predicate dataflow edges
+	// (IDB consumed by a rule of a different IDB head, positive or
+	// negative, self-recursion excluded): the barriers an executor
+	// places when it refuses to stream between collections at all.
+	NaiveBarriers int
+	// MonotoneStrata lists strata that can stream without any barrier
+	// in front of them.
+	MonotoneStrata []int
+}
+
+// Saved reports how many barriers the analysis removes versus the
+// naive stratum-by-stratum execution.
+func (r *CoordinationReport) Saved() int {
+	return r.NaiveBarriers - len(r.Barriers)
+}
+
+// AnalyzeCoordination computes the minimal barrier set of a
+// stratifiable program. A stratum s needs a barrier iff some of its
+// rules negate an IDB relation (necessarily of a lower stratum);
+// positive dependencies between strata can stream — new lower-stratum
+// facts simply flow into the higher stratum's semi-naive loop, exactly
+// the monotone regime of the CALM theorem.
+func AnalyzeCoordination(p *Program) (*CoordinationReport, error) {
+	st, err := Stratify(p)
+	if err != nil {
+		return nil, err
+	}
+	idb := p.IDB()
+	rep := &CoordinationReport{Strata: st.Count}
+	// Naive baseline: one barrier per IDB→IDB dataflow edge.
+	naiveEdges := map[[2]string]bool{}
+	for _, r := range p.Rules {
+		for _, a := range r.Body {
+			if idb[a.Rel] && a.Rel != r.Head.Rel {
+				naiveEdges[[2]string{a.Rel, r.Head.Rel}] = true
+			}
+		}
+		for _, a := range r.Neg {
+			if idb[a.Rel] && a.Rel != r.Head.Rel {
+				naiveEdges[[2]string{a.Rel, r.Head.Rel}] = true
+			}
+		}
+	}
+	rep.NaiveBarriers = len(naiveEdges)
+	for s := 0; s < st.Count; s++ {
+		waits := map[string]bool{}
+		for _, ri := range st.RulesByStratum[s] {
+			for _, a := range p.Rules[ri].Neg {
+				if idb[a.Rel] {
+					waits[a.Rel] = true
+				}
+			}
+		}
+		if len(waits) == 0 {
+			rep.MonotoneStrata = append(rep.MonotoneStrata, s)
+			continue
+		}
+		rels := make([]string, 0, len(waits))
+		for r := range waits {
+			rels = append(rels, r)
+		}
+		sort.Strings(rels)
+		rep.Barriers = append(rep.Barriers, Barrier{BeforeStratum: s, OnRelations: rels})
+	}
+	return rep, nil
+}

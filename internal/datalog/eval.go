@@ -1,0 +1,132 @@
+package datalog
+
+import (
+	"mpclogic/internal/cq"
+	"mpclogic/internal/rel"
+)
+
+// Eval computes the stratified semantics of the program on the given
+// EDB: strata are evaluated bottom-up, each to its least fixpoint with
+// semi-naive iteration. The result contains the EDB plus all derived
+// facts (including ADom when the program uses it).
+func Eval(p *Program, edb *rel.Instance) (*rel.Instance, error) {
+	st, err := Stratify(p)
+	if err != nil {
+		return nil, err
+	}
+	db := edb.Clone()
+	if p.UsesADom() {
+		populateADom(db)
+	}
+	for s := 0; s < st.Count; s++ {
+		if err := evalStratum(p, st.RulesByStratum[s], db); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// EvalQuery evaluates the program and projects the result onto one
+// output relation.
+func EvalQuery(p *Program, edb *rel.Instance, outRel string) (*rel.Instance, error) {
+	db, err := Eval(p, edb)
+	if err != nil {
+		return nil, err
+	}
+	out := rel.NewInstance()
+	if r := db.Relation(outRel); r != nil {
+		out.SetRelation(r.Clone())
+	}
+	return out, nil
+}
+
+func populateADom(db *rel.Instance) {
+	adom := db.ADom()
+	r := db.EnsureRelation(ADomRel, 1)
+	for v := range adom {
+		r.Add(rel.Tuple{v})
+	}
+}
+
+// evalStratum runs semi-naive iteration for one stratum's rules over
+// db, mutating db in place. Negated atoms refer to relations that are
+// complete at this point (EDB or lower strata) by stratification.
+func evalStratum(p *Program, ruleIdx []int, db *rel.Instance) error {
+	if len(ruleIdx) == 0 {
+		return nil
+	}
+	// Which relations are being defined in this stratum?
+	defined := map[string]bool{}
+	for _, ri := range ruleIdx {
+		defined[p.Rules[ri].Head.Rel] = true
+	}
+
+	// First round: evaluate every rule on the current db.
+	delta := rel.NewInstance()
+	for _, ri := range ruleIdx {
+		r := p.Rules[ri]
+		res := cq.Evaluate(r, db)
+		res.Each(func(t rel.Tuple) bool {
+			f := rel.Fact{Rel: r.Head.Rel, Tuple: t}
+			if !db.Contains(f) {
+				delta.Add(f)
+			}
+			return true
+		})
+	}
+	db.AddAll(delta)
+
+	// Semi-naive rounds: re-evaluate each rule once per recursive body
+	// atom, with that atom restricted to the delta.
+	const deltaRel = "Δ"
+	for !delta.IsEmpty() {
+		next := rel.NewInstance()
+		for _, ri := range ruleIdx {
+			r := p.Rules[ri]
+			for bi, a := range r.Body {
+				if !defined[a.Rel] {
+					continue
+				}
+				dRel := delta.Relation(a.Rel)
+				if dRel == nil || dRel.Len() == 0 {
+					continue
+				}
+				// View: db plus Δ bound to the delta of a.Rel.
+				view := shallowView(db)
+				dr := dRel.Clone()
+				dr.Name = deltaRel
+				view.SetRelation(dr)
+				rr := rewriteAtom(r, bi, deltaRel)
+				res := cq.Evaluate(rr, view)
+				res.Each(func(t rel.Tuple) bool {
+					f := rel.Fact{Rel: r.Head.Rel, Tuple: t}
+					if !db.Contains(f) && !next.Contains(f) {
+						next.Add(f)
+					}
+					return true
+				})
+			}
+		}
+		db.AddAll(next)
+		delta = next
+	}
+	return nil
+}
+
+// shallowView clones the relation map of db without copying tuples, so
+// a view can rebind one relation cheaply. The view must not be
+// mutated through Add on shared relations; evalStratum only reads it.
+func shallowView(db *rel.Instance) *rel.Instance {
+	out := rel.NewInstance()
+	for _, name := range db.RelationNames() {
+		out.SetRelation(db.Relation(name))
+	}
+	return out
+}
+
+// rewriteAtom returns a copy of r with body atom bi renamed to newRel.
+func rewriteAtom(r *Rule, bi int, newRel string) *Rule {
+	out := r.Clone()
+	out.Body[bi].Rel = newRel
+	return out
+}

@@ -1,0 +1,123 @@
+package datalog
+
+import (
+	"fmt"
+
+	"mpclogic/internal/cq"
+	"mpclogic/internal/rel"
+)
+
+// Well-founded semantics via the alternating fixpoint of Van Gelder:
+// Γ(J) is the least fixpoint of the program with every negated IDB
+// atom ¬B(t̄) read as "t̄ ∉ J". Γ is antimonotone, so Γ² is monotone;
+// iterating K₀=∅, U₀=Γ(K₀), K₁=Γ(U₀), … converges with K = true
+// facts and U = true-or-undefined facts. Section 5.3 uses this for
+// win-move (Zinn, Green, Ludäscher), which is unstratifiable.
+
+// WFResult holds the three-valued model restricted to IDB facts.
+type WFResult struct {
+	True      *rel.Instance // facts true in the well-founded model
+	Undefined *rel.Instance // facts undefined (drawn positions in win-move)
+	DB        *rel.Instance // EDB ∪ True, convenience
+}
+
+// WellFounded computes the well-founded model of the program on edb.
+func WellFounded(p *Program, edb *rel.Instance) (*WFResult, error) {
+	idb := p.IDB()
+	base := edb.Clone()
+	if p.UsesADom() {
+		populateADom(base)
+	}
+
+	// gamma computes Γ(J): the least fixpoint where ¬B(t̄) for IDB B
+	// holds iff B(t̄) ∉ J (EDB negation reads base as usual).
+	gamma := func(j *rel.Instance) (*rel.Instance, error) {
+		db := base.Clone()
+		for {
+			grew := false
+			for _, r := range p.Rules {
+				res, err := evalRuleWF(r, db, j, idb)
+				if err != nil {
+					return nil, err
+				}
+				res.Each(func(f rel.Fact) bool {
+					if db.Add(f) {
+						grew = true
+					}
+					return true
+				})
+			}
+			if !grew {
+				return db, nil
+			}
+		}
+	}
+
+	k := rel.NewInstance() // under-approximation of true facts
+	var u *rel.Instance    // over-approximation
+	for {
+		u2, err := gamma(k)
+		if err != nil {
+			return nil, err
+		}
+		k2, err := gamma(u2)
+		if err != nil {
+			return nil, err
+		}
+		if u != nil && k2.Equal(k) && u2.Equal(u) {
+			break
+		}
+		k, u = k2, u2
+	}
+
+	res := &WFResult{True: rel.NewInstance(), Undefined: rel.NewInstance(), DB: k.Clone()}
+	k.Each(func(f rel.Fact) bool {
+		if idb[f.Rel] {
+			res.True.Add(f)
+		}
+		return true
+	})
+	u.Each(func(f rel.Fact) bool {
+		if idb[f.Rel] && !k.Contains(f) {
+			res.Undefined.Add(f)
+		}
+		return true
+	})
+	return res, nil
+}
+
+// evalRuleWF evaluates one rule where negated IDB atoms consult j and
+// negated EDB atoms consult the actual database. It builds a view
+// instance in which each negated IDB relation is replaced by j's
+// version under a reserved name.
+func evalRuleWF(r *Rule, db, j *rel.Instance, idb map[string]bool) (*rel.Instance, error) {
+	view := shallowView(db)
+	rr := r.Clone()
+	for i, a := range rr.Neg {
+		if !idb[a.Rel] {
+			continue
+		}
+		alias := fmt.Sprintf("¬%d·%s", i, a.Rel)
+		jr := j.Relation(a.Rel)
+		if jr == nil {
+			jr = rel.NewRelation(a.Rel, len(a.Args))
+		}
+		aliased := jr.Clone()
+		aliased.Name = alias
+		view.SetRelation(aliased)
+		rr.Neg[i].Rel = alias
+	}
+	out := rel.NewInstance()
+	res := cq.Evaluate(rr, view)
+	res.Each(func(t rel.Tuple) bool {
+		out.Add(rel.Fact{Rel: r.Head.Rel, Tuple: t})
+		return true
+	})
+	return out, nil
+}
+
+// WinMoveProgram returns the classic win-move program over an EDB
+// relation Move(x, y): Win(x) ← Move(x, y), ¬Win(y).
+func WinMoveProgram(d *rel.Dict) *Program {
+	return MustParse(d, "Win(x) :- Move(x, y), not Win(y)")
+}

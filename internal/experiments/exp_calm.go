@@ -1,0 +1,397 @@
+package experiments
+
+import (
+	"mpclogic/internal/cq"
+	"mpclogic/internal/datalog"
+	"mpclogic/internal/mono"
+	"mpclogic/internal/policy"
+	"mpclogic/internal/rel"
+	"mpclogic/internal/transducer"
+	"mpclogic/internal/workload"
+)
+
+// Experiments for the asynchronous half (Section 5): CALM, the
+// monotonicity hierarchy of Figure 2, and the coordination-free
+// strategies of Theorems 5.3/5.8/5.12.
+
+func init() {
+	register("F2-hierarchy", expFigure2)
+	register("CALM-theorem", expCALM)
+	register("T58-policy-aware", expTheorem58)
+	register("T512-domain-guided", expTheorem512)
+	register("WM-win-move", expWinMove)
+	register("BCAST-economical", expBroadcast)
+}
+
+func schemaE() rel.Schema { return rel.Schema{"E": 2} }
+
+func universe3() []rel.Value { return []rel.Value{0, 1, 2} }
+
+// Figure 2: the hierarchy M ⊊ Mdistinct ⊊ Mdisjoint with verified
+// witnesses, and the Datalog fragments' syntactic placement.
+func expFigure2() (*Report, error) {
+	rep := &Report{
+		ID:    "F2",
+		Title: "Figure 2: M ⊊ Mdistinct ⊊ Mdisjoint with Datalog correspondences",
+		Claim: "triangles ∈ M; open-triangle ∈ Mdistinct∖M; ¬TC ∈ Mdisjoint∖Mdistinct; QNT ∉ Mdisjoint; Datalog(≠)⊆M, SP-Datalog⊆Mdistinct, semicon-Datalog⊆Mdisjoint",
+		Pass:  true,
+	}
+	d := rel.NewDict()
+	tri := cq.MustParse(d, "H(x, y, z) :- E(x, y), E(y, z), E(z, x)")
+	open := cq.MustParse(d, "H(x, y, z) :- E(x, y), E(y, z), not E(z, x)")
+	queries := []struct {
+		name string
+		q    mono.Query
+		uni  []rel.Value
+		want [3]bool // M, Mdistinct, Mdisjoint
+	}{
+		{"triangles", func(i *rel.Instance) *rel.Instance { return cq.Output(tri, i) }, universe3(), [3]bool{true, true, true}},
+		{"open-triangle", func(i *rel.Instance) *rel.Instance { return cq.Output(open, i) }, universe3(), [3]bool{false, true, true}},
+		{"¬TC", notTCQuery, universe3(), [3]bool{false, false, true}},
+		{"QNT", qntQuery, []rel.Value{0, 1, 2, 3}, [3]bool{false, false, false}},
+	}
+	rep.rowf("%-14s %-6s %-11s %-11s", "query", "M", "Mdistinct", "Mdisjoint")
+	for _, c := range queries {
+		m, err := mono.IsMonotone(c.q, schemaE(), c.uni)
+		if err != nil {
+			return nil, err
+		}
+		dd, err := mono.IsDomainDistinctMonotone(c.q, schemaE(), c.uni)
+		if err != nil {
+			return nil, err
+		}
+		dj, err := mono.IsDomainDisjointMonotone(c.q, schemaE(), c.uni)
+		if err != nil {
+			return nil, err
+		}
+		rep.rowf("%-14s %-6v %-11v %-11v", c.name, m.Holds, dd.Holds, dj.Holds)
+		if m.Holds != c.want[0] || dd.Holds != c.want[1] || dj.Holds != c.want[2] {
+			rep.Pass = false
+		}
+	}
+	// Datalog fragments.
+	progs := []struct {
+		name, src, want string
+	}{
+		{"Datalog(≠) TC", "TC(x, y) :- E(x, y)\nTC(x, y) :- TC(x, z), E(z, y)", "M"},
+		{"SP open-triangle", "H(x, y, z) :- E(x, y), E(y, z), not E(z, x)", "Mdistinct"},
+		{"semicon ¬TC", "TC(x, y) :- E(x, y)\nTC(x, y) :- TC(x, z), TC(z, y)\nOUT(x, y) :- ADom(x), ADom(y), not TC(x, y)", "Mdisjoint"},
+		{"QNT program", "T(x, y, z) :- E(x, y), E(y, z), E(z, x), y != x, y != z, x != z\nS(x) :- ADom(x), T(u, v, w)\nOUT(x, y) :- E(x, y), not S(x)", ""},
+	}
+	for _, c := range progs {
+		p := datalog.MustParse(d, c.src)
+		got := datalog.Classify(p).MonotonicityClass()
+		rep.rowf("program %-18s → %q", c.name, got)
+		if got != c.want {
+			rep.Pass = false
+		}
+	}
+	return rep, nil
+}
+
+// CALM theorem (Theorem 5.3): the monotone strategy is
+// coordination-free; the naive strategy is unsound for non-monotone
+// queries; the coordinated one needs to read messages even on the
+// ideal distribution.
+func expCALM() (*Report, error) {
+	rep := &Report{
+		ID:    "CALM",
+		Title: "CALM theorem (Theorem 5.3): F0 = A0 = M",
+		Claim: "monotone queries run coordination-free by naive broadcast; non-monotone ones cannot",
+		Pass:  true,
+	}
+	d := rel.NewDict()
+	triQ := cq.MustParse(d, "H(x, y, z) :- E(x, y), E(y, z), E(z, x), x != y, y != z, z != x")
+	tri := func(i *rel.Instance) *rel.Instance { return cq.Output(triQ, i) }
+	openQ := cq.MustParse(d, "H(x, y, z) :- E(x, y), E(y, z), not E(z, x)")
+	open := func(i *rel.Instance) *rel.Instance { return cq.Output(openQ, i) }
+
+	g := workload.RandomGraph(10, 25, 5)
+	// Monotone: silent run on ideal distribution computes Q.
+	n := transducer.New(4, func() transducer.Program { return &transducer.MonotoneBroadcast{Q: tri} }, transducer.WithSeed(1))
+	n.LoadReplicated(g)
+	st := n.RunSilent()
+	okSilent := n.Output().Equal(tri(g)) && st.Delivered == 0
+	rep.rowf("monotone broadcast, silent ideal run: correct=%v delivered=%d", okSilent, st.Delivered)
+	if !okSilent {
+		rep.Pass = false
+	}
+	// Non-monotone with naive broadcast: some schedule is unsound.
+	closed := rel.MustInstance(d, "E(0,1)", "E(1,2)", "E(2,0)")
+	unsound := false
+	for seed := int64(0); seed < 20 && !unsound; seed++ {
+		nn := transducer.New(3, func() transducer.Program { return &transducer.MonotoneBroadcast{Q: open} }, transducer.WithSeed(seed))
+		parts := []*rel.Instance{
+			rel.MustInstance(d, "E(0,1)"),
+			rel.MustInstance(d, "E(1,2)"),
+			rel.MustInstance(d, "E(2,0)"),
+		}
+		if err := nn.LoadParts(parts); err != nil {
+			return nil, err
+		}
+		if _, err := nn.Run(); err != nil {
+			return nil, err
+		}
+		if !nn.Output().SubsetOf(open(closed)) {
+			unsound = true
+		}
+	}
+	rep.rowf("naive broadcast on open-triangle: unsound schedule found=%v", unsound)
+	if !unsound {
+		rep.Pass = false
+	}
+	// Coordinated: correct on all schedules, but blocked when silent.
+	// Use a graph with a nonempty open-triangle answer so "no output"
+	// is distinguishable from "done".
+	openGraph := rel.MustInstance(d, "E(5,6)", "E(6,7)")
+	nc := transducer.New(3, func() transducer.Program { return &transducer.Coordinated{Q: open} }, transducer.WithSeed(2))
+	nc.LoadReplicated(openGraph)
+	nc.RunSilent()
+	blocked := !nc.Output().Equal(open(openGraph))
+	rep.rowf("coordinated protocol, silent ideal run blocked=%v (needs message reads)", blocked)
+	if !blocked {
+		rep.Pass = false
+	}
+	return rep, nil
+}
+
+// Theorem 5.8: policy-aware networks compute Mdistinct queries
+// coordination-free (Example 5.4's open-triangle program).
+func expTheorem58() (*Report, error) {
+	rep := &Report{
+		ID:    "T58",
+		Title: "Theorem 5.8: F1 = A1 = Mdistinct (policy-aware, Example 5.4)",
+		Claim: "with a queryable distribution policy, open-triangle runs correctly on every schedule and coordination-free on the ideal distribution",
+		Pass:  true,
+	}
+	d := rel.NewDict()
+	openQ := cq.MustParse(d, "H(x, y, z) :- E(x, y), E(y, z), not E(z, x)")
+	open := func(i *rel.Instance) *rel.Instance { return cq.Output(openQ, i) }
+	g := workload.RandomGraph(9, 20, 11)
+	want := open(g)
+	p := 4
+	pol := &policy.Hash{Nodes: p}
+	allOK := true
+	for seed := int64(0); seed < 5; seed++ {
+		n := transducer.New(p, func() transducer.Program { return &transducer.OpenTriangle{} },
+			transducer.WithSeed(seed), transducer.WithPolicy(pol))
+		if err := n.LoadPolicy(g, pol); err != nil {
+			return nil, err
+		}
+		if _, err := n.Run(); err != nil {
+			return nil, err
+		}
+		if !n.Output().Equal(want) {
+			allOK = false
+		}
+	}
+	rep.rowf("open-triangle over hash policy, 5 schedules: all correct=%v (|Q(I)|=%d)", allOK, want.Len())
+	repl := &policy.Replicate{Nodes: p}
+	n := transducer.New(p, func() transducer.Program { return &transducer.OpenTriangle{} },
+		transducer.WithSeed(1), transducer.WithPolicy(repl))
+	n.LoadReplicated(g)
+	st := n.RunSilent()
+	silentOK := n.Output().Equal(want) && st.Delivered == 0
+	rep.rowf("silent ideal run: correct=%v", silentOK)
+	rep.Pass = allOK && silentOK
+	return rep, nil
+}
+
+// Theorem 5.12: domain-guided networks compute Mdisjoint queries
+// (¬TC) coordination-free.
+func expTheorem512() (*Report, error) {
+	rep := &Report{
+		ID:    "T512",
+		Title: "Theorem 5.12: F2 = A2 = Mdisjoint (domain-guided)",
+		Claim: "¬TC (outside Mdistinct) runs correctly on domain-guided networks, coordination-free on the ideal distribution",
+		Pass:  true,
+	}
+	g := workload.ComponentsGraph(3, 3)
+	want := notTCQuery(g)
+	p := 4
+	pol := &policy.DomainGuided{Nodes: p, DefaultWidth: 1}
+	allOK := true
+	var totalMsgs int
+	for seed := int64(0); seed < 5; seed++ {
+		n := transducer.New(p, func() transducer.Program { return &transducer.DisjointComplete{Q: notTCQuery} },
+			transducer.WithSeed(seed), transducer.WithPolicy(pol))
+		if err := n.LoadPolicy(g, pol); err != nil {
+			return nil, err
+		}
+		st, err := n.Run()
+		if err != nil {
+			return nil, err
+		}
+		totalMsgs = st.Sent
+		if !n.Output().Equal(want) {
+			allOK = false
+		}
+	}
+	rep.rowf("¬TC over domain-guided policy, 5 schedules: all correct=%v (|Q(I)|=%d, ~%d msgs/run)", allOK, want.Len(), totalMsgs)
+	repl := &policy.DomainGuided{Nodes: p, DefaultWidth: p}
+	n := transducer.New(p, func() transducer.Program { return &transducer.DisjointComplete{Q: notTCQuery} },
+		transducer.WithSeed(2), transducer.WithPolicy(repl))
+	n.LoadReplicated(g)
+	st := n.RunSilent()
+	silentOK := n.Output().Equal(want) && st.Delivered == 0
+	rep.rowf("silent ideal run: correct=%v", silentOK)
+	rep.Pass = allOK && silentOK
+	return rep, nil
+}
+
+// Win-move under well-founded semantics runs on domain-guided networks
+// (Zinn-Green-Ludäscher via Section 5.3).
+func expWinMove() (*Report, error) {
+	rep := &Report{
+		ID:    "WM",
+		Title: "win-move is coordination-free on domain-guided networks",
+		Claim: "semi-connected programs under well-founded semantics stay domain-disjoint-monotone; win-move distributes over components",
+		Pass:  true,
+	}
+	d := rel.NewDict()
+	prog := datalog.WinMoveProgram(d)
+	winQ := func(i *rel.Instance) *rel.Instance {
+		// The transducer state stores Move facts; evaluate WF win-move.
+		res, err := datalog.WellFounded(prog, i)
+		if err != nil {
+			return rel.NewInstance()
+		}
+		return res.True
+	}
+	// Game over two disjoint components.
+	moves := rel.MustInstance(d,
+		"Move(0,1)", "Move(1,2)", // chain: 1 won, 0 and 2 lost
+		"Move(10,11)", "Move(11,12)", "Move(12,13)", // longer chain
+	)
+	want := winQ(moves)
+	p := 3
+	pol := &policy.DomainGuided{Nodes: p, DefaultWidth: 1}
+	allOK := true
+	for seed := int64(0); seed < 5; seed++ {
+		n := transducer.New(p, func() transducer.Program { return &transducer.DisjointComplete{Q: winQ} },
+			transducer.WithSeed(seed), transducer.WithPolicy(pol))
+		if err := n.LoadPolicy(moves, pol); err != nil {
+			return nil, err
+		}
+		if _, err := n.Run(); err != nil {
+			return nil, err
+		}
+		if !n.Output().Equal(want) {
+			allOK = false
+		}
+	}
+	rep.rowf("win-move over domain-guided network, 5 schedules: all correct=%v (|Win|=%d)", allOK, want.Len())
+	// Win-move distributes over components (bounded check).
+	distOK, _ := mono.DistributesOverComponents(winQ, rel.Schema{"Move": 2}, universe3())
+	rep.rowf("distributes over components (bounded check): %v", distOK)
+	rep.Pass = allOK && distOK
+	return rep, nil
+}
+
+// Ketsman-Neven economical broadcasting: ship only query-relevant
+// facts.
+func expBroadcast() (*Report, error) {
+	rep := &Report{
+		ID:    "BCAST",
+		Title: "economical broadcasting (Ketsman-Neven, Section 6)",
+		Claim: "transmitting only the facts that can join reduces communication without changing the answer",
+		Pass:  true,
+	}
+	d := rel.NewDict()
+	triQ := cq.MustParse(d, "H(x, y, z) :- E(x, y), E(y, z), E(z, x), x != y, y != z, z != x")
+	tri := func(i *rel.Instance) *rel.Instance { return cq.Output(triQ, i) }
+	g := workload.RandomGraph(10, 24, 13)
+	ballast := workload.Zipf("Noise", 300, 50, 1.2, 1)
+	full := g.Union(ballast)
+	want := tri(full)
+	pol := &policy.Hash{Nodes: 3}
+	run := func(mk func() transducer.Program) (transducer.Stats, bool, error) {
+		n := transducer.New(3, mk, transducer.WithSeed(4))
+		if err := n.LoadParts(policy.Distribute(pol, full)); err != nil {
+			return transducer.Stats{}, false, err
+		}
+		st, err := n.Run()
+		if err != nil {
+			return transducer.Stats{}, false, err
+		}
+		return st, n.Output().Equal(want), nil
+	}
+	stN, okN, err := run(func() transducer.Program { return &transducer.MonotoneBroadcast{Q: tri} })
+	if err != nil {
+		return nil, err
+	}
+	stE, okE, err := run(func() transducer.Program {
+		return &transducer.EconomicalBroadcast{Q: tri, Matches: func(f rel.Fact) bool { return f.Rel == "E" }}
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.rowf("naive broadcast:      sent=%d correct=%v", stN.Sent, okN)
+	rep.rowf("economical broadcast: sent=%d correct=%v", stE.Sent, okE)
+	rep.Pass = okN && okE && stE.Sent < stN.Sent
+	return rep, nil
+}
+
+// notTCQuery is Q¬TC over adom(I).
+func notTCQuery(i *rel.Instance) *rel.Instance {
+	reach := map[[2]rel.Value]bool{}
+	adom := i.ADom().Sorted()
+	if e := i.Relation("E"); e != nil {
+		e.Each(func(t rel.Tuple) bool {
+			reach[[2]rel.Value{t[0], t[1]}] = true
+			return true
+		})
+	}
+	for changed := true; changed; {
+		changed = false
+		for ab := range reach {
+			for _, c := range adom {
+				if reach[[2]rel.Value{ab[1], c}] && !reach[[2]rel.Value{ab[0], c}] {
+					reach[[2]rel.Value{ab[0], c}] = true
+					changed = true
+				}
+			}
+		}
+	}
+	out := rel.NewInstance()
+	for _, a := range adom {
+		for _, b := range adom {
+			if !reach[[2]rel.Value{a, b}] {
+				out.Add(rel.NewFact("NTC", a, b))
+			}
+		}
+	}
+	return out
+}
+
+// qntQuery returns E when the graph has no 3-node triangle, else ∅.
+func qntQuery(i *rel.Instance) *rel.Instance {
+	e := i.Relation("E")
+	out := rel.NewInstance()
+	if e == nil {
+		return out
+	}
+	hasTri := false
+	e.Each(func(t1 rel.Tuple) bool {
+		e.Each(func(t2 rel.Tuple) bool {
+			if t1[1] != t2[0] {
+				return true
+			}
+			if e.Contains(rel.Tuple{t2[1], t1[0]}) &&
+				t1[0] != t1[1] && t2[0] != t2[1] && t2[1] != t1[0] {
+				hasTri = true
+				return false
+			}
+			return true
+		})
+		return !hasTri
+	})
+	if hasTri {
+		return out
+	}
+	e.Each(func(t rel.Tuple) bool {
+		out.Add(rel.Fact{Rel: "E", Tuple: t})
+		return true
+	})
+	return out
+}

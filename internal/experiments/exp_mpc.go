@@ -1,0 +1,449 @@
+package experiments
+
+import (
+	"math"
+
+	"mpclogic/internal/cq"
+	"mpclogic/internal/gym"
+	"mpclogic/internal/hypercube"
+	"mpclogic/internal/mapreduce"
+	"mpclogic/internal/mpc"
+	"mpclogic/internal/rel"
+	"mpclogic/internal/workload"
+)
+
+// Experiments for the synchronous half of the paper (Section 3):
+// single-round load shapes, HyperCube's τ*-driven bound, skew, and the
+// multi-round algorithms.
+
+func init() {
+	register("E31a-repartition", expRepartition)
+	register("E31b-grouping", expGrouping)
+	register("E31c-cascade", expCascade)
+	register("E32-hypercube", expHyperCube)
+	register("SHARES-exponents", expShares)
+	register("SKEW-rounds", expSkewRounds)
+	register("GYM-intermediates", expGYM)
+	register("MR-transitive-closure", expMapReduceTC)
+}
+
+func loadOnly(r mpc.Round) mpc.Round {
+	r.Compute = nil
+	return r
+}
+
+func runLoad(p int, inst *rel.Instance, r mpc.Round) (int, error) {
+	c := mpc.NewCluster(p)
+	c.LoadRoundRobin(inst)
+	if err := c.Run(loadOnly(r)); err != nil {
+		return 0, err
+	}
+	return c.MaxLoad(), nil
+}
+
+// Example 3.1(1a): repartition join load — m/p without skew, Θ(m)
+// with a heavy hitter.
+func expRepartition() (*Report, error) {
+	rep := &Report{
+		ID:    "E31a",
+		Title: "repartition join load (Example 3.1(1a))",
+		Claim: "max load O(m/p) without skew; not resilient to skew (→ Θ(m))",
+		Pass:  true,
+	}
+	d := rel.NewDict()
+	q := cq.MustParse(d, "H(x, y, z) :- R(x, y), S(y, z)")
+	p := 16
+	rep.rowf("%-8s %-10s %-12s %-10s %-12s", "m", "skew-free", "2m/p ref", "skewed50", "m ref")
+	for _, m := range []int{4000, 8000, 16000} {
+		r, err := hypercube.RepartitionJoin(q, p, 7)
+		if err != nil {
+			return nil, err
+		}
+		free, err := runLoad(p, workload.JoinSkewFree(m), r)
+		if err != nil {
+			return nil, err
+		}
+		skewed, err := runLoad(p, workload.JoinSkewed(m, 0.5), r)
+		if err != nil {
+			return nil, err
+		}
+		rep.rowf("%-8d %-10d %-12d %-10d %-12d", m, free, 2*m/p, skewed, m)
+		if free > 2*(2*m/p) || skewed < m {
+			rep.Pass = false
+		}
+	}
+	return rep, nil
+}
+
+// Example 3.1(1b): grouping join load — m/√p regardless of skew.
+func expGrouping() (*Report, error) {
+	rep := &Report{
+		ID:    "E31b",
+		Title: "grouping join load (Example 3.1(1b), Ullman's drug interaction)",
+		Claim: "max load O(m/√p) independent of skew",
+		Pass:  true,
+	}
+	d := rel.NewDict()
+	q := cq.MustParse(d, "H(x, y, z) :- R(x, y), S(y, z)")
+	p := 16
+	ref := func(m int) int { return 2 * m / int(math.Sqrt(float64(p))) }
+	rep.rowf("%-8s %-10s %-10s %-12s", "m", "skew-free", "skewed50", "2m/√p ref")
+	for _, m := range []int{4000, 8000, 16000} {
+		r, err := hypercube.GroupingJoin(q, p, 7)
+		if err != nil {
+			return nil, err
+		}
+		free, err := runLoad(p, workload.JoinSkewFree(m), r)
+		if err != nil {
+			return nil, err
+		}
+		skewed, err := runLoad(p, workload.JoinSkewed(m, 0.5), r)
+		if err != nil {
+			return nil, err
+		}
+		rep.rowf("%-8d %-10d %-10d %-12d", m, free, skewed, ref(m))
+		// Both regimes within 1.5× of the reference: skew-independent.
+		if float64(free) > 1.5*float64(ref(m)) || float64(skewed) > 1.5*float64(ref(m)) {
+			rep.Pass = false
+		}
+	}
+	return rep, nil
+}
+
+// Example 3.1(2): two-round cascaded triangle — correct, but ships the
+// intermediate join result, unlike the one-round HyperCube.
+func expCascade() (*Report, error) {
+	rep := &Report{
+		ID:    "E31c",
+		Title: "two-round cascaded triangle vs one-round HyperCube (Example 3.1(2))",
+		Claim: "the cascade needs 2 rounds and ships the intermediate K = R⋈S; HyperCube does one round",
+		Pass:  true,
+	}
+	d := rel.NewDict()
+	q := cq.MustParse(d, "H(x, y, z) :- R(x, y), S(y, z), T(z, x)")
+	m, p := 5000, 64
+	inst := workload.TriangleSkewFree(m)
+	want := cq.Output(q, inst)
+
+	cc, out, err := gym.CascadeTriangle(p, inst, 3)
+	if err != nil {
+		return nil, err
+	}
+	if !out.Filter(func(f rel.Fact) bool { return f.Rel == "H" }).Equal(want) {
+		rep.Pass = false
+		rep.rowf("cascade output WRONG")
+	}
+	g, err := hypercube.NewOptimalGrid(q, p, 3)
+	if err != nil {
+		return nil, err
+	}
+	hc := mpc.NewCluster(g.P())
+	hc.LoadRoundRobin(inst)
+	if err := hc.Run(hypercube.HyperCubeRound(g)); err != nil {
+		return nil, err
+	}
+	if !hc.Output().Equal(want) {
+		rep.Pass = false
+		rep.rowf("hypercube output WRONG")
+	}
+	rep.rowf("cascade:   rounds=%d totalComm=%d maxLoad=%d", cc.Rounds(), cc.TotalComm(), cc.MaxLoad())
+	rep.rowf("hypercube: rounds=%d totalComm=%d maxLoad=%d", hc.Rounds(), hc.TotalComm(), hc.MaxLoad())
+	if cc.Rounds() != 2 || hc.Rounds() != 1 {
+		rep.Pass = false
+	}
+	return rep, nil
+}
+
+// Example 3.2 / BKS: HyperCube triangle load tracks 3m/p^{2/3} on
+// skew-free data as p grows.
+func expHyperCube() (*Report, error) {
+	rep := &Report{
+		ID:    "E32",
+		Title: "HyperCube triangle load (Example 3.2, Beame-Koutris-Suciu)",
+		Claim: "max load O(m/p^{2/3}) on skew-free data; τ* = 3/2",
+		Pass:  true,
+	}
+	d := rel.NewDict()
+	q := cq.MustParse(d, "H(x, y, z) :- R(x, y), S(y, z), T(z, x)")
+	m := 8000
+	inst := workload.TriangleSkewFree(m)
+	rep.rowf("%-6s %-10s %-14s %-8s", "p", "maxLoad", "3m/p^{2/3}", "ratio")
+	for _, p := range []int{8, 27, 64, 125} {
+		g, err := hypercube.NewOptimalGrid(q, p, 11)
+		if err != nil {
+			return nil, err
+		}
+		load, err := runLoad(g.P(), inst, hypercube.HyperCubeRound(g))
+		if err != nil {
+			return nil, err
+		}
+		ref := 3 * float64(m) / math.Pow(float64(p), 2.0/3.0)
+		ratio := float64(load) / ref
+		rep.rowf("%-6d %-10d %-14.0f %-8.2f", p, load, ref, ratio)
+		if ratio > 2.0 || ratio < 0.3 {
+			rep.Pass = false
+		}
+	}
+	return rep, nil
+}
+
+// Shares exponents for a query zoo match 1/τ* (LP duality).
+func expShares() (*Report, error) {
+	rep := &Report{
+		ID:    "SHARES",
+		Title: "optimal share exponents vs fractional edge packing",
+		Claim: "the share LP optimum t equals 1/τ*; triangle shares are p^{1/3} each",
+		Pass:  true,
+	}
+	d := rel.NewDict()
+	zoo := []string{
+		"H(x, y, z) :- R(x, y), S(y, z), T(z, x)",
+		"H(x, y, z) :- R(x, y), S(y, z)",
+		"H(x, y, z, w) :- R(x, y), S(y, z), T(z, w), U(w, x)",
+		"H(x, a, b, c) :- R(x, a), S(x, b), T(x, c)",
+	}
+	rep.rowf("%-55s %-6s %-8s", "query", "τ*", "t=1/τ*")
+	for _, src := range zoo {
+		q := cq.MustParse(d, src)
+		pack, err := cq.FractionalEdgePacking(q)
+		if err != nil {
+			return nil, err
+		}
+		_, tval, err := cq.ShareExponents(q)
+		if err != nil {
+			return nil, err
+		}
+		rep.rowf("%-55s %-6.2f %-8.3f", src, pack.Value, tval)
+		if math.Abs(tval-1/pack.Value) > 1e-6 {
+			rep.Pass = false
+		}
+	}
+	shares, _, err := hypercube.OptimalShares(cq.MustParse(d, zoo[0]), 64)
+	if err != nil {
+		return nil, err
+	}
+	rep.rowf("triangle integer shares at p=64: %v", shares)
+	for _, s := range shares {
+		if s != 4 {
+			rep.Pass = false
+		}
+	}
+	return rep, nil
+}
+
+// Section 3.2: under skew one round is stuck at ~m/√p while two rounds
+// recover a lower load.
+func expSkewRounds() (*Report, error) {
+	rep := &Report{
+		ID:    "SKEW",
+		Title: "skewed triangle: one round vs two rounds (Section 3.2)",
+		Claim: "one-round load is provably ≥ m/√p under skew; two rounds recover the skew-free exponent",
+		Pass:  true,
+	}
+	d := rel.NewDict()
+	q := cq.MustParse(d, "H(x, y, z) :- R(x, y), S(y, z), T(z, x)")
+	m := 20000
+	inst := workload.TriangleSkewed(m, 0.5)
+	heavy := rel.NewValueSet(workload.HeavyHitters(inst, "R", 1, m/16)...)
+	rep.rowf("%-6s %-14s %-14s %-12s %-12s", "p", "1-round load", "2-round load", "m/√p", "3m/p^{2/3}")
+	for _, p := range []int{64, 256} {
+		g, err := hypercube.NewOptimalGrid(q, p, 5)
+		if err != nil {
+			return nil, err
+		}
+		one, err := runLoad(g.P(), inst, hypercube.HyperCubeRound(g))
+		if err != nil {
+			return nil, err
+		}
+		c2, _, err := gym.SkewTriangleTwoRound(p, inst, heavy, 5, g)
+		if err != nil {
+			return nil, err
+		}
+		two := c2.MaxLoad()
+		sq := float64(m) / math.Sqrt(float64(p))
+		cube := 3 * float64(m) / math.Pow(float64(p), 2.0/3.0)
+		rep.rowf("%-6d %-14d %-14d %-12.0f %-12.0f", p, one, two, sq, cube)
+		if two >= one {
+			rep.Pass = false
+		}
+	}
+	return rep, nil
+}
+
+// GYM / Yannakakis: intermediates bounded, cascade blows up;
+// distributed Yannakakis trades rounds for communication.
+func expGYM() (*Report, error) {
+	rep := &Report{
+		ID:    "GYM",
+		Title: "Yannakakis vs cascade intermediates; GYM rounds (Section 3.2)",
+		Claim: "semijoin reduction keeps intermediates at output scale; cascades can blow up; GYM pays rounds for that",
+		Pass:  true,
+	}
+	d := rel.NewDict()
+	q := cq.MustParse(d, "H(a, dd) :- R0(a, b), R1(b, c), R2(c, dd)")
+	// Hub data: big fan product, small final output.
+	inst := rel.NewInstance()
+	hub := rel.Value(1 << 30)
+	for i := 0; i < 300; i++ {
+		inst.Add(rel.NewFact("R0", rel.Value(i), hub))
+		inst.Add(rel.NewFact("R1", hub, rel.Value(10000+i)))
+	}
+	for j := 0; j < 10; j++ {
+		inst.Add(rel.NewFact("R2", rel.Value(10000+j), rel.Value(20000+j)))
+	}
+	outY, stY, err := gym.Yannakakis(q, inst)
+	if err != nil {
+		return nil, err
+	}
+	_, stC, err := gym.CascadeJoin(q, inst)
+	if err != nil {
+		return nil, err
+	}
+	rep.rowf("output size:            %d", outY.Len())
+	rep.rowf("yannakakis max interm.: %d", stY.MaxIntermediate)
+	rep.rowf("cascade max interm.:    %d", stC.MaxIntermediate)
+	if stY.MaxIntermediate > 2*outY.Len() || stC.MaxIntermediate < 10*stY.MaxIntermediate {
+		rep.Pass = false
+	}
+	c, got, err := gym.DistributedYannakakis(q, 8, inst, 3)
+	if err != nil {
+		return nil, err
+	}
+	want := cq.Output(q, inst)
+	if !got.Equal(want) {
+		rep.Pass = false
+		rep.rowf("distributed yannakakis WRONG")
+	}
+	rep.rowf("distributed yannakakis: rounds=%d totalComm=%d", c.Rounds(), c.TotalComm())
+	tri := cq.MustParse(d, "H(x, y, z) :- R(x, y), S(y, z), T(z, x)")
+	triInst := workload.TriangleSkewFree(500)
+	cg, gotTri, dec, err := gym.GYM(tri, 16, triInst, 5)
+	if err != nil {
+		return nil, err
+	}
+	if !gotTri.Equal(cq.Output(tri, triInst)) {
+		rep.Pass = false
+		rep.rowf("GYM triangle WRONG")
+	}
+	rep.rowf("GYM triangle: bags=%d width=%d rounds=%d totalComm=%d",
+		len(dec.Bags), dec.Width(), cg.Rounds(), cg.TotalComm())
+	return rep, nil
+}
+
+// MapReduce transitive closure: linear vs doubling round counts.
+func expMapReduceTC() (*Report, error) {
+	rep := &Report{
+		ID:    "MR",
+		Title: "transitive closure in MapReduce (Afrati-Ullman, Section 3.2)",
+		Claim: "MapReduce programs are MPC algorithms; nonlinear doubling needs O(log n) jobs vs Θ(n) for the linear plan",
+		Pass:  true,
+	}
+	n := 64
+	g := workload.PathGraph(n)
+	lin, err := mapreduce.TransitiveClosure(8, g, "E", false)
+	if err != nil {
+		return nil, err
+	}
+	dbl, err := mapreduce.TransitiveClosure(8, g, "E", true)
+	if err != nil {
+		return nil, err
+	}
+	if !lin.Closure.Equal(dbl.Closure) {
+		rep.Pass = false
+		rep.rowf("closures DIFFER")
+	}
+	rep.rowf("path length n=%d, closure size=%d", n, lin.Closure.Len())
+	rep.rowf("linear plan:   %d jobs", lin.Rounds)
+	rep.rowf("doubling plan: %d jobs (⌈log₂ n⌉+1 = %d)", dbl.Rounds, int(math.Ceil(math.Log2(float64(n))))+1)
+	if dbl.Rounds >= lin.Rounds || dbl.Rounds > int(math.Ceil(math.Log2(float64(n))))+2 {
+		rep.Pass = false
+	}
+	return rep, nil
+}
+
+// Das Sarma-Afrati-Salihoglu-Ullman [27]: there is a trade-off between
+// the replication rate and the reducer size — shrinking the per-server
+// load forces more total communication. For the triangle with shares
+// p^{1/3}, the replication rate is p^{1/3}.
+func init() {
+	register("TRADEOFF-replication", expReplicationTradeoff)
+}
+
+func expReplicationTradeoff() (*Report, error) {
+	rep := &Report{
+		ID:    "TRADEOFF",
+		Title: "replication rate vs reducer size (Das Sarma et al., Section 3.1)",
+		Claim: "halving the reducer size (load) costs a higher replication rate; for the triangle the rate is p^{1/3}",
+		Pass:  true,
+	}
+	d := rel.NewDict()
+	q := cq.MustParse(d, "H(x, y, z) :- R(x, y), S(y, z), T(z, x)")
+	m := 8000
+	inst := workload.TriangleSkewFree(m)
+	input := inst.Len()
+	rep.rowf("%-6s %-12s %-14s %-10s", "p", "reducer size", "replication", "p^{1/3}")
+	prevLoad, prevRate := 1<<30, 0.0
+	for _, p := range []int{8, 64, 512} {
+		g, err := hypercube.NewOptimalGrid(q, p, 11)
+		if err != nil {
+			return nil, err
+		}
+		c := mpc.NewCluster(g.P())
+		c.LoadRoundRobin(inst)
+		round := hypercube.HyperCubeRound(g)
+		round.Compute = nil
+		if err := c.Run(round); err != nil {
+			return nil, err
+		}
+		rate := float64(c.TotalComm()) / float64(input)
+		rep.rowf("%-6d %-12d %-14.2f %-10.2f", p, c.MaxLoad(), rate, math.Cbrt(float64(p)))
+		if c.MaxLoad() >= prevLoad || rate <= prevRate {
+			rep.Pass = false // the trade-off must be monotone both ways
+		}
+		if rate > 1.2*math.Cbrt(float64(p)) {
+			rep.Pass = false
+		}
+		prevLoad, prevRate = c.MaxLoad(), rate
+	}
+	return rep, nil
+}
+
+// Beame-Koutris-Suciu's multi-round bounds: tree-like conjunctive
+// queries on matching databases (every value occurs at most once per
+// relation) are computable with load O(m/p) in a number of rounds
+// governed by the join-tree depth — the near-matching upper bound the
+// paper quotes at the end of Section 3.2.
+func init() {
+	register("MATCHING-multiround", expMatchingMultiround)
+}
+
+func expMatchingMultiround() (*Report, error) {
+	rep := &Report{
+		ID:    "MATCHING",
+		Title: "tree-like queries on matching databases (Section 3.2, multi-round bounds)",
+		Claim: "on matching databases, multi-round (Yannakakis-style) evaluation of tree-like queries runs at load O(m/p) per round",
+		Pass:  true,
+	}
+	d := rel.NewDict()
+	q := cq.MustParse(d, "H(a, dd) :- R0(a, b), R1(b, c), R2(c, dd)")
+	m := 12000
+	inst, _ := workload.AcyclicChain(3, m, 0, 1) // matching database: 1:1 everywhere
+	rep.rowf("%-6s %-12s %-12s", "p", "max load", "3m/p ref")
+	for _, p := range []int{8, 32, 128} {
+		c, out, err := gym.DistributedYannakakis(q, p, inst, 5)
+		if err != nil {
+			return nil, err
+		}
+		if out.Len() != m {
+			rep.Pass = false
+			rep.rowf("WRONG output size %d at p=%d", out.Len(), p)
+		}
+		ref := 3 * m / p
+		rep.rowf("%-6d %-12d %-12d", p, c.MaxLoad(), ref)
+		// Within a small constant of m/p per relation shipped per round.
+		if float64(c.MaxLoad()) > 2.0*float64(ref) {
+			rep.Pass = false
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,241 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"mpclogic/internal/cq"
+	"mpclogic/internal/pc"
+	"mpclogic/internal/policy"
+	"mpclogic/internal/rel"
+)
+
+// Experiments for Section 4: parallel-correctness, Figure 1, and the
+// complexity shadows of Theorems 4.8/4.9/4.14.
+
+func init() {
+	register("F1-transfer-vs-containment", expFigure1)
+	register("E41-distributed-eval", expExample41)
+	register("E43-pc0-vs-pc1", expExample43)
+	register("T48-pc-complexity", expPCComplexity)
+	register("CQNEG-soundness-completeness", expCQNeg)
+}
+
+// Figure 1: the 4×4 transfer and containment matrices over Q1–Q4 of
+// Example 4.11 are orthogonal.
+func expFigure1() (*Report, error) {
+	rep := &Report{
+		ID:    "F1",
+		Title: "Figure 1: parallel-correctness transfer vs containment (Example 4.11)",
+		Claim: "transfer and containment are orthogonal: all four (transfer, containment) combinations occur",
+		Pass:  true,
+	}
+	d := rel.NewDict()
+	qs := []*cq.CQ{
+		cq.MustParse(d, "H() :- S(x), R(x, x), T(x)"),
+		cq.MustParse(d, "H() :- R(x, x), T(x)"),
+		cq.MustParse(d, "H() :- S(x), R(x, y), T(y)"),
+		cq.MustParse(d, "H() :- R(x, y), T(y)"),
+	}
+	names := []string{"Q1", "Q2", "Q3", "Q4"}
+	rep.rowf("%-10s %-16s %-14s", "pair", "pc-transfer", "containment")
+	combos := map[[2]bool]bool{}
+	for i, qi := range qs {
+		for j, qj := range qs {
+			if i == j {
+				continue
+			}
+			tr, _, err := pc.Transfers(qi, qj)
+			if err != nil {
+				return nil, err
+			}
+			cn, err := cq.Contained(qi, qj)
+			if err != nil {
+				return nil, err
+			}
+			rep.rowf("%s→%s      %-16v %-14v", names[i], names[j], tr, cn)
+			combos[[2]bool{tr, cn}] = true
+		}
+	}
+	if len(combos) != 4 {
+		rep.Pass = false
+	}
+	return rep, nil
+}
+
+// Example 4.1: the distributed one-round evaluation under P1 and P2.
+func expExample41() (*Report, error) {
+	rep := &Report{
+		ID:    "E41",
+		Title: "Example 4.1: one-round distributed evaluation [Q,P](I)",
+		Claim: "under P1 the result equals Qe(Ie) = {H(a,a), H(a,c)} (the paper's {H(a,b)} is a typo for {H(a,a)}); under P2 it is empty",
+		Pass:  true,
+	}
+	d := rel.NewDict()
+	qe := cq.MustParse(d, "H(x1, x3) :- R(x1, x2), R(x2, x3), S(x3, x1)")
+	ie := rel.MustInstance(d, "R(a,b)", "R(b,a)", "R(b,c)", "S(a,a)", "S(c,a)")
+	p1 := &policy.Func{
+		Nodes: 2,
+		Resp: func(κ policy.Node, f rel.Fact) bool {
+			if f.Rel == "R" {
+				return true
+			}
+			if f.Tuple[0] == f.Tuple[1] {
+				return κ == 0
+			}
+			return κ == 1
+		},
+	}
+	p2 := &policy.Func{
+		Nodes: 2,
+		Resp: func(κ policy.Node, f rel.Fact) bool {
+			if f.Rel == "R" {
+				return κ == 0
+			}
+			return κ == 1
+		},
+	}
+	full := cq.Output(qe, ie)
+	under1 := pc.DistributedEval(qe, p1, ie)
+	under2 := pc.DistributedEval(qe, p2, ie)
+	rep.rowf("Qe(Ie)      = %s", full.StringWith(d))
+	rep.rowf("[Qe,P1](Ie) = %s", under1.StringWith(d))
+	rep.rowf("[Qe,P2](Ie) = %s", under2.StringWith(d))
+	if !under1.Equal(full) || under2.Len() != 0 {
+		rep.Pass = false
+	}
+	return rep, nil
+}
+
+// Example 4.3: (PC0) fails, (PC1) holds, and the query is
+// parallel-correct (Proposition 4.6 in action).
+func expExample43() (*Report, error) {
+	rep := &Report{
+		ID:    "E43",
+		Title: "Example 4.3: PC0 insufficient, PC1 characterizes (Prop. 4.6)",
+		Claim: "the 2-node policy separating R(a,b) and R(b,a) violates PC0 yet Q is parallel-correct",
+		Pass:  true,
+	}
+	d := rel.NewDict()
+	q := cq.MustParse(d, "H(x, z) :- R(x, y), R(y, z), R(x, x)")
+	ab := rel.MustFact(d, "R(a,b)")
+	ba := rel.MustFact(d, "R(b,a)")
+	pol := &policy.Func{
+		Nodes: 2,
+		Resp: func(κ policy.Node, f rel.Fact) bool {
+			if κ == 0 {
+				return !f.Equal(ab)
+			}
+			return !f.Equal(ba)
+		},
+		Univ: d.Values("a", "b"),
+	}
+	strong, w0, err := pc.StronglySaturates(q, pol, nil)
+	if err != nil {
+		return nil, err
+	}
+	sat, _, err := pc.Saturates(q, pol, nil)
+	if err != nil {
+		return nil, err
+	}
+	rep.rowf("PC0 (strong saturation): %v  (witness: %v)", strong, w0)
+	rep.rowf("PC1 (saturation):        %v", sat)
+	if strong || !sat {
+		rep.Pass = false
+	}
+	return rep, nil
+}
+
+// Theorem 4.8's complexity shadow: the exact PC decision scales
+// exponentially in query/universe size (the problem is Πᵖ₂-complete).
+func expPCComplexity() (*Report, error) {
+	rep := &Report{
+		ID:    "T48",
+		Title: "parallel-correctness decision cost (Theorem 4.8: Πᵖ₂-complete)",
+		Claim: "decision time grows exponentially with universe size and query arity",
+		Pass:  true,
+	}
+	d := rel.NewDict()
+	q := cq.MustParse(d, "H(x, z) :- R(x, y), R(y, z), R(x, x)")
+	rep.rowf("%-12s %-14s", "|universe|", "decision time")
+	var times []time.Duration
+	for _, n := range []int{2, 4, 8} {
+		u := make([]rel.Value, n)
+		for i := range u {
+			u[i] = rel.Value(i)
+		}
+		// Replication saturates every query, so the decision must scan
+		// every minimal valuation — the full Πᵖ₂-shaped search.
+		pol := &policy.Replicate{Nodes: 2}
+		const reps = 5
+		startT := time.Now()
+		for k := 0; k < reps; k++ {
+			ok, _, err := pc.Saturates(q, pol, u)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return nil, fmt.Errorf("replication failed to saturate")
+			}
+		}
+		el := time.Since(startT) / reps
+		times = append(times, el)
+		rep.rowf("%-12d %-14s", n, el.Round(time.Microsecond))
+	}
+	// Exponential growth: quadrupling the universe must cost far more
+	// than 4×.
+	if times[2] < 8*times[0] {
+		rep.Pass = false
+	}
+	return rep, nil
+}
+
+// Theorem 4.9 territory: CQ¬ correctness splits into soundness and
+// completeness, each independently violable.
+func expCQNeg() (*Report, error) {
+	rep := &Report{
+		ID:    "CQNEG",
+		Title: "CQ¬ parallel-correctness = soundness ∧ completeness (Theorem 4.9)",
+		Claim: "for non-monotone queries, distribution can create spurious facts (unsoundness) or lose facts (incompleteness)",
+		Pass:  true,
+	}
+	d := rel.NewDict()
+	q := cq.MustParse(d, "H(x) :- R(x), not S(x)")
+	loseS := &policy.Func{Nodes: 2, Resp: func(_ policy.Node, f rel.Fact) bool { return f.Rel == "R" }}
+	loseR := &policy.Func{Nodes: 2, Resp: func(_ policy.Node, f rel.Fact) bool { return f.Rel == "S" }}
+	repl := &policy.Replicate{Nodes: 2}
+
+	r1, err := pc.ParallelCorrectNegBounded(q, loseS, 2)
+	if err != nil {
+		return nil, err
+	}
+	r2, err := pc.ParallelCorrectNegBounded(q, loseR, 2)
+	if err != nil {
+		return nil, err
+	}
+	r3, err := pc.ParallelCorrectNegBounded(q, repl, 2)
+	if err != nil {
+		return nil, err
+	}
+	rep.rowf("policy 'drop S':   %v  (S invisible → spurious H)", r1)
+	rep.rowf("policy 'drop R':   %v  (R lost → missing H)", r2)
+	rep.rowf("full replication:  %v", r3)
+	if r1.Sound || !r2.Sound || r2.Complete || !r3.Correct() {
+		rep.Pass = false
+	}
+	// Containment for CQ¬ via bounded counterexample search.
+	qp := cq.MustParse(d, "H(x) :- R(x)")
+	ok1, _, err := cq.ContainedNegBounded(q, qp, 2)
+	if err != nil {
+		return nil, err
+	}
+	ok2, wit, err := cq.ContainedNegBounded(qp, q, 2)
+	if err != nil {
+		return nil, err
+	}
+	rep.rowf("R∧¬S ⊆ R: %v;  R ⊆ R∧¬S: %v (witness %v)", ok1, ok2, wit)
+	if !ok1 || ok2 {
+		rep.Pass = false
+	}
+	return rep, nil
+}

@@ -1,0 +1,84 @@
+// Package experiments regenerates every checkable artifact of the
+// paper — both figures, all numbered examples, and the quantitative
+// load-bound claims of Sections 3–5 — as self-verifying experiments.
+// Each experiment prints the paper's claim next to what this
+// implementation measures and judges whether the claim's *shape*
+// holds. The cmd/experiments binary runs them; EXPERIMENTS.md records
+// their output.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Report is one experiment's outcome.
+type Report struct {
+	ID    string
+	Title string
+	Claim string // what the paper asserts
+	Rows  []string
+	Pass  bool
+}
+
+func (r *Report) String() string {
+	status := "PASS"
+	if !r.Pass {
+		status = "FAIL"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s [%s]\n", r.ID, r.Title, status)
+	fmt.Fprintf(&b, "   paper: %s\n", r.Claim)
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "   %s\n", row)
+	}
+	return b.String()
+}
+
+func (r *Report) rowf(format string, args ...any) {
+	r.Rows = append(r.Rows, fmt.Sprintf(format, args...))
+}
+
+// Experiment is a named, runnable reproduction unit.
+type Experiment struct {
+	ID  string
+	Run func() (*Report, error)
+}
+
+var registry []Experiment
+
+func register(id string, run func() (*Report, error)) {
+	registry = append(registry, Experiment{ID: id, Run: run})
+}
+
+// All returns the registered experiments sorted by ID.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID returns one experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// RunAll executes every experiment and returns the reports in ID
+// order; execution continues past failures.
+func RunAll() ([]*Report, error) {
+	var out []*Report
+	for _, e := range All() {
+		rep, err := e.Run()
+		if err != nil {
+			return out, fmt.Errorf("experiment %s: %w", e.ID, err)
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}

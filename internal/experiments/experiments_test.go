@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every registered experiment must run and PASS: the experiments are
+// the repository's executable claims about the paper.
+func TestAllExperimentsPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow; skipped with -short")
+	}
+	exps := All()
+	if len(exps) < 12 {
+		t.Fatalf("only %d experiments registered", len(exps))
+	}
+	for _, e := range exps {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			rep, err := e.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Pass {
+				t.Errorf("experiment failed:\n%s", rep)
+			}
+			if rep.Claim == "" || len(rep.Rows) == 0 {
+				t.Errorf("report incomplete: %+v", rep)
+			}
+			if !strings.Contains(rep.String(), rep.ID) {
+				t.Errorf("report rendering broken")
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("F1-transfer-vs-containment"); !ok {
+		t.Errorf("F1 not registered")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Errorf("phantom experiment found")
+	}
+}

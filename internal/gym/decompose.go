@@ -1,0 +1,135 @@
+package gym
+
+import (
+	"fmt"
+
+	"mpclogic/internal/cq"
+)
+
+// Decomposition is a (generalized hypertree-style) decomposition of a
+// query body into bags of atoms whose bag hypergraph is acyclic. GYM
+// evaluates each bag with the Shares/HyperCube algorithm and runs
+// Yannakakis over the bag tree; the bag tree's shape controls the
+// trade-off between rounds and communication the paper highlights.
+type Decomposition struct {
+	Query *cq.CQ
+	Bags  [][]int      // atom indices per bag
+	Tree  *cq.JoinTree // join tree over the synthetic bag atoms
+	// BagQueries holds, per bag, the conjunctive query computing the
+	// bag relation: head B<i>(vars of bag), body = member atoms.
+	BagQueries []*cq.CQ
+}
+
+// Width returns the maximum number of atoms in a bag.
+func (d *Decomposition) Width() int {
+	w := 0
+	for _, b := range d.Bags {
+		if len(b) > w {
+			w = len(b)
+		}
+	}
+	return w
+}
+
+// Decompose greedily builds a decomposition: it starts with one bag
+// per atom and, while the bag hypergraph is cyclic, merges the two
+// bags sharing the most variables. For acyclic queries it returns the
+// trivial decomposition (one atom per bag); for the triangle it
+// produces two bags ({R,S} and {T}).
+func Decompose(q *cq.CQ) (*Decomposition, error) {
+	if q.HasNegation() {
+		return nil, fmt.Errorf("gym: decomposition for pure CQs only")
+	}
+	bags := make([][]int, len(q.Body))
+	for i := range q.Body {
+		bags[i] = []int{i}
+	}
+	for {
+		synth := synthQuery(q, bags)
+		if jt, ok := cq.GYO(synth); ok {
+			bagQueries := make([]*cq.CQ, len(bags))
+			for i, b := range bags {
+				bagQueries[i] = bagQuery(q, b, fmt.Sprintf("B%d", i))
+			}
+			return &Decomposition{Query: q, Bags: bags, Tree: jt, BagQueries: bagQueries}, nil
+		}
+		if len(bags) < 2 {
+			return nil, fmt.Errorf("gym: single-bag query still cyclic (internal error)")
+		}
+		// Merge the pair of bags sharing the most variables (ties:
+		// smallest indices), preferring pairs that actually share.
+		bi, bj, best := 0, 1, -1
+		for i := 0; i < len(bags); i++ {
+			for j := i + 1; j < len(bags); j++ {
+				n := len(sharedVarsOf(q, bags[i], bags[j]))
+				if n > best {
+					bi, bj, best = i, j, n
+				}
+			}
+		}
+		merged := append(append([]int{}, bags[bi]...), bags[bj]...)
+		var next [][]int
+		for k, b := range bags {
+			if k != bi && k != bj {
+				next = append(next, b)
+			}
+		}
+		bags = append(next, merged)
+	}
+}
+
+// bagVars returns the sorted distinct variables of a bag.
+func bagVars(q *cq.CQ, bag []int) []string {
+	seen := map[string]bool{}
+	for _, ai := range bag {
+		for _, v := range q.Body[ai].Vars() {
+			seen[v] = true
+		}
+	}
+	return sortedVars(seen)
+}
+
+func sharedVarsOf(q *cq.CQ, a, b []int) []string {
+	av := map[string]bool{}
+	for _, v := range bagVars(q, a) {
+		av[v] = true
+	}
+	var out []string
+	for _, v := range bagVars(q, b) {
+		if av[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// synthQuery builds the synthetic query whose atoms are the bags
+// (relation B<i> over the bag's variables); its GYO tree is the bag
+// tree.
+func synthQuery(q *cq.CQ, bags [][]int) *cq.CQ {
+	s := &cq.CQ{Head: cq.Atom{Rel: "H"}}
+	for i, b := range bags {
+		vars := bagVars(q, b)
+		args := make([]cq.Term, len(vars))
+		for k, v := range vars {
+			args[k] = cq.V(v)
+		}
+		s.Body = append(s.Body, cq.Atom{Rel: fmt.Sprintf("B%d", i), Args: args})
+	}
+	return s
+}
+
+// bagQuery is the CQ computing one bag's relation: head over the bag's
+// variables, body = the member atoms.
+func bagQuery(q *cq.CQ, bag []int, name string) *cq.CQ {
+	vars := bagVars(q, bag)
+	args := make([]cq.Term, len(vars))
+	for k, v := range vars {
+		args[k] = cq.V(v)
+	}
+	out := &cq.CQ{Head: cq.Atom{Rel: name, Args: args}}
+	for _, ai := range bag {
+		out.Body = append(out.Body, q.Body[ai])
+	}
+	return out
+}

@@ -1,0 +1,254 @@
+// Package gym implements the multi-round algorithms of Section 3.2 of
+// Neven (PODS 2016): Yannakakis' algorithm for acyclic conjunctive
+// queries (semi-join full reduction followed by a join phase whose
+// intermediate results never exceed the final output by more than the
+// per-node inputs), the GYM generalization that evaluates a tree
+// decomposition of a cyclic query — each bag via the Shares/HyperCube
+// algorithm, the bag tree via Yannakakis — and the cascaded binary
+// join baseline of Example 3.1(2).
+package gym
+
+import (
+	"fmt"
+	"sort"
+
+	"mpclogic/internal/cq"
+	"mpclogic/internal/rel"
+)
+
+// Stats tracks the cost profile of a centralized evaluation: the
+// largest materialized intermediate relation and the operation counts.
+type Stats struct {
+	MaxIntermediate int
+	Semijoins       int
+	Joins           int
+}
+
+// nodeRelation materializes the tuples of an atom from the instance as
+// a relation over the atom's distinct variables (applying constant and
+// repeated-variable selections).
+func nodeRelation(a cq.Atom, i *rel.Instance, name string) (*rel.Relation, []string) {
+	vars := a.Vars()
+	firstPos := map[string]int{}
+	for p, t := range a.Args {
+		if t.IsVar() {
+			if _, ok := firstPos[t.Var]; !ok {
+				firstPos[t.Var] = p
+			}
+		}
+	}
+	cols := make([]int, len(vars))
+	for k, v := range vars {
+		cols[k] = firstPos[v]
+	}
+	out := rel.NewRelation(name, len(vars))
+	src := i.Relation(a.Rel)
+	if src == nil {
+		return out, vars
+	}
+	src.Each(func(t rel.Tuple) bool {
+		for p, arg := range a.Args {
+			if arg.IsVar() {
+				if t[firstPos[arg.Var]] != t[p] {
+					return true
+				}
+			} else if t[p] != arg.Const {
+				return true
+			}
+		}
+		out.Add(t.Project(cols))
+		return true
+	})
+	return out, vars
+}
+
+// sharedCols returns the column lists of the variables shared between
+// two var lists.
+func sharedCols(aVars, bVars []string) (aCols, bCols []int) {
+	bPos := map[string]int{}
+	for i, v := range bVars {
+		bPos[v] = i
+	}
+	for i, v := range aVars {
+		if j, ok := bPos[v]; ok {
+			aCols = append(aCols, i)
+			bCols = append(bCols, j)
+		}
+	}
+	return
+}
+
+// Yannakakis evaluates an acyclic pure CQ: full reduction by
+// semijoins (bottom-up then top-down over the GYO join tree), then a
+// bottom-up join phase that projects away variables as soon as they
+// are no longer needed. It returns the result relation and the cost
+// stats.
+func Yannakakis(q *cq.CQ, inst *rel.Instance) (*rel.Relation, *Stats, error) {
+	return YannakakisWith(q, inst, true)
+}
+
+// YannakakisWith optionally skips the semijoin full-reduction phases —
+// the ablation showing what the reduction buys: without it, dangling
+// tuples survive into the join phase and intermediates grow even
+// though the early projection discipline is unchanged.
+func YannakakisWith(q *cq.CQ, inst *rel.Instance, fullReduction bool) (*rel.Relation, *Stats, error) {
+	if q.HasNegation() || q.HasDiseq() {
+		return nil, nil, fmt.Errorf("gym: Yannakakis implemented for pure CQs")
+	}
+	jt, ok := cq.GYO(q)
+	if !ok {
+		return nil, nil, fmt.Errorf("gym: query %v is cyclic; use a tree decomposition (GYM)", q)
+	}
+	st := &Stats{}
+
+	n := len(jt.Atoms)
+	rels := make([]*rel.Relation, n)
+	vars := make([][]string, n)
+	for i, a := range jt.Atoms {
+		rels[i], vars[i] = nodeRelation(a, inst, fmt.Sprintf("Y%d", i))
+	}
+
+	if fullReduction {
+		// Phase 1: bottom-up semijoins (elimination order visits
+		// children before parents; the last entry is the root).
+		for _, i := range jt.Order {
+			p := jt.Parent[i]
+			if p < 0 {
+				continue
+			}
+			pc, cc := sharedCols(vars[p], vars[i])
+			rels[p] = rel.SemiJoin(rels[p], rels[i], pc, cc)
+			st.Semijoins++
+		}
+		// Phase 2: top-down semijoins.
+		for k := n - 1; k >= 0; k-- {
+			i := jt.Order[k]
+			p := jt.Parent[i]
+			if p < 0 {
+				continue
+			}
+			cc, pc := sharedCols(vars[i], vars[p])
+			rels[i] = rel.SemiJoin(rels[i], rels[p], cc, pc)
+			st.Semijoins++
+		}
+	}
+
+	headVars := map[string]bool{}
+	for _, t := range q.Head.Args {
+		if t.IsVar() {
+			headVars[t.Var] = true
+		}
+	}
+
+	// Phase 3: bottom-up joins, projecting away child variables that
+	// are neither head variables nor present in the parent (safe by
+	// the running-intersection property of join trees).
+	for _, i := range jt.Order {
+		p := jt.Parent[i]
+		if p < 0 {
+			continue
+		}
+		pc, cc := sharedCols(vars[p], vars[i])
+		joined := rel.HashJoin("⋈", rels[p], rels[i], pc, cc)
+		st.Joins++
+		// Result columns: all of parent, then child vars to keep.
+		newVars := append([]string(nil), vars[p]...)
+		keepCols := make([]int, 0, len(vars[p])+len(vars[i]))
+		for k := range vars[p] {
+			keepCols = append(keepCols, k)
+		}
+		inParent := map[string]bool{}
+		for _, v := range vars[p] {
+			inParent[v] = true
+		}
+		for k, v := range vars[i] {
+			if !inParent[v] && headVars[v] {
+				newVars = append(newVars, v)
+				keepCols = append(keepCols, len(vars[p])+k)
+			}
+		}
+		rels[p] = rel.Project(joined, fmt.Sprintf("Y%d", p), keepCols)
+		vars[p] = newVars
+		if rels[p].Len() > st.MaxIntermediate {
+			st.MaxIntermediate = rels[p].Len()
+		}
+	}
+
+	root := jt.Order[n-1]
+	out := projectHead(q, rels[root], vars[root])
+	return out, st, nil
+}
+
+// CascadeJoin is the baseline of Example 3.1(2): evaluate the body as
+// a cascade of pairwise joins in syntactic order with no semijoin
+// reduction and no early projection, tracking the intermediate sizes.
+func CascadeJoin(q *cq.CQ, inst *rel.Instance) (*rel.Relation, *Stats, error) {
+	if q.HasNegation() || q.HasDiseq() {
+		return nil, nil, fmt.Errorf("gym: CascadeJoin implemented for pure CQs")
+	}
+	st := &Stats{}
+	acc, accVars := nodeRelation(q.Body[0], inst, "C0")
+	for k := 1; k < len(q.Body); k++ {
+		nr, nv := nodeRelation(q.Body[k], inst, fmt.Sprintf("C%d", k))
+		ac, nc := sharedCols(accVars, nv)
+		joined := rel.HashJoin("⋈", acc, nr, ac, nc)
+		st.Joins++
+		// Keep every variable (no projection): columns of acc then the
+		// fresh columns of the new atom.
+		inAcc := map[string]bool{}
+		for _, v := range accVars {
+			inAcc[v] = true
+		}
+		keep := make([]int, 0, acc.Arity+nr.Arity)
+		for i := range accVars {
+			keep = append(keep, i)
+		}
+		newVars := append([]string(nil), accVars...)
+		for i, v := range nv {
+			if !inAcc[v] {
+				keep = append(keep, acc.Arity+i)
+				newVars = append(newVars, v)
+			}
+		}
+		acc = rel.Project(joined, fmt.Sprintf("C%d", k), keep)
+		accVars = newVars
+		if acc.Len() > st.MaxIntermediate {
+			st.MaxIntermediate = acc.Len()
+		}
+	}
+	return projectHead(q, acc, accVars), st, nil
+}
+
+// projectHead maps a relation over a variable list onto the query head
+// (inserting head constants).
+func projectHead(q *cq.CQ, r *rel.Relation, vars []string) *rel.Relation {
+	pos := map[string]int{}
+	for i, v := range vars {
+		pos[v] = i
+	}
+	out := rel.NewRelation(q.Head.Rel, len(q.Head.Args))
+	r.Each(func(t rel.Tuple) bool {
+		h := make(rel.Tuple, len(q.Head.Args))
+		for i, arg := range q.Head.Args {
+			if arg.IsVar() {
+				h[i] = t[pos[arg.Var]]
+			} else {
+				h[i] = arg.Const
+			}
+		}
+		out.Add(h)
+		return true
+	})
+	return out
+}
+
+// sortedVars returns a copy of vars in sorted order (helper for
+// deterministic synthetic atoms).
+func sortedVars(vars map[string]bool) []string {
+	out := make([]string, 0, len(vars))
+	for v := range vars {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}

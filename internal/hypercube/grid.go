@@ -1,0 +1,241 @@
+// Package hypercube implements the single-round MPC algorithms of
+// Section 3.1 of Neven (PODS 2016): the repartition join and grouping
+// join of Example 3.1, and the Shares/HyperCube algorithm of
+// Afrati-Ullman and Beame-Koutris-Suciu (Example 3.2), including share
+// optimization from the fractional-edge-packing LP and a heavy-hitter
+// aware variant in the spirit of SharesSkew.
+package hypercube
+
+import (
+	"fmt"
+	"sort"
+
+	"mpclogic/internal/cq"
+	"mpclogic/internal/policy"
+	"mpclogic/internal/rel"
+)
+
+// Grid is a HyperCube share grid for a conjunctive query: every server
+// is a point in the grid [0,Shares[0]) × … × [0,Shares[k-1]), one
+// dimension per query variable. A fact matching a body atom is
+// replicated to every grid point consistent with hashing the values
+// bound to the atom's variables.
+type Grid struct {
+	Query  *cq.CQ
+	Vars   []string // grid dimensions, sorted for determinism
+	Shares []int    // share per dimension, parallel to Vars
+	Seed   uint64
+
+	dims   map[string]int // variable → dimension index
+	stride []int          // mixed-radix strides for server ids
+	p      int            // total servers = Π Shares
+}
+
+// NewGrid builds a grid with explicit shares, given per variable.
+// Missing variables default to share 1.
+func NewGrid(q *cq.CQ, shares map[string]int, seed uint64) (*Grid, error) {
+	if q.HasNegation() {
+		return nil, fmt.Errorf("hypercube: CQ¬ not supported by single-round HyperCube")
+	}
+	g := &Grid{Query: q, Seed: seed, dims: map[string]int{}}
+	vars := varsOfBody(q)
+	sort.Strings(vars)
+	g.Vars = vars
+	g.Shares = make([]int, len(vars))
+	for i, v := range vars {
+		s := shares[v]
+		if s <= 0 {
+			s = 1
+		}
+		g.Shares[i] = s
+		g.dims[v] = i
+	}
+	g.stride = make([]int, len(vars))
+	p := 1
+	for i := len(vars) - 1; i >= 0; i-- {
+		g.stride[i] = p
+		p *= g.Shares[i]
+	}
+	g.p = p
+	return g, nil
+}
+
+// varsOfBody returns the distinct variables of the positive body.
+func varsOfBody(q *cq.CQ) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, a := range q.Body {
+		for _, v := range a.Vars() {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// P returns the number of servers the grid uses (the product of the
+// shares).
+func (g *Grid) P() int { return g.p }
+
+// hash maps a value to a coordinate in dimension dim. The dimension
+// index and seed are folded in before a final avalanche so that the
+// per-dimension hash functions behave independently.
+func (g *Grid) hash(dim int, v rel.Value) int {
+	h := rel.Mix64((rel.Tuple{v}).Hash() ^ g.Seed ^ (uint64(dim+1) * 0x9e3779b97f4a7c15))
+	return int(h % uint64(g.Shares[dim]))
+}
+
+// server converts a full coordinate vector to a server id.
+func (g *Grid) server(coord []int) int {
+	id := 0
+	for i, c := range coord {
+		id += c * g.stride[i]
+	}
+	return id
+}
+
+// Coord converts a server id back to its grid coordinates.
+func (g *Grid) Coord(server int) []int {
+	out := make([]int, len(g.Shares))
+	for i := range g.Shares {
+		out[i] = server / g.stride[i] % g.Shares[i]
+	}
+	return out
+}
+
+// Targets returns the destination servers for a fact: the union over
+// all body atoms of the fact's relation of the grid points consistent
+// with the hashed bindings. Facts that match no atom (wrong relation,
+// constant mismatch, repeated-variable mismatch) go nowhere.
+func (g *Grid) Targets(f rel.Fact) []int {
+	targets := map[int]struct{}{}
+	for _, a := range g.Query.Body {
+		if a.Rel != f.Rel || len(a.Args) != len(f.Tuple) {
+			continue
+		}
+		fixed, ok := g.atomBinding(a, f)
+		if !ok {
+			continue
+		}
+		g.enumerate(fixed, func(server int) {
+			targets[server] = struct{}{}
+		})
+	}
+	out := make([]int, 0, len(targets))
+	for s := range targets {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// atomBinding matches f against atom a, returning per-dimension fixed
+// coordinates (-1 = free) or ok=false when the fact cannot instantiate
+// the atom.
+func (g *Grid) atomBinding(a cq.Atom, f rel.Fact) ([]int, bool) {
+	fixed := make([]int, len(g.Shares))
+	for i := range fixed {
+		fixed[i] = -1
+	}
+	bound := map[string]rel.Value{}
+	for i, t := range a.Args {
+		v := f.Tuple[i]
+		if !t.IsVar() {
+			if t.Const != v {
+				return nil, false
+			}
+			continue
+		}
+		if prev, ok := bound[t.Var]; ok {
+			if prev != v {
+				return nil, false
+			}
+			continue
+		}
+		bound[t.Var] = v
+		dim := g.dims[t.Var]
+		fixed[dim] = g.hash(dim, v)
+	}
+	return fixed, true
+}
+
+// enumerate calls fn with every server id matching the fixed
+// coordinates (free dimensions range over their full share).
+func (g *Grid) enumerate(fixed []int, fn func(int)) {
+	coord := make([]int, len(fixed))
+	var rec func(dim int)
+	rec = func(dim int) {
+		if dim == len(fixed) {
+			fn(g.server(coord))
+			return
+		}
+		if fixed[dim] >= 0 {
+			coord[dim] = fixed[dim]
+			rec(dim + 1)
+			return
+		}
+		for c := 0; c < g.Shares[dim]; c++ {
+			coord[dim] = c
+			rec(dim + 1)
+		}
+	}
+	rec(0)
+}
+
+// Route implements mpc.Router.
+func (g *Grid) Route(f rel.Fact) []int { return g.Targets(f) }
+
+// NumNodes implements policy.Policy.
+func (g *Grid) NumNodes() int { return g.p }
+
+// NodesFor implements policy.Policy.
+func (g *Grid) NodesFor(f rel.Fact) []policy.Node {
+	ts := g.Targets(f)
+	out := make([]policy.Node, len(ts))
+	for i, t := range ts {
+		out[i] = policy.Node(t)
+	}
+	return out
+}
+
+// Responsible implements policy.Policy.
+func (g *Grid) Responsible(κ policy.Node, f rel.Fact) bool {
+	for _, t := range g.Targets(f) {
+		if policy.Node(t) == κ {
+			return true
+		}
+	}
+	return false
+}
+
+// ReplicationOf returns how many servers a fact of the given atom is
+// replicated to: the product of shares of the dimensions the atom does
+// not bind (e.g. α_z for R(x,y) in the triangle grid of Example 3.2).
+func (g *Grid) ReplicationOf(a cq.Atom) int {
+	boundDims := map[int]bool{}
+	for _, v := range a.Vars() {
+		boundDims[g.dims[v]] = true
+	}
+	r := 1
+	for i, s := range g.Shares {
+		if !boundDims[i] {
+			r *= s
+		}
+	}
+	return r
+}
+
+func (g *Grid) String() string {
+	var b []byte
+	b = append(b, "hypercube["...)
+	for i, v := range g.Vars {
+		if i > 0 {
+			b = append(b, ' ')
+		}
+		b = append(b, fmt.Sprintf("%s:%d", v, g.Shares[i])...)
+	}
+	b = append(b, ']')
+	return string(b)
+}

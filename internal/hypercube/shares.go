@@ -1,0 +1,105 @@
+package hypercube
+
+import (
+	"fmt"
+	"math"
+
+	"mpclogic/internal/cq"
+)
+
+// This file computes integer share allocations. The exponent LP (in
+// internal/cq) gives the optimal real exponents e_x with α_x = p^{e_x};
+// here we round to integers with Π α_x ≤ p, then greedily spend the
+// remaining budget on the dimension that most improves the bottleneck
+// atom — the atom whose servers receive the most tuples.
+
+// OptimalShares computes an integer share per variable for evaluating
+// q on (at most) p servers, using the share-exponent LP and greedy
+// repair. It also returns the LP's load exponent t (load ≈ m/p^t with
+// equal relation sizes and no skew).
+func OptimalShares(q *cq.CQ, p int) (map[string]int, float64, error) {
+	if p < 1 {
+		return nil, 0, fmt.Errorf("hypercube: p must be positive")
+	}
+	exps, t, err := cq.ShareExponents(q)
+	if err != nil {
+		return nil, 0, err
+	}
+	shares := make(map[string]int, len(exps))
+	prod := 1
+	for v, e := range exps {
+		s := int(math.Floor(math.Pow(float64(p), e) + 1e-9))
+		if s < 1 {
+			s = 1
+		}
+		shares[v] = s
+		prod *= s
+	}
+	// Floor rounding can overshoot p only by float slop; repair down.
+	for prod > p {
+		v := largestShareVar(shares)
+		if shares[v] == 1 {
+			break
+		}
+		prod = prod / shares[v] * (shares[v] - 1)
+		shares[v]--
+	}
+	// Greedy: spend leftover budget on the variable whose increment
+	// best reduces the bottleneck load.
+	for {
+		bestVar := ""
+		bestLoad := math.Inf(1)
+		for v := range shares {
+			if prod/shares[v]*(shares[v]+1) > p {
+				continue
+			}
+			shares[v]++
+			if l := loadScore(q, shares); l < bestLoad {
+				bestLoad = l
+				bestVar = v
+			}
+			shares[v]--
+		}
+		if bestVar == "" {
+			break
+		}
+		prod = prod / shares[bestVar] * (shares[bestVar] + 1)
+		shares[bestVar]++
+	}
+	return shares, t, nil
+}
+
+// loadScore estimates the per-server load for unit relation sizes:
+// the maximum over atoms of 1/Π_{x ∈ atom} α_x.
+func loadScore(q *cq.CQ, shares map[string]int) float64 {
+	worst := 0.0
+	for _, a := range q.Body {
+		denom := 1.0
+		for _, v := range a.Vars() {
+			denom *= float64(shares[v])
+		}
+		if l := 1 / denom; l > worst {
+			worst = l
+		}
+	}
+	return worst
+}
+
+func largestShareVar(shares map[string]int) string {
+	best, bestS := "", 0
+	for v, s := range shares {
+		if s > bestS || (s == bestS && v < best) || best == "" {
+			best, bestS = v, s
+		}
+	}
+	return best
+}
+
+// NewOptimalGrid builds a grid for q using OptimalShares on p servers.
+func NewOptimalGrid(q *cq.CQ, p int, seed uint64) (*Grid, error) {
+	shares, _, err := OptimalShares(q, p)
+	if err != nil {
+		return nil, err
+	}
+	return NewGrid(q, shares, seed)
+}

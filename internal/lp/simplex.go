@@ -1,0 +1,181 @@
+// Package lp implements a small dense simplex solver for the linear
+// programs this library needs: fractional edge packings and covers of
+// query hypergraphs (Section 3.1 of Neven, PODS 2016 — the exponent
+// 1/τ* in the HyperCube load bound is defined by such an LP) and the
+// share-exponent optimization of the Shares algorithm.
+//
+// The solver handles problems of the form
+//
+//	maximize    c·x
+//	subject to  A·x ≤ b,  x ≥ 0,  b ≥ 0
+//
+// which is exactly the shape of packing LPs; covering LPs (minimize
+// with ≥ constraints) are solved through their packing duals, with the
+// primal cover recovered from the final reduced costs.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Eps is the numeric tolerance used by the solver.
+const Eps = 1e-9
+
+// ErrUnbounded is returned when the LP has unbounded optimum.
+var ErrUnbounded = errors.New("lp: unbounded")
+
+// ErrInfeasible is returned when a covering problem has no feasible
+// solution (its dual is unbounded).
+var ErrInfeasible = errors.New("lp: infeasible")
+
+// Result holds an optimal solution.
+type Result struct {
+	X     []float64 // primal solution
+	Value float64   // objective value at X
+	Dual  []float64 // dual values, one per constraint
+}
+
+// Maximize solves: max c·x s.t. A·x ≤ b, x ≥ 0, with all b[i] ≥ 0.
+// A is row-major with len(A) == len(b) rows and len(c) columns.
+func Maximize(c []float64, a [][]float64, b []float64) (Result, error) {
+	n := len(c)
+	m := len(b)
+	if len(a) != m {
+		return Result{}, fmt.Errorf("lp: %d constraint rows but %d bounds", len(a), m)
+	}
+	for i, row := range a {
+		if len(row) != n {
+			return Result{}, fmt.Errorf("lp: row %d has %d coefficients, want %d", i, len(row), n)
+		}
+		if b[i] < -Eps {
+			return Result{}, fmt.Errorf("lp: negative bound b[%d]=%g not supported", i, b[i])
+		}
+	}
+
+	// Tableau: m rows of [A | I | b], objective row of [−c | 0 | 0].
+	// Entry tab[m][j] is z_j − c_j; optimality when all ≥ 0.
+	width := n + m + 1
+	tab := make([][]float64, m+1)
+	for i := 0; i < m; i++ {
+		tab[i] = make([]float64, width)
+		copy(tab[i], a[i])
+		tab[i][n+i] = 1
+		tab[i][width-1] = b[i]
+	}
+	tab[m] = make([]float64, width)
+	for j := 0; j < n; j++ {
+		tab[m][j] = -c[j]
+	}
+
+	basis := make([]int, m)
+	for i := range basis {
+		basis[i] = n + i
+	}
+
+	maxIter := 50 * (n + m + 10)
+	for iter := 0; ; iter++ {
+		if iter > maxIter {
+			return Result{}, errors.New("lp: iteration limit exceeded (cycling?)")
+		}
+		// Bland's rule: entering column = smallest index with negative
+		// reduced cost.
+		col := -1
+		for j := 0; j < n+m; j++ {
+			if tab[m][j] < -Eps {
+				col = j
+				break
+			}
+		}
+		if col < 0 {
+			break // optimal
+		}
+		// Ratio test; Bland's rule on ties (smallest basis index).
+		row := -1
+		best := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if tab[i][col] > Eps {
+				ratio := tab[i][width-1] / tab[i][col]
+				if ratio < best-Eps || (ratio < best+Eps && (row < 0 || basis[i] < basis[row])) {
+					best = ratio
+					row = i
+				}
+			}
+		}
+		if row < 0 {
+			return Result{}, ErrUnbounded
+		}
+		pivot(tab, row, col)
+		basis[row] = col
+	}
+
+	res := Result{
+		X:    make([]float64, n),
+		Dual: make([]float64, m),
+	}
+	for i, bi := range basis {
+		if bi < n {
+			res.X[bi] = tab[i][width-1]
+		}
+	}
+	for j := 0; j < n; j++ {
+		res.Value += c[j] * res.X[j]
+	}
+	// Dual values are the reduced costs of the slack columns.
+	for i := 0; i < m; i++ {
+		res.Dual[i] = tab[m][n+i]
+	}
+	return res, nil
+}
+
+// MinimizeCover solves: min c·x s.t. A·x ≥ b, x ≥ 0, with c ≥ 0, b ≥ 0,
+// by solving the dual packing LP max b·y s.t. Aᵀ·y ≤ c, y ≥ 0 and
+// reading the primal cover from the dual's dual values. The returned
+// Dual field holds the packing solution y.
+func MinimizeCover(c []float64, a [][]float64, b []float64) (Result, error) {
+	m := len(b) // rows of A == dual variables
+	n := len(c) // cols of A == primal variables
+	if len(a) != m {
+		return Result{}, fmt.Errorf("lp: %d constraint rows but %d bounds", len(a), m)
+	}
+	at := make([][]float64, n)
+	for j := 0; j < n; j++ {
+		at[j] = make([]float64, m)
+		for i := 0; i < m; i++ {
+			at[j][i] = a[i][j]
+		}
+	}
+	dual, err := Maximize(b, at, c)
+	if err != nil {
+		if errors.Is(err, ErrUnbounded) {
+			return Result{}, ErrInfeasible
+		}
+		return Result{}, err
+	}
+	res := Result{
+		X:     dual.Dual, // primal cover = dual values of the dual
+		Value: dual.Value,
+		Dual:  dual.X,
+	}
+	return res, nil
+}
+
+func pivot(tab [][]float64, row, col int) {
+	p := tab[row][col]
+	for j := range tab[row] {
+		tab[row][j] /= p
+	}
+	for i := range tab {
+		if i == row {
+			continue
+		}
+		f := tab[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := range tab[i] {
+			tab[i][j] -= f * tab[row][j]
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestMaximizeTextbook(t *testing.T) {
+	// max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18  → x=2, y=6, z=36.
+	res, err := Maximize(
+		[]float64{3, 5},
+		[][]float64{{1, 0}, {0, 2}, {3, 2}},
+		[]float64{4, 12, 18},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(res.Value, 36) || !approx(res.X[0], 2) || !approx(res.X[1], 6) {
+		t.Errorf("got value %v X %v", res.Value, res.X)
+	}
+}
+
+func TestMaximizeDegenerate(t *testing.T) {
+	// A classic degenerate LP that cycles without Bland's rule
+	// (Beale's example).
+	res, err := Maximize(
+		[]float64{0.75, -150, 0.02, -6},
+		[][]float64{
+			{0.25, -60, -0.04, 9},
+			{0.5, -90, -0.02, 3},
+			{0, 0, 1, 0},
+		},
+		[]float64{0, 0, 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(res.Value, 0.05) {
+		t.Errorf("Beale value = %v, want 0.05", res.Value)
+	}
+}
+
+func TestMaximizeUnbounded(t *testing.T) {
+	_, err := Maximize([]float64{1, 1}, [][]float64{{1, -1}}, []float64{1})
+	if !errors.Is(err, ErrUnbounded) {
+		t.Errorf("got %v, want ErrUnbounded", err)
+	}
+}
+
+func TestMaximizeBadInput(t *testing.T) {
+	if _, err := Maximize([]float64{1}, [][]float64{{1}}, []float64{-1}); err == nil {
+		t.Errorf("negative bound accepted")
+	}
+	if _, err := Maximize([]float64{1}, [][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Errorf("ragged row accepted")
+	}
+	if _, err := Maximize([]float64{1}, [][]float64{}, []float64{1}); err == nil {
+		t.Errorf("row/bound mismatch accepted")
+	}
+}
+
+func TestTriangleEdgePackingLP(t *testing.T) {
+	// Fractional edge packing of the triangle query:
+	// max u1+u2+u3 s.t. each vertex constraint uR+uS ≤ 1 etc. → 3/2.
+	res, err := Maximize(
+		[]float64{1, 1, 1},
+		[][]float64{
+			{1, 0, 1}, // x ∈ R, T
+			{1, 1, 0}, // y ∈ R, S
+			{0, 1, 1}, // z ∈ S, T
+		},
+		[]float64{1, 1, 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(res.Value, 1.5) {
+		t.Errorf("triangle τ* = %v, want 1.5", res.Value)
+	}
+	for i, x := range res.X {
+		if !approx(x, 0.5) {
+			t.Errorf("u[%d] = %v, want 0.5", i, x)
+		}
+	}
+}
+
+func TestMinimizeCoverVertexCover(t *testing.T) {
+	// Fractional edge cover of the triangle: min w1+w2+w3 with each
+	// vertex covered → 3/2 with all weights 1/2.
+	res, err := MinimizeCover(
+		[]float64{1, 1, 1},
+		[][]float64{
+			{1, 0, 1},
+			{1, 1, 0},
+			{0, 1, 1},
+		},
+		[]float64{1, 1, 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(res.Value, 1.5) {
+		t.Errorf("cover value = %v, want 1.5", res.Value)
+	}
+	// Verify feasibility of the recovered primal cover.
+	a := [][]float64{{1, 0, 1}, {1, 1, 0}, {0, 1, 1}}
+	for i, row := range a {
+		sum := 0.0
+		for j, v := range row {
+			sum += v * res.X[j]
+		}
+		if sum < 1-1e-6 {
+			t.Errorf("constraint %d violated: %v", i, sum)
+		}
+	}
+}
+
+func TestMinimizeCoverInfeasible(t *testing.T) {
+	// x must cover b=1 but has coefficient 0: infeasible.
+	_, err := MinimizeCover([]float64{1}, [][]float64{{0}}, []float64{1})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Errorf("got %v, want ErrInfeasible", err)
+	}
+}
+
+// Property: for random packing LPs, the primal and recovered dual obey
+// weak duality and the solution is feasible.
+func TestPropPackingFeasibleOptimal(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + r.Intn(4)
+		m := 1 + r.Intn(4)
+		c := make([]float64, n)
+		for j := range c {
+			c[j] = float64(r.Intn(5))
+		}
+		a := make([][]float64, m)
+		b := make([]float64, m)
+		for i := range a {
+			a[i] = make([]float64, n)
+			for j := range a[i] {
+				a[i][j] = float64(r.Intn(4))
+			}
+			b[i] = float64(1 + r.Intn(6))
+		}
+		res, err := Maximize(c, a, b)
+		if errors.Is(err, ErrUnbounded) {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Feasibility.
+		for i, row := range a {
+			sum := 0.0
+			for j, v := range row {
+				sum += v * res.X[j]
+			}
+			if sum > b[i]+1e-6 {
+				t.Fatalf("trial %d: constraint %d violated (%v > %v)", trial, i, sum, b[i])
+			}
+		}
+		for j, x := range res.X {
+			if x < -1e-9 {
+				t.Fatalf("trial %d: negative x[%d]", trial, j)
+			}
+		}
+		// Weak duality: c·x == b·y at optimum (strong duality).
+		dualVal := 0.0
+		for i, y := range res.Dual {
+			if y < -1e-6 {
+				t.Fatalf("trial %d: negative dual", trial)
+			}
+			dualVal += b[i] * y
+		}
+		if math.Abs(dualVal-res.Value) > 1e-5 {
+			t.Fatalf("trial %d: duality gap %v vs %v", trial, dualVal, res.Value)
+		}
+	}
+}

@@ -1,0 +1,259 @@
+// Package mpc simulates the Massively Parallel Communication model of
+// Koutris and Suciu (Section 3 of Neven, PODS 2016): p servers
+// connected by a complete network compute in synchronized rounds, each
+// round consisting of a communication phase (every server routes its
+// local facts to destination servers) followed by a computation phase
+// (pure local computation).
+//
+// The simulator's job is cost accounting, the model's primary object
+// of study: the load of a server in a round is the number of facts it
+// receives, and the interesting quantity is the maximum load across
+// servers, which theory bounds by m/p^{1/τ*} for one-round algorithms
+// on skew-free data. Local computation is unbounded in the model, so
+// the simulator runs it natively (and concurrently).
+package mpc
+
+import (
+	"fmt"
+	"sync"
+
+	"mpclogic/internal/rel"
+)
+
+// Router decides the destination servers of a fact during a
+// communication phase. Destinations out of range are an error.
+type Router interface {
+	Route(f rel.Fact) []int
+}
+
+// RouterFunc adapts a function to the Router interface.
+type RouterFunc func(rel.Fact) []int
+
+// Route implements Router.
+func (r RouterFunc) Route(f rel.Fact) []int { return r(f) }
+
+// Compute is a local computation phase: it maps a server's received
+// data to the server's new local data. It must not retain or mutate
+// the input instance's relations beyond the returned instance.
+type Compute func(server int, local *rel.Instance) *rel.Instance
+
+// Round couples a communication phase with a computation phase.
+// Facts for which Keep returns true stay at their current server and
+// are not counted as communication (local data needs no network hop);
+// all other facts are shipped according to Route.
+type Round struct {
+	Name    string
+	Route   Router
+	Compute Compute
+	Keep    func(rel.Fact) bool
+}
+
+// RoundStats records the cost of one executed round.
+type RoundStats struct {
+	Name      string
+	Received  []int // facts received per server (load)
+	MaxLoad   int   // max over Received
+	TotalComm int   // total facts sent = Σ Received
+}
+
+// String renders the stats compactly.
+func (s RoundStats) String() string {
+	return fmt.Sprintf("round %s: max load %d, total communication %d", s.Name, s.MaxLoad, s.TotalComm)
+}
+
+// Cluster is a simulated MPC deployment.
+type Cluster struct {
+	p       int
+	servers []*rel.Instance
+	stats   []RoundStats
+}
+
+// NewCluster returns a cluster of p servers with empty local data.
+func NewCluster(p int) *Cluster {
+	if p <= 0 {
+		panic("mpc: cluster needs at least one server")
+	}
+	c := &Cluster{p: p, servers: make([]*rel.Instance, p)}
+	for i := range c.servers {
+		c.servers[i] = rel.NewInstance()
+	}
+	return c
+}
+
+// P returns the number of servers.
+func (c *Cluster) P() int { return c.p }
+
+// Server returns server i's current local instance (live reference).
+func (c *Cluster) Server(i int) *rel.Instance { return c.servers[i] }
+
+// Stats returns the per-round statistics recorded so far.
+func (c *Cluster) Stats() []RoundStats { return c.stats }
+
+// LastStats returns the statistics of the most recent round.
+func (c *Cluster) LastStats() RoundStats {
+	if len(c.stats) == 0 {
+		return RoundStats{}
+	}
+	return c.stats[len(c.stats)-1]
+}
+
+// MaxLoad returns the maximum per-round max load over the whole
+// execution — the load measure of the MPC model.
+func (c *Cluster) MaxLoad() int {
+	max := 0
+	for _, s := range c.stats {
+		if s.MaxLoad > max {
+			max = s.MaxLoad
+		}
+	}
+	return max
+}
+
+// TotalComm returns total communication over all rounds.
+func (c *Cluster) TotalComm() int {
+	n := 0
+	for _, s := range c.stats {
+		n += s.TotalComm
+	}
+	return n
+}
+
+// Rounds returns how many rounds have been executed.
+func (c *Cluster) Rounds() int { return len(c.stats) }
+
+// LoadRoundRobin installs the initial partition of the input: each
+// server receives ~1/p of the data, mirroring the model's assumption
+// that the input starts out evenly spread with no particular scheme.
+// Initial placement is not counted as communication.
+func (c *Cluster) LoadRoundRobin(i *rel.Instance) {
+	k := 0
+	i.Each(func(f rel.Fact) bool {
+		c.servers[k%c.p].Add(f)
+		k++
+		return true
+	})
+}
+
+// LoadAt places facts at an explicit server (for adversarial initial
+// placements in tests).
+func (c *Cluster) LoadAt(server int, i *rel.Instance) {
+	c.servers[server].AddAll(i)
+}
+
+// RunRound executes one communication + computation round and records
+// its statistics.
+func (c *Cluster) RunRound(r Round) (RoundStats, error) {
+	inboxes := make([]*rel.Instance, c.p)
+	received := make([]int, c.p)
+	for i := range inboxes {
+		inboxes[i] = rel.NewInstance()
+	}
+	// Communication phase. Sequential over source servers: routing is
+	// cheap; the accounting must be exact and race-free.
+	for src := 0; src < c.p; src++ {
+		var routeErr error
+		c.servers[src].Each(func(f rel.Fact) bool {
+			if r.Keep != nil && r.Keep(f) {
+				inboxes[src].Add(f)
+				return true
+			}
+			if r.Route == nil {
+				return true
+			}
+			for _, dst := range r.Route.Route(f) {
+				if dst < 0 || dst >= c.p {
+					routeErr = fmt.Errorf("mpc: route of %v targets server %d outside [0,%d)", f, dst, c.p)
+					return false
+				}
+				received[dst]++
+				inboxes[dst].Add(f)
+			}
+			return true
+		})
+		if routeErr != nil {
+			return RoundStats{}, routeErr
+		}
+	}
+
+	// Computation phase: local and embarrassingly parallel.
+	if r.Compute == nil {
+		r.Compute = func(_ int, local *rel.Instance) *rel.Instance { return local }
+	}
+	next := make([]*rel.Instance, c.p)
+	var wg sync.WaitGroup
+	for i := 0; i < c.p; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			next[i] = r.Compute(i, inboxes[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, inst := range next {
+		if inst == nil {
+			inst = rel.NewInstance()
+		}
+		c.servers[i] = inst
+	}
+
+	stats := RoundStats{Name: r.Name, Received: received}
+	for _, n := range received {
+		stats.TotalComm += n
+		if n > stats.MaxLoad {
+			stats.MaxLoad = n
+		}
+	}
+	c.stats = append(c.stats, stats)
+	return stats, nil
+}
+
+// Run executes a sequence of rounds, stopping at the first error.
+func (c *Cluster) Run(rounds ...Round) error {
+	for _, r := range rounds {
+		if _, err := c.RunRound(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Output returns the union of all servers' local data — the model's
+// convention that the output must be present in the union of the
+// servers.
+func (c *Cluster) Output() *rel.Instance {
+	out := rel.NewInstance()
+	for _, s := range c.servers {
+		out.AddAll(s)
+	}
+	return out
+}
+
+// Broadcast routes every fact to all p servers.
+func Broadcast(p int) Router {
+	all := make([]int, p)
+	for i := range all {
+		all[i] = i
+	}
+	return RouterFunc(func(rel.Fact) []int { return all })
+}
+
+// ByRelation dispatches routing on the fact's relation name; facts of
+// unlisted relations are dropped (routed nowhere).
+func ByRelation(routes map[string]Router) Router {
+	return RouterFunc(func(f rel.Fact) []int {
+		if r, ok := routes[f.Rel]; ok {
+			return r.Route(f)
+		}
+		return nil
+	})
+}
+
+// HashOn routes a fact to the single server determined by hashing the
+// given attribute positions (Example 3.1(1a)'s h(·)). Seed decouples
+// hash functions across rounds.
+func HashOn(p int, cols []int, seed uint64) Router {
+	return RouterFunc(func(f rel.Fact) []int {
+		t := f.Tuple.Project(cols)
+		return []int{int((t.Hash() ^ seed) % uint64(p))}
+	})
+}

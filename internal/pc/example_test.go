@@ -1,0 +1,64 @@
+package pc_test
+
+import (
+	"fmt"
+
+	"mpclogic/internal/cq"
+	"mpclogic/internal/pc"
+	"mpclogic/internal/policy"
+	"mpclogic/internal/rel"
+)
+
+// Example 4.3 of the paper: the policy separating R(a,b) from R(b,a)
+// fails the sufficient condition (PC0) but satisfies the exact
+// characterization (PC1), so the query is parallel-correct.
+func ExampleParallelCorrect() {
+	d := rel.NewDict()
+	q := cq.MustParse(d, "H(x, z) :- R(x, y), R(y, z), R(x, x)")
+	ab := rel.MustFact(d, "R(a,b)")
+	ba := rel.MustFact(d, "R(b,a)")
+	pol := &policy.Func{
+		Nodes: 2,
+		Resp: func(κ policy.Node, f rel.Fact) bool {
+			if κ == 0 {
+				return !f.Equal(ab)
+			}
+			return !f.Equal(ba)
+		},
+		Univ: d.Values("a", "b"),
+	}
+	strong, _, _ := pc.StronglySaturates(q, pol, nil)
+	correct, _, _ := pc.ParallelCorrect(q, pol, nil)
+	fmt.Println(strong, correct)
+	// Output: false true
+}
+
+// Parallel-correctness transfer is orthogonal to containment
+// (Figure 1): Q3 transfers to Q1 although Q3 ⊄ Q1.
+func ExampleTransfers() {
+	d := rel.NewDict()
+	q3 := cq.MustParse(d, "H() :- S(x), R(x, y), T(y)")
+	q1 := cq.MustParse(d, "H() :- S(x), R(x, x), T(x)")
+	transfers, _, _ := pc.Transfers(q3, q1)
+	contained, _ := cq.Contained(q3, q1)
+	fmt.Println(transfers, contained)
+	// Output: true false
+}
+
+// The distributed one-round evaluation [Q,P](I) of Example 4.1.
+func ExampleDistributedEval() {
+	d := rel.NewDict()
+	qe := cq.MustParse(d, "H(x1, x3) :- R(x1, x2), R(x2, x3), S(x3, x1)")
+	ie := rel.MustInstance(d, "R(a,b)", "R(b,a)", "R(b,c)", "S(a,a)", "S(c,a)")
+	p2 := &policy.Func{ // all R on node 0, all S on node 1
+		Nodes: 2,
+		Resp: func(κ policy.Node, f rel.Fact) bool {
+			if f.Rel == "R" {
+				return κ == 0
+			}
+			return κ == 1
+		},
+	}
+	fmt.Println(pc.DistributedEval(qe, p2, ie).StringWith(d))
+	// Output: {}
+}

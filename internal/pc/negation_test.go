@@ -1,0 +1,127 @@
+package pc
+
+import (
+	"testing"
+
+	"mpclogic/internal/cq"
+	"mpclogic/internal/policy"
+	"mpclogic/internal/rel"
+)
+
+// For CQ¬, parallel-correctness = soundness ∧ completeness, and both
+// can fail independently (Section 4.1, Theorem 4.9 discussion).
+func TestNegSoundnessCanFail(t *testing.T) {
+	d := rel.NewDict()
+	// Q: H(x) :- R(x), not S(x). Policy: R everywhere, S nowhere.
+	// A node deriving H(a) locally cannot see S(a) → unsound.
+	q := cq.MustParse(d, "H(x) :- R(x), not S(x)")
+	p := &policy.Func{
+		Nodes: 2,
+		Resp: func(κ policy.Node, f rel.Fact) bool {
+			return f.Rel == "R"
+		},
+	}
+	rep, err := ParallelCorrectNegBounded(q, p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sound {
+		t.Errorf("expected soundness failure")
+	}
+	if rep.SoundCex == nil {
+		t.Fatalf("no soundness counterexample")
+	}
+	// Verify the counterexample.
+	i := rep.SoundCex
+	if DistributedEval(q, p, i).SubsetOf(cq.Output(q, i)) {
+		t.Errorf("returned counterexample does not violate soundness")
+	}
+	if rep.Correct() {
+		t.Errorf("Correct() true despite unsoundness")
+	}
+}
+
+func TestNegCompletenessCanFail(t *testing.T) {
+	d := rel.NewDict()
+	_ = d
+	// Policy: R-facts to node 0 or 1 by parity of the value, S
+	// replicated. A fact R(v) with odd v lands on node 1 only; the
+	// derivation is complete. To break completeness, drop R entirely.
+	q := cq.MustParse(d, "H(x) :- R(x), not S(x)")
+	p := &policy.Func{
+		Nodes: 2,
+		Resp: func(κ policy.Node, f rel.Fact) bool {
+			return f.Rel == "S" // R-facts are lost
+		},
+	}
+	rep, err := ParallelCorrectNegBounded(q, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Complete {
+		t.Errorf("expected completeness failure")
+	}
+	if rep.CompleteCex == nil {
+		t.Fatalf("no completeness counterexample")
+	}
+	// Losing facts cannot create spurious derivations here: local
+	// instances are subsets and H(x):-R(x),¬S(x) with S replicated is
+	// sound (negated fact always visible).
+	if !rep.Sound {
+		t.Errorf("expected soundness to hold")
+	}
+}
+
+func TestNegCorrectUnderReplication(t *testing.T) {
+	d := rel.NewDict()
+	q := cq.MustParse(d, "H(x, y, z) :- E(x, y), E(y, z), not E(z, x)")
+	p := &policy.Replicate{Nodes: 3}
+	rep, err := ParallelCorrectNegBounded(q, p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Correct() {
+		t.Errorf("full replication should be parallel-correct for any query: %v", rep)
+	}
+	_ = d
+}
+
+func TestUCQNegBounded(t *testing.T) {
+	d := rel.NewDict()
+	u := cq.MustParseUCQ(d, "H(x) :- R(x), not S(x)\nH(x) :- T(x)")
+	p := &policy.Replicate{Nodes: 2}
+	rep, err := ParallelCorrectUCQNegBounded(u, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Correct() {
+		t.Errorf("replication incorrect for UCQ¬: %v", rep)
+	}
+	// Losing T breaks completeness of the union.
+	p2 := &policy.Func{
+		Nodes: 2,
+		Resp: func(κ policy.Node, f rel.Fact) bool {
+			return f.Rel != "T"
+		},
+	}
+	rep2, err := ParallelCorrectUCQNegBounded(u, p2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Complete {
+		t.Errorf("expected completeness failure when T-facts are lost")
+	}
+}
+
+// For monotone CQs (no negation), distributing never creates facts:
+// [Q,P](I) ⊆ Q(I) always — soundness is free, matching the paper's
+// remark that only CQ¬ needs the soundness side.
+func TestMonotoneAlwaysSound(t *testing.T) {
+	d := rel.NewDict()
+	q := cq.MustParse(d, "H(x, z) :- R(x, y), R(y, z)")
+	p := &policy.Hash{Nodes: 3}
+	i := rel.MustInstance(d, "R(a,b)", "R(b,c)", "R(c,d)", "R(d,a)")
+	if !DistributedEval(q, p, i).SubsetOf(cq.Output(q, i)) {
+		t.Errorf("monotone query produced spurious facts under distribution")
+	}
+}

@@ -1,0 +1,212 @@
+// Package pc implements the parallel-correctness framework of
+// Section 4 (Ameloot, Geck, Ketsman, Neven, Schwentick; PODS 2015):
+//
+//   - the distributed one-round evaluation [Q,P](I),
+//   - parallel-correctness on one instance (problem PCI) and on all
+//     instances (problem PC),
+//   - the saturation conditions (PC0) and (PC1) and the
+//     characterization of Proposition 4.6,
+//   - parallel-correctness transfer and its "covers" characterization
+//     (Definitions 4.10/4.12, Proposition 4.13),
+//   - unions of CQs, and bounded exact procedures for CQ¬ where
+//     correctness splits into parallel-soundness and completeness
+//     (Theorem 4.9).
+//
+// The decision procedures are exponential-time searches; Theorems 4.8,
+// 4.9 and 4.14 place the problems at Πᵖ₂, coNEXPTIME and Πᵖ₃, so this
+// is the canonical shape of an exact implementation.
+package pc
+
+import (
+	"fmt"
+
+	"mpclogic/internal/cq"
+	"mpclogic/internal/policy"
+	"mpclogic/internal/rel"
+)
+
+// DistributedEval computes [Q,P](I): the union over all nodes κ of
+// Q(loc-inst_{P,I}(κ)) — Section 4.1.
+func DistributedEval(q *cq.CQ, p policy.Policy, i *rel.Instance) *rel.Instance {
+	out := rel.NewInstance()
+	out.EnsureRelation(q.Head.Rel, len(q.Head.Args))
+	for κ := policy.Node(0); int(κ) < p.NumNodes(); κ++ {
+		local := policy.LocalInstance(p, i, κ)
+		out.AddAll(cq.Output(q, local))
+	}
+	return out
+}
+
+// DistributedEvalUCQ computes [Q,P](I) for a union of CQs.
+func DistributedEvalUCQ(u *cq.UCQ, p policy.Policy, i *rel.Instance) *rel.Instance {
+	out := rel.NewInstance()
+	h := u.Disjuncts[0].Head
+	out.EnsureRelation(h.Rel, len(h.Args))
+	for κ := policy.Node(0); int(κ) < p.NumNodes(); κ++ {
+		local := policy.LocalInstance(p, i, κ)
+		out.AddAll(cq.OutputUCQ(u, local))
+	}
+	return out
+}
+
+// ParallelCorrectOn decides problem PCI for a single instance:
+// Q(I) = [Q,P](I). It works for any CQ extension since it evaluates
+// directly.
+func ParallelCorrectOn(q *cq.CQ, p policy.Policy, i *rel.Instance) bool {
+	return cq.Output(q, i).Equal(DistributedEval(q, p, i))
+}
+
+// Witness explains a saturation failure: a valuation whose required
+// facts meet at no node.
+type Witness struct {
+	Valuation cq.Valuation
+	Facts     []rel.Fact
+}
+
+func (w *Witness) String() string {
+	return fmt.Sprintf("valuation %v requires %v which meet at no node", w.Valuation, w.Facts)
+}
+
+// universeOf resolves the universe for a decision: an explicit one wins;
+// otherwise the policy must implement policy.Universed.
+func universeOf(p policy.Policy, explicit []rel.Value) ([]rel.Value, error) {
+	if explicit != nil {
+		return explicit, nil
+	}
+	if u, ok := p.(policy.Universed); ok {
+		return u.Universe(), nil
+	}
+	return nil, fmt.Errorf("pc: policy carries no universe; pass one explicitly")
+}
+
+// StronglySaturates decides condition (PC0): every valuation for Q over
+// the universe has its required facts meet at some node. PC0 is
+// sufficient but not necessary for parallel-correctness (Example 4.3).
+// A nil universe defers to the policy's.
+func StronglySaturates(q *cq.CQ, p policy.Policy, universe []rel.Value) (bool, *Witness, error) {
+	if q.HasNegation() {
+		return false, nil, fmt.Errorf("pc: (PC0) is defined for CQs without negation")
+	}
+	u, err := universeOf(p, universe)
+	if err != nil {
+		return false, nil, err
+	}
+	var w *Witness
+	cq.AllValuations(q.Vars(), u, func(v cq.Valuation) bool {
+		if !v.SatisfiesDiseq(q) {
+			return true
+		}
+		facts := v.RequiredFacts(q)
+		if !policy.MeetsAtSomeNode(p, facts) {
+			w = &Witness{Valuation: v.Clone(), Facts: facts}
+			return false
+		}
+		return true
+	})
+	return w == nil, w, nil
+}
+
+// Saturates decides condition (PC1): every minimal valuation for Q over
+// the universe has its required facts meet at some node. By
+// Proposition 4.6 this is equivalent to parallel-correctness of Q
+// under P.
+func Saturates(q *cq.CQ, p policy.Policy, universe []rel.Value) (bool, *Witness, error) {
+	if q.HasNegation() {
+		return false, nil, fmt.Errorf("pc: (PC1) is defined for CQs without negation; use the bounded CQ¬ procedures")
+	}
+	u, err := universeOf(p, universe)
+	if err != nil {
+		return false, nil, err
+	}
+	var w *Witness
+	err = cq.EachMinimalValuation(q, u, func(v cq.Valuation) bool {
+		facts := v.RequiredFacts(q)
+		if !policy.MeetsAtSomeNode(p, facts) {
+			w = &Witness{Valuation: v.Clone(), Facts: facts}
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return false, nil, err
+	}
+	return w == nil, w, nil
+}
+
+// ParallelCorrect decides problem PC for a CQ (optionally with
+// inequalities) via Proposition 4.6.
+func ParallelCorrect(q *cq.CQ, p policy.Policy, universe []rel.Value) (bool, *Witness, error) {
+	return Saturates(q, p, universe)
+}
+
+// SaturatesUCQ decides parallel-correctness for a union of CQs. The
+// suitable notion of minimal valuation for unions ([Geck et al.]):
+// a valuation V for disjunct Qi is union-minimal if no valuation W for
+// any disjunct Qj derives the same head fact from a strict subset of
+// V's required facts.
+func SaturatesUCQ(u *cq.UCQ, p policy.Policy, universe []rel.Value) (bool, *Witness, error) {
+	if u.HasNegation() {
+		return false, nil, fmt.Errorf("pc: use bounded procedures for UCQ¬")
+	}
+	uni, err := universeOf(p, universe)
+	if err != nil {
+		return false, nil, err
+	}
+	var w *Witness
+	for _, q := range u.Disjuncts {
+		q := q
+		cq.AllValuations(q.Vars(), uni, func(v cq.Valuation) bool {
+			if !v.SatisfiesDiseq(q) {
+				return true
+			}
+			if !unionMinimal(u, q, v) {
+				return true
+			}
+			facts := v.RequiredFacts(q)
+			if !policy.MeetsAtSomeNode(p, facts) {
+				w = &Witness{Valuation: v.Clone(), Facts: facts}
+				return false
+			}
+			return true
+		})
+		if w != nil {
+			break
+		}
+	}
+	return w == nil, w, nil
+}
+
+// unionMinimal reports whether v (a valuation for disjunct q of u) is
+// minimal in the union sense. The dominating valuation only needs
+// values from adom(v(body_q)) plus the constants of the disjuncts.
+func unionMinimal(u *cq.UCQ, q *cq.CQ, v cq.Valuation) bool {
+	required := v.RequiredInstance(q)
+	head := v.Derives(q)
+	candidates := required.ADom()
+	for _, qj := range u.Disjuncts {
+		candidates = candidates.Union(qj.Constants())
+	}
+	universe := candidates.Sorted()
+	for _, qj := range u.Disjuncts {
+		qj := qj
+		dominated := false
+		cq.AllValuations(qj.Vars(), universe, func(w cq.Valuation) bool {
+			if !w.SatisfiesDiseq(qj) {
+				return true
+			}
+			if !w.Derives(qj).Equal(head) {
+				return true
+			}
+			wi := w.RequiredInstance(qj)
+			if wi.SubsetOf(required) && wi.Len() < required.Len() {
+				dominated = true
+				return false
+			}
+			return true
+		})
+		if dominated {
+			return false
+		}
+	}
+	return true
+}

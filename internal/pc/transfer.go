@@ -1,0 +1,164 @@
+package pc
+
+import (
+	"fmt"
+
+	"mpclogic/internal/cq"
+	"mpclogic/internal/rel"
+)
+
+// This file implements parallel-correctness transfer (Section 4.2).
+// Transfer from Q to Q′ holds iff Q covers Q′ (Proposition 4.13):
+// every minimal valuation V′ for Q′ is dominated by a minimal valuation
+// V for Q with V′(body_Q′) ⊆ V(body_Q). Deciding transfer is
+// Πᵖ₃-complete (Theorem 4.14); the procedure below is the canonical
+// exponential search, made exact by the isomorphism argument: it
+// suffices to check minimal valuations V′ over |vars(Q′)| fresh values
+// (plus all constants), and for each to search V over
+// adom(V′(body)) ∪ constants ∪ |vars(Q)| fresh values.
+
+// CoverWitness explains a transfer failure: a minimal valuation of the
+// target query that no minimal valuation of the source covers.
+type CoverWitness struct {
+	Valuation cq.Valuation // minimal valuation V′ for Q′
+	Facts     []rel.Fact   // V′(body_Q′)
+}
+
+func (w *CoverWitness) String() string {
+	return fmt.Sprintf("minimal valuation %v (requiring %v) is not covered", w.Valuation, w.Facts)
+}
+
+// Covers decides whether Q covers Q′ (Definition 4.12), equivalently
+// whether parallel-correctness transfers from Q to Q′.
+func Covers(q, qp *cq.CQ) (bool, *CoverWitness, error) {
+	if q.HasNegation() || qp.HasNegation() {
+		return false, nil, fmt.Errorf("pc: covers is defined for CQs without negation")
+	}
+	consts := q.Constants().Union(qp.Constants())
+
+	// Universe for enumerating minimal valuations of Q′: one fresh
+	// value per variable plus all constants.
+	uPrime := freshUniverse(consts, len(qp.Vars()))
+
+	var w *CoverWitness
+	err := cq.EachMinimalValuation(qp, uPrime, func(vp cq.Valuation) bool {
+		target := vp.RequiredInstance(qp)
+		// Universe for the covering valuation: values of the target
+		// facts, all constants, and enough fresh values for Q's
+		// variables.
+		base := target.ADom().Union(consts)
+		uQ := freshUniverse(base, len(q.Vars()))
+		covered := false
+		innerErr := cq.EachMinimalValuation(q, uQ, func(v cq.Valuation) bool {
+			if target.SubsetOf(v.RequiredInstance(q)) {
+				covered = true
+				return false
+			}
+			return true
+		})
+		if innerErr != nil {
+			// Propagate through the witness-free failure path.
+			w = &CoverWitness{Valuation: vp.Clone(), Facts: vp.RequiredFacts(qp)}
+			return false
+		}
+		if !covered {
+			w = &CoverWitness{Valuation: vp.Clone(), Facts: vp.RequiredFacts(qp)}
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return false, nil, err
+	}
+	return w == nil, w, nil
+}
+
+// Transfers decides whether parallel-correctness transfers from Q to
+// Q′ (Definition 4.10), via Proposition 4.13.
+func Transfers(q, qp *cq.CQ) (bool, *CoverWitness, error) {
+	return Covers(q, qp)
+}
+
+// freshUniverse returns the values of base plus n fresh values not in
+// base, in sorted order.
+func freshUniverse(base rel.ValueSet, n int) []rel.Value {
+	out := make(rel.ValueSet, len(base)+n)
+	out.AddAll(base)
+	next := rel.Value(1_000_000) // comfortably clear of test data
+	for added := 0; added < n; next++ {
+		if !out.Contains(next) {
+			out.Add(next)
+			added++
+		}
+	}
+	return out.Sorted()
+}
+
+// CoversUCQ decides parallel-correctness transfer between unions of
+// conjunctive queries ([Ameloot et al.]'s journal version extends
+// Theorem 4.14 to unions; the complexity stays Πᵖ₃). The union-minimal
+// valuations of the target must each be dominated by a union-minimal
+// valuation of the source.
+func CoversUCQ(u, up *cq.UCQ) (bool, *CoverWitness, error) {
+	if u.HasNegation() || up.HasNegation() {
+		return false, nil, fmt.Errorf("pc: covers is defined for unions without negation")
+	}
+	consts := make(rel.ValueSet)
+	for _, q := range u.Disjuncts {
+		consts.AddAll(q.Constants())
+	}
+	for _, q := range up.Disjuncts {
+		consts.AddAll(q.Constants())
+	}
+
+	var w *CoverWitness
+	for _, qp := range up.Disjuncts {
+		qp := qp
+		uPrime := freshUniverse(consts, len(qp.Vars()))
+		cq.AllValuations(qp.Vars(), uPrime, func(vp cq.Valuation) bool {
+			if !vp.SatisfiesDiseq(qp) {
+				return true
+			}
+			if !unionMinimal(up, qp, vp) {
+				return true
+			}
+			target := vp.RequiredInstance(qp)
+			base := target.ADom().Union(consts)
+			covered := false
+			for _, q := range u.Disjuncts {
+				q := q
+				uQ := freshUniverse(base, len(q.Vars()))
+				cq.AllValuations(q.Vars(), uQ, func(v cq.Valuation) bool {
+					if !v.SatisfiesDiseq(q) {
+						return true
+					}
+					if !unionMinimal(u, q, v) {
+						return true
+					}
+					if target.SubsetOf(v.RequiredInstance(q)) {
+						covered = true
+						return false
+					}
+					return true
+				})
+				if covered {
+					break
+				}
+			}
+			if !covered {
+				w = &CoverWitness{Valuation: vp.Clone(), Facts: vp.RequiredFacts(qp)}
+				return false
+			}
+			return true
+		})
+		if w != nil {
+			break
+		}
+	}
+	return w == nil, w, nil
+}
+
+// TransfersUCQ decides transfer between unions via CoversUCQ.
+func TransfersUCQ(u, up *cq.UCQ) (bool, *CoverWitness, error) {
+	return CoversUCQ(u, up)
+}

@@ -1,0 +1,317 @@
+package pc
+
+import (
+	"math/rand"
+	"testing"
+
+	"mpclogic/internal/cq"
+	"mpclogic/internal/rel"
+)
+
+func figure1Queries(d *rel.Dict) []*cq.CQ {
+	return []*cq.CQ{
+		cq.MustParse(d, "H() :- S(x), R(x, x), T(x)"), // Q1
+		cq.MustParse(d, "H() :- R(x, x), T(x)"),       // Q2
+		cq.MustParse(d, "H() :- S(x), R(x, y), T(y)"), // Q3
+		cq.MustParse(d, "H() :- R(x, y), T(y)"),       // Q4
+	}
+}
+
+// Figure 1(a) of the paper: parallel-correctness transfer among the
+// queries of Example 4.11. The transfer edges are Q3→Q4, Q3→Q1,
+// Q4→Q2, Q1→Q2 (plus reflexivity and the implied Q3→Q2). This matches
+// the paper's orthogonality discussion: Q3 vs Q4 agree with
+// containment, Q4 vs Q2 run opposite to containment, Q3→Q2 holds with
+// no containment, and Q1 ⊆ Q4 holds with no transfer.
+func TestFigure1Transfer(t *testing.T) {
+	d := rel.NewDict()
+	qs := figure1Queries(d)
+
+	got := [4][4]bool{}
+	for i, qi := range qs {
+		for j, qj := range qs {
+			ok, _, err := Transfers(qi, qj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got[i][j] = ok
+		}
+	}
+
+	// Expected matrix (source row → target column).
+	want := [4][4]bool{
+		{true, true, false, false},  // Q1 → Q1, Q2
+		{false, true, false, false}, // Q2 → Q2
+		{true, true, true, true},    // Q3 → all
+		{false, true, false, true},  // Q4 → Q2, Q4
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Errorf("transfer Q%d → Q%d: got %v, want %v", i+1, j+1, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+// Transfer is reflexive and transitive (it is defined by implication
+// over all policies).
+func TestTransferPreorder(t *testing.T) {
+	d := rel.NewDict()
+	qs := figure1Queries(d)
+	n := len(qs)
+	m := make([][]bool, n)
+	for i := range m {
+		m[i] = make([]bool, n)
+		for j := range m[i] {
+			ok, _, err := Transfers(qs[i], qs[j])
+			if err != nil {
+				t.Fatal(err)
+			}
+			m[i][j] = ok
+		}
+		if !m[i][i] {
+			t.Errorf("transfer not reflexive at Q%d", i+1)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				if m[i][j] && m[j][k] && !m[i][k] {
+					t.Errorf("transfer not transitive: Q%d→Q%d→Q%d", i+1, j+1, k+1)
+				}
+			}
+		}
+	}
+}
+
+// Orthogonality with containment (the point of Figure 1): all four
+// combinations of (transfer, containment) occur among Q1–Q4.
+func TestFigure1Orthogonality(t *testing.T) {
+	d := rel.NewDict()
+	qs := figure1Queries(d)
+	type combo struct{ transfer, contained bool }
+	seen := map[combo][2]int{}
+	for i, qi := range qs {
+		for j, qj := range qs {
+			if i == j {
+				continue
+			}
+			tr, _, err := Transfers(qi, qj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Compare with containment Qi ⊆ Qj.
+			cn, err := cq.Contained(qi, qj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seen[combo{tr, cn}] = [2]int{i + 1, j + 1}
+		}
+	}
+	for _, c := range []combo{{true, true}, {true, false}, {false, true}, {false, false}} {
+		if _, ok := seen[c]; !ok {
+			t.Errorf("combination transfer=%v contained=%v not witnessed; Figure 1 says it should be", c.transfer, c.contained)
+		}
+	}
+}
+
+// Proposition 4.13 validated semantically: for random finite policies,
+// whenever Q is parallel-correct and Q covers Q′, Q′ is parallel-
+// correct too; and when covers fails, some policy separates them.
+func TestPropCoversMatchesSemantics(t *testing.T) {
+	d := rel.NewDict()
+	qs := figure1Queries(d)
+	universe := []rel.Value{0, 1}
+	r := rand.New(rand.NewSource(31))
+
+	for i, q := range qs {
+		for j, qp := range qs {
+			cov, _, err := Covers(q, qp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			schema := rel.Schema{"R": 2, "S": 1, "T": 1}
+			foundSep := false
+			for trial := 0; trial < 120; trial++ {
+				p := randomFinitePolicy(r, schema, universe, 2)
+				okQ, _, err := Saturates(q, p, universe)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !okQ {
+					continue
+				}
+				okQp, _, err := Saturates(qp, p, universe)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if cov && !okQp {
+					t.Fatalf("Q%d covers Q%d but a policy has Q%d correct and Q%d not", i+1, j+1, i+1, j+1)
+				}
+				if !okQp {
+					foundSep = true
+				}
+			}
+			_ = foundSep // separation need not be witnessed on tiny universes
+		}
+	}
+}
+
+// Full queries transfer to each other iff body containment holds in
+// the right direction; spot-check the tractable-case intuition
+// ([14,15] lower the complexity for full queries).
+func TestTransferFullQueries(t *testing.T) {
+	d := rel.NewDict()
+	join := cq.MustParse(d, "H(x, y, z) :- R(x, y), S(y, z)")
+	tri := cq.MustParse(d, "H(x, y, z) :- R(x, y), S(y, z), T(z, x)")
+	// Every triangle valuation's facts strictly include a join
+	// valuation's facts, so triangle-correctness transfers to the join…
+	ok, _, err := Transfers(tri, join)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("triangle should transfer to binary join")
+	}
+	// …but not the other way: join bodies never contain a T-fact.
+	ok, _, err = Transfers(join, tri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Errorf("binary join should not transfer to triangle")
+	}
+	ok, _, err = Transfers(join, join)
+	if err != nil || !ok {
+		t.Errorf("self-transfer failed: %v %v", ok, err)
+	}
+}
+
+func TestCoversRejectsNegation(t *testing.T) {
+	d := rel.NewDict()
+	q := cq.MustParse(d, "H(x) :- R(x), not S(x)")
+	q2 := cq.MustParse(d, "H(x) :- R(x)")
+	if _, _, err := Covers(q, q2); err == nil {
+		t.Errorf("negation accepted by Covers")
+	}
+}
+
+func TestCoverWitnessString(t *testing.T) {
+	d := rel.NewDict()
+	q1 := cq.MustParse(d, "H() :- S(x), R(x, x), T(x)")
+	q4 := cq.MustParse(d, "H() :- R(x, y), T(y)")
+	ok, w, err := Transfers(q1, q4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok || w == nil {
+		t.Fatalf("expected failure with witness")
+	}
+	if w.String() == "" {
+		t.Errorf("empty witness string")
+	}
+}
+
+// UCQ transfer reduces to CQ transfer on singletons and handles
+// genuinely union phenomena: a union can transfer where no single
+// disjunct does.
+func TestTransfersUCQ(t *testing.T) {
+	d := rel.NewDict()
+	// Singleton unions agree with the CQ decision.
+	qs := figure1Queries(d)
+	for i, qi := range qs {
+		for j, qj := range qs {
+			ui := &cq.UCQ{Disjuncts: []*cq.CQ{qi}}
+			uj := &cq.UCQ{Disjuncts: []*cq.CQ{qj}}
+			got, _, err := TransfersUCQ(ui, uj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, _, err := Transfers(qi, qj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("UCQ transfer Q%d→Q%d = %v, CQ says %v", i+1, j+1, got, want)
+			}
+		}
+	}
+
+	// A union target: transfer must cover EVERY disjunct's minimal
+	// valuations. Q3 covers Q1 and Q2 individually, so it covers their
+	// union.
+	u3 := &cq.UCQ{Disjuncts: []*cq.CQ{qs[2]}}
+	u12 := &cq.UCQ{Disjuncts: []*cq.CQ{qs[0], qs[1]}}
+	ok, _, err := TransfersUCQ(u3, u12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("Q3 should transfer to Q1 ∪ Q2")
+	}
+	// Q1 covers Q2 but not Q3, so Q1 does not cover Q2 ∪ Q3.
+	u1 := &cq.UCQ{Disjuncts: []*cq.CQ{qs[0]}}
+	u23 := &cq.UCQ{Disjuncts: []*cq.CQ{qs[1], qs[2]}}
+	ok, w, err := TransfersUCQ(u1, u23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok || w == nil {
+		t.Errorf("Q1 should not transfer to Q2 ∪ Q3")
+	}
+
+	// A union source can cover a target no single disjunct covers:
+	// target Q2 ∪ Q... use: source = Q1 ∪ Q4 versus target Q2 ∪ Q4:
+	// Q1 covers Q2 and Q4 covers Q4.
+	u14 := &cq.UCQ{Disjuncts: []*cq.CQ{qs[0], qs[3]}}
+	u24 := &cq.UCQ{Disjuncts: []*cq.CQ{qs[1], qs[3]}}
+	ok, _, err = TransfersUCQ(u14, u24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("Q1 ∪ Q4 should transfer to Q2 ∪ Q4")
+	}
+
+	neg := cq.MustParse(d, "H(x) :- R(x, y), not S(x)")
+	if _, _, err := TransfersUCQ(&cq.UCQ{Disjuncts: []*cq.CQ{neg}}, u1); err == nil {
+		t.Errorf("negated union accepted")
+	}
+}
+
+// Semantic cross-check of UCQ transfer: whenever the union-source is
+// parallel-correct under a random policy, the union-target is too.
+func TestPropUCQTransferSemantics(t *testing.T) {
+	d := rel.NewDict()
+	qs := figure1Queries(d)
+	u3 := &cq.UCQ{Disjuncts: []*cq.CQ{qs[2]}}
+	u12 := &cq.UCQ{Disjuncts: []*cq.CQ{qs[0], qs[1]}}
+	cov, _, err := TransfersUCQ(u3, u12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cov {
+		t.Fatal("precondition: Q3 transfers to Q1 ∪ Q2")
+	}
+	universe := []rel.Value{0, 1}
+	schema := rel.Schema{"R": 2, "S": 1, "T": 1}
+	r := rand.New(rand.NewSource(15))
+	for trial := 0; trial < 60; trial++ {
+		pol := randomFinitePolicy(r, schema, universe, 2)
+		srcOK, _, err := SaturatesUCQ(u3, pol, universe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !srcOK {
+			continue
+		}
+		dstOK, _, err := SaturatesUCQ(u12, pol, universe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dstOK {
+			t.Fatalf("trial %d: transfer claimed but target incorrect", trial)
+		}
+	}
+}

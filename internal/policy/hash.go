@@ -1,0 +1,245 @@
+package policy
+
+import (
+	"sort"
+
+	"mpclogic/internal/rel"
+)
+
+// Hash routes each fact to a single node by hashing selected attribute
+// positions per relation — the repartition strategy of Example 3.1(1a).
+// Relations without a configured key are hashed on the whole tuple.
+type Hash struct {
+	Nodes int
+	// Keys maps a relation name to the attribute positions to hash on.
+	Keys map[string][]int
+	// Seed perturbs the hash so independent rounds use independent
+	// hash functions (h and h′ of Example 3.1(2)).
+	Seed uint64
+}
+
+// NumNodes implements Policy.
+func (p *Hash) NumNodes() int { return p.Nodes }
+
+// target computes the single node for f.
+func (p *Hash) target(f rel.Fact) Node {
+	cols, ok := p.Keys[f.Rel]
+	var t rel.Tuple
+	if ok {
+		t = f.Tuple.Project(cols)
+	} else {
+		t = f.Tuple
+	}
+	return Node((t.Hash() ^ p.Seed) % uint64(p.Nodes))
+}
+
+// NodesFor implements Policy.
+func (p *Hash) NodesFor(f rel.Fact) []Node { return []Node{p.target(f)} }
+
+// Responsible implements Policy.
+func (p *Hash) Responsible(κ Node, f rel.Fact) bool { return p.target(f) == κ }
+
+// Range implements a primary horizontal fragmentation: tuples of one
+// relation are routed by comparing an attribute against thresholds
+// (the "area code" example of Section 4.1). Facts of other relations
+// are replicated everywhere, matching the common pattern of
+// partitioning a fact table and replicating dimensions.
+type Range struct {
+	Nodes int
+	Rel   string
+	Col   int
+	// Cuts holds ascending thresholds; node i is responsible for
+	// values v with Cuts[i-1] ≤ v < Cuts[i] (node 0: v < Cuts[0],
+	// last node: v ≥ Cuts[len-1]). len(Cuts) must be Nodes-1.
+	Cuts []rel.Value
+}
+
+// NumNodes implements Policy.
+func (p *Range) NumNodes() int { return p.Nodes }
+
+func (p *Range) target(f rel.Fact) (Node, bool) {
+	if f.Rel != p.Rel || p.Col >= len(f.Tuple) {
+		return 0, false
+	}
+	v := f.Tuple[p.Col]
+	i := sort.Search(len(p.Cuts), func(i int) bool { return v < p.Cuts[i] })
+	return Node(i), true
+}
+
+// NodesFor implements Policy.
+func (p *Range) NodesFor(f rel.Fact) []Node {
+	if κ, ok := p.target(f); ok {
+		return []Node{κ}
+	}
+	out := make([]Node, p.Nodes)
+	for i := range out {
+		out[i] = Node(i)
+	}
+	return out
+}
+
+// Responsible implements Policy.
+func (p *Range) Responsible(κ Node, f rel.Fact) bool {
+	if t, ok := p.target(f); ok {
+		return t == κ
+	}
+	return int(κ) >= 0 && int(κ) < p.Nodes
+}
+
+// DomainGuided is the policy P_α induced by a domain assignment
+// α: dom → 2^N (Section 5.2.2): every node in α(a) is responsible for
+// every fact containing a. Values without an explicit assignment use
+// a deterministic hash-based default of DefaultWidth nodes, so the
+// assignment is total as the definition requires. Facts with no values
+// (arity 0) are replicated everywhere.
+type DomainGuided struct {
+	Nodes int
+	// Alpha maps a value to the nodes assigned to it.
+	Alpha map[rel.Value][]Node
+	// DefaultWidth is how many nodes an unassigned value maps to
+	// (minimum 1).
+	DefaultWidth int
+	Seed         uint64
+}
+
+// NumNodes implements Policy.
+func (p *DomainGuided) NumNodes() int { return p.Nodes }
+
+// ValueNodes returns α(v).
+func (p *DomainGuided) ValueNodes(v rel.Value) []Node {
+	if ns, ok := p.Alpha[v]; ok {
+		return ns
+	}
+	w := p.DefaultWidth
+	if w < 1 {
+		w = 1
+	}
+	if w > p.Nodes {
+		w = p.Nodes
+	}
+	start := (rel.Tuple{v}).Hash() ^ p.Seed
+	out := make([]Node, w)
+	for i := 0; i < w; i++ {
+		out[i] = Node((start + uint64(i)) % uint64(p.Nodes))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NodesFor implements Policy.
+func (p *DomainGuided) NodesFor(f rel.Fact) []Node {
+	if len(f.Tuple) == 0 {
+		out := make([]Node, p.Nodes)
+		for i := range out {
+			out[i] = Node(i)
+		}
+		return out
+	}
+	set := map[Node]bool{}
+	for _, v := range f.Tuple {
+		for _, κ := range p.ValueNodes(v) {
+			set[κ] = true
+		}
+	}
+	out := make([]Node, 0, len(set))
+	for κ := range set {
+		out = append(out, κ)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Responsible implements Policy.
+func (p *DomainGuided) Responsible(κ Node, f rel.Fact) bool {
+	if len(f.Tuple) == 0 {
+		return int(κ) >= 0 && int(κ) < p.Nodes
+	}
+	for _, v := range f.Tuple {
+		for _, n := range p.ValueNodes(v) {
+			if n == κ {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// PerRelation dispatches to a different sub-policy per relation name —
+// the common production pattern of partitioning fact tables while
+// replicating dimension tables. Facts of unlisted relations use
+// Default (or go nowhere if Default is nil).
+type PerRelation struct {
+	Nodes    int
+	Policies map[string]Policy
+	Default  Policy
+}
+
+// NumNodes implements Policy.
+func (p *PerRelation) NumNodes() int { return p.Nodes }
+
+func (p *PerRelation) sub(f rel.Fact) Policy {
+	if s, ok := p.Policies[f.Rel]; ok {
+		return s
+	}
+	return p.Default
+}
+
+// NodesFor implements Policy.
+func (p *PerRelation) NodesFor(f rel.Fact) []Node {
+	if s := p.sub(f); s != nil {
+		return s.NodesFor(f)
+	}
+	return nil
+}
+
+// Responsible implements Policy.
+func (p *PerRelation) Responsible(κ Node, f rel.Fact) bool {
+	if s := p.sub(f); s != nil {
+		return s.Responsible(κ, f)
+	}
+	return false
+}
+
+// Union composes policies by union of responsibility: a node is
+// responsible for a fact when any member policy says so. Useful for
+// layering a replication policy for hot facts over a base partition.
+type Union struct {
+	Members []Policy
+}
+
+// NumNodes implements Policy.
+func (p *Union) NumNodes() int {
+	max := 0
+	for _, m := range p.Members {
+		if m.NumNodes() > max {
+			max = m.NumNodes()
+		}
+	}
+	return max
+}
+
+// NodesFor implements Policy.
+func (p *Union) NodesFor(f rel.Fact) []Node {
+	set := map[Node]bool{}
+	for _, m := range p.Members {
+		for _, κ := range m.NodesFor(f) {
+			set[κ] = true
+		}
+	}
+	out := make([]Node, 0, len(set))
+	for κ := range set {
+		out = append(out, κ)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Responsible implements Policy.
+func (p *Union) Responsible(κ Node, f rel.Fact) bool {
+	for _, m := range p.Members {
+		if m.Responsible(κ, f) {
+			return true
+		}
+	}
+	return false
+}

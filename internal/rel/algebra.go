@@ -1,0 +1,158 @@
+package rel
+
+// This file implements a small positional relational algebra over
+// *Relation. It is the local evaluation engine used at each MPC server
+// and inside the Datalog engine. All operators are set-semantics and
+// allocate fresh result relations.
+
+// Select returns the tuples of r satisfying pred.
+func Select(r *Relation, pred func(Tuple) bool) *Relation {
+	out := NewRelation(r.Name, r.Arity)
+	r.Each(func(t Tuple) bool {
+		if pred(t) {
+			out.Add(t)
+		}
+		return true
+	})
+	return out
+}
+
+// Project returns r projected onto cols, named name.
+func Project(r *Relation, name string, cols []int) *Relation {
+	out := NewRelation(name, len(cols))
+	r.Each(func(t Tuple) bool {
+		out.Add(t.Project(cols))
+		return true
+	})
+	return out
+}
+
+// Union returns l ∪ r; arities must match.
+func Union(name string, l, r *Relation) *Relation {
+	if l.Arity != r.Arity {
+		panic("rel: union arity mismatch")
+	}
+	out := NewRelation(name, l.Arity)
+	out.UnionWith(l)
+	out.UnionWith(r)
+	return out
+}
+
+// Diff returns l ∖ r; arities must match.
+func Diff(name string, l, r *Relation) *Relation {
+	if l.Arity != r.Arity {
+		panic("rel: diff arity mismatch")
+	}
+	out := NewRelation(name, l.Arity)
+	l.Each(func(t Tuple) bool {
+		if !r.Contains(t) {
+			out.Add(t)
+		}
+		return true
+	})
+	return out
+}
+
+// Intersect returns l ∩ r; arities must match.
+func Intersect(name string, l, r *Relation) *Relation {
+	if l.Arity != r.Arity {
+		panic("rel: intersect arity mismatch")
+	}
+	small, big := l, r
+	if big.Len() < small.Len() {
+		small, big = big, small
+	}
+	out := NewRelation(name, l.Arity)
+	small.Each(func(t Tuple) bool {
+		if big.Contains(t) {
+			out.Add(t)
+		}
+		return true
+	})
+	return out
+}
+
+// HashJoin computes the equi-join of l and r on the column lists
+// lCols/rCols (same length). The result tuple is the concatenation of
+// the l-tuple and the r-tuple (all columns of both, join columns
+// duplicated), with arity l.Arity + r.Arity.
+func HashJoin(name string, l, r *Relation, lCols, rCols []int) *Relation {
+	if len(lCols) != len(rCols) {
+		panic("rel: join column count mismatch")
+	}
+	out := NewRelation(name, l.Arity+r.Arity)
+	// Build on the smaller side.
+	build, probe := l, r
+	bCols, pCols := lCols, rCols
+	swapped := false
+	if r.Len() < l.Len() {
+		build, probe = r, l
+		bCols, pCols = rCols, lCols
+		swapped = true
+	}
+	idx := make(map[string][]Tuple, build.Len())
+	build.Each(func(t Tuple) bool {
+		k := t.Project(bCols).Key()
+		idx[k] = append(idx[k], t)
+		return true
+	})
+	probe.Each(func(t Tuple) bool {
+		k := t.Project(pCols).Key()
+		for _, b := range idx[k] {
+			if swapped {
+				out.Add(t.Concat(b))
+			} else {
+				out.Add(b.Concat(t))
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// SemiJoin returns the tuples of l that join with at least one tuple of
+// r on the given columns (l ⋉ r).
+func SemiJoin(l, r *Relation, lCols, rCols []int) *Relation {
+	if len(lCols) != len(rCols) {
+		panic("rel: semijoin column count mismatch")
+	}
+	keys := make(map[string]struct{}, r.Len())
+	r.Each(func(t Tuple) bool {
+		keys[t.Project(rCols).Key()] = struct{}{}
+		return true
+	})
+	out := NewRelation(l.Name, l.Arity)
+	l.Each(func(t Tuple) bool {
+		if _, ok := keys[t.Project(lCols).Key()]; ok {
+			out.Add(t)
+		}
+		return true
+	})
+	return out
+}
+
+// AntiJoin returns the tuples of l that join with no tuple of r on the
+// given columns (l ▷ r).
+func AntiJoin(l, r *Relation, lCols, rCols []int) *Relation {
+	if len(lCols) != len(rCols) {
+		panic("rel: antijoin column count mismatch")
+	}
+	keys := make(map[string]struct{}, r.Len())
+	r.Each(func(t Tuple) bool {
+		keys[t.Project(rCols).Key()] = struct{}{}
+		return true
+	})
+	out := NewRelation(l.Name, l.Arity)
+	l.Each(func(t Tuple) bool {
+		if _, ok := keys[t.Project(lCols).Key()]; !ok {
+			out.Add(t)
+		}
+		return true
+	})
+	return out
+}
+
+// Product returns the Cartesian product l × r.
+func Product(name string, l, r *Relation) *Relation {
+	return HashJoin(name, l, r, nil, nil)
+}

@@ -1,0 +1,95 @@
+package rel
+
+import "sort"
+
+// Components splits an instance into its connected components in the
+// sense of Section 5.2.2: J is a component of I when J ⊆ I, J ≠ ∅,
+// adom(J) ∩ adom(I∖J) = ∅, and J is minimal with this property.
+// Equivalently: group facts by the connected components of the graph on
+// adom(I) in which the values of each fact form a clique.
+//
+// Facts of arity 0 share no domain values with anything; each such fact
+// forms its own component.
+func Components(i *Instance) []*Instance {
+	// Union-find over domain values.
+	uf := newUnionFind()
+	i.Each(func(f Fact) bool {
+		if len(f.Tuple) == 0 {
+			return true
+		}
+		first := f.Tuple[0]
+		uf.add(first)
+		for _, v := range f.Tuple[1:] {
+			uf.add(v)
+			uf.union(first, v)
+		}
+		return true
+	})
+
+	byRoot := make(map[Value]*Instance)
+	var zeroArity []*Instance
+	i.Each(func(f Fact) bool {
+		if len(f.Tuple) == 0 {
+			zeroArity = append(zeroArity, FromFacts(f))
+			return true
+		}
+		root := uf.find(f.Tuple[0])
+		inst, ok := byRoot[root]
+		if !ok {
+			inst = NewInstance()
+			byRoot[root] = inst
+		}
+		inst.Add(f)
+		return true
+	})
+
+	roots := make([]Value, 0, len(byRoot))
+	for r := range byRoot {
+		roots = append(roots, r)
+	}
+	sort.Slice(roots, func(a, b int) bool { return roots[a] < roots[b] })
+	out := make([]*Instance, 0, len(byRoot)+len(zeroArity))
+	for _, r := range roots {
+		out = append(out, byRoot[r])
+	}
+	out = append(out, zeroArity...)
+	return out
+}
+
+// unionFind is a classic disjoint-set forest over Values with path
+// halving and union by size.
+type unionFind struct {
+	parent map[Value]Value
+	size   map[Value]int
+}
+
+func newUnionFind() *unionFind {
+	return &unionFind{parent: make(map[Value]Value), size: make(map[Value]int)}
+}
+
+func (u *unionFind) add(v Value) {
+	if _, ok := u.parent[v]; !ok {
+		u.parent[v] = v
+		u.size[v] = 1
+	}
+}
+
+func (u *unionFind) find(v Value) Value {
+	for u.parent[v] != v {
+		u.parent[v] = u.parent[u.parent[v]]
+		v = u.parent[v]
+	}
+	return v
+}
+
+func (u *unionFind) union(a, b Value) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if u.size[ra] < u.size[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	u.size[ra] += u.size[rb]
+}

@@ -1,0 +1,262 @@
+package rel
+
+import (
+	"sort"
+	"strings"
+)
+
+// Instance is a database instance: a finite set of facts, organized per
+// relation. The zero value is not usable; call NewInstance.
+type Instance struct {
+	rels map[string]*Relation
+}
+
+// NewInstance returns an empty instance.
+func NewInstance() *Instance {
+	return &Instance{rels: make(map[string]*Relation)}
+}
+
+// FromFacts builds an instance containing exactly the given facts.
+func FromFacts(fs ...Fact) *Instance {
+	i := NewInstance()
+	for _, f := range fs {
+		i.Add(f)
+	}
+	return i
+}
+
+// Add inserts f, creating its relation on first use. It reports whether
+// the fact was new.
+func (i *Instance) Add(f Fact) bool {
+	r, ok := i.rels[f.Rel]
+	if !ok {
+		r = NewRelation(f.Rel, len(f.Tuple))
+		i.rels[f.Rel] = r
+	}
+	return r.Add(f.Tuple)
+}
+
+// AddAll inserts every fact of j into i, returning how many were new.
+func (i *Instance) AddAll(j *Instance) int {
+	added := 0
+	for name, rj := range j.rels {
+		ri, ok := i.rels[name]
+		if !ok {
+			i.rels[name] = rj.Clone()
+			added += rj.Len()
+			continue
+		}
+		added += ri.UnionWith(rj)
+	}
+	return added
+}
+
+// Contains reports whether f is in the instance.
+func (i *Instance) Contains(f Fact) bool {
+	r, ok := i.rels[f.Rel]
+	return ok && r.Contains(f.Tuple)
+}
+
+// Remove deletes f, reporting whether it was present.
+func (i *Instance) Remove(f Fact) bool {
+	r, ok := i.rels[f.Rel]
+	return ok && r.Remove(f.Tuple)
+}
+
+// Relation returns the named relation, or nil if the instance holds no
+// tuples for it.
+func (i *Instance) Relation(name string) *Relation {
+	return i.rels[name]
+}
+
+// EnsureRelation returns the named relation, creating an empty one with
+// the given arity if absent.
+func (i *Instance) EnsureRelation(name string, arity int) *Relation {
+	r, ok := i.rels[name]
+	if !ok {
+		r = NewRelation(name, arity)
+		i.rels[name] = r
+	}
+	return r
+}
+
+// SetRelation installs (replaces) a relation wholesale.
+func (i *Instance) SetRelation(r *Relation) { i.rels[r.Name] = r }
+
+// RelationNames returns the names of nonempty relations, sorted.
+func (i *Instance) RelationNames() []string {
+	out := make([]string, 0, len(i.rels))
+	for name, r := range i.rels {
+		if r.Len() > 0 {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the total number of facts.
+func (i *Instance) Len() int {
+	n := 0
+	for _, r := range i.rels {
+		n += r.Len()
+	}
+	return n
+}
+
+// IsEmpty reports whether the instance holds no facts.
+func (i *Instance) IsEmpty() bool { return i.Len() == 0 }
+
+// Facts returns every fact in unspecified order.
+func (i *Instance) Facts() []Fact {
+	out := make([]Fact, 0, i.Len())
+	for name, r := range i.rels {
+		r.Each(func(t Tuple) bool {
+			out = append(out, Fact{Rel: name, Tuple: t})
+			return true
+		})
+	}
+	return out
+}
+
+// SortedFacts returns every fact ordered by (relation, tuple).
+func (i *Instance) SortedFacts() []Fact {
+	out := i.Facts()
+	SortFacts(out)
+	return out
+}
+
+// Each calls fn for every fact; iteration stops if fn returns false.
+func (i *Instance) Each(fn func(Fact) bool) {
+	for name, r := range i.rels {
+		stop := false
+		r.Each(func(t Tuple) bool {
+			if !fn(Fact{Rel: name, Tuple: t}) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+	}
+}
+
+// ADom returns adom(I), the set of values occurring in the instance.
+func (i *Instance) ADom() ValueSet {
+	s := make(ValueSet)
+	for _, r := range i.rels {
+		r.Each(func(t Tuple) bool {
+			for _, v := range t {
+				s.Add(v)
+			}
+			return true
+		})
+	}
+	return s
+}
+
+// Clone returns a deep copy.
+func (i *Instance) Clone() *Instance {
+	out := NewInstance()
+	for name, r := range i.rels {
+		out.rels[name] = r.Clone()
+	}
+	return out
+}
+
+// Union returns a fresh instance with the facts of both i and j.
+func (i *Instance) Union(j *Instance) *Instance {
+	out := i.Clone()
+	out.AddAll(j)
+	return out
+}
+
+// Equal reports whether i and j contain exactly the same facts.
+func (i *Instance) Equal(j *Instance) bool {
+	if i.Len() != j.Len() {
+		return false
+	}
+	for name, r := range i.rels {
+		if r.Len() == 0 {
+			continue
+		}
+		ro, ok := j.rels[name]
+		if !ok || !r.Equal(ro) {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every fact of i is in j.
+func (i *Instance) SubsetOf(j *Instance) bool {
+	ok := true
+	i.Each(func(f Fact) bool {
+		if !j.Contains(f) {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// Induced returns I|C = { f in I | adom(f) ⊆ C }, the subinstance
+// induced by the value set C (Lemma 5.7 of the paper).
+func (i *Instance) Induced(c ValueSet) *Instance {
+	out := NewInstance()
+	i.Each(func(f Fact) bool {
+		if f.ADom().SubsetOf(c) {
+			out.Add(f)
+		}
+		return true
+	})
+	return out
+}
+
+// Filter returns the subinstance of facts satisfying keep.
+func (i *Instance) Filter(keep func(Fact) bool) *Instance {
+	out := NewInstance()
+	i.Each(func(f Fact) bool {
+		if keep(f) {
+			out.Add(f)
+		}
+		return true
+	})
+	return out
+}
+
+// String renders the instance as a sorted, comma-separated fact list
+// with raw numeric values.
+func (i *Instance) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for k, f := range i.SortedFacts() {
+		if k > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(f.String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// StringWith renders the instance with symbolic names from d.
+func (i *Instance) StringWith(d *Dict) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for k, f := range i.SortedFacts() {
+		if k > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(f.StringWith(d))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func sortFactsSlice(fs []Fact) {
+	sort.Slice(fs, func(i, j int) bool { return fs[i].Less(fs[j]) })
+}

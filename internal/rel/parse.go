@@ -1,0 +1,54 @@
+package rel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseFact parses a symbolic fact like "R(a, b)" or "Ok()" against the
+// given Dict, interning value names as needed. Relation names and value
+// names are arbitrary identifier-like strings without commas or parens.
+func ParseFact(d *Dict, s string) (Fact, error) {
+	s = strings.TrimSpace(s)
+	open := strings.IndexByte(s, '(')
+	if open <= 0 || !strings.HasSuffix(s, ")") {
+		return Fact{}, fmt.Errorf("rel: malformed fact %q", s)
+	}
+	rel := strings.TrimSpace(s[:open])
+	inner := strings.TrimSpace(s[open+1 : len(s)-1])
+	if rel == "" {
+		return Fact{}, fmt.Errorf("rel: malformed fact %q", s)
+	}
+	if inner == "" {
+		return Fact{Rel: rel}, nil
+	}
+	parts := strings.Split(inner, ",")
+	t := make(Tuple, len(parts))
+	for i, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return Fact{}, fmt.Errorf("rel: empty value in fact %q", s)
+		}
+		t[i] = d.Value(p)
+	}
+	return Fact{Rel: rel, Tuple: t}, nil
+}
+
+// MustFact is ParseFact that panics on error; for tests and examples.
+func MustFact(d *Dict, s string) Fact {
+	f, err := ParseFact(d, s)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// MustInstance builds an instance from symbolic facts; for tests and
+// examples: MustInstance(d, "R(a,b)", "S(b,c)").
+func MustInstance(d *Dict, facts ...string) *Instance {
+	i := NewInstance()
+	for _, s := range facts {
+		i.Add(MustFact(d, s))
+	}
+	return i
+}

@@ -1,0 +1,170 @@
+package rel
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomRelation draws a relation with small arity and values so that
+// collisions (and therefore set semantics) are actually exercised.
+func randomRelation(r *rand.Rand, name string, arity, n int) *Relation {
+	out := NewRelation(name, arity)
+	for i := 0; i < n; i++ {
+		t := make(Tuple, arity)
+		for j := range t {
+			t[j] = Value(r.Intn(6))
+		}
+		out.Add(t)
+	}
+	return out
+}
+
+func TestPropTupleKeyRoundTrip(t *testing.T) {
+	f := func(a, b, c int64) bool {
+		t1 := Tuple{Value(a), Value(b), Value(c)}
+		t2 := Tuple{Value(a), Value(b), Value(c)}
+		return t1.Key() == t2.Key() && t1.Hash() == t2.Hash()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropTupleKeyDistinct(t *testing.T) {
+	f := func(a, b int64) bool {
+		if a == b {
+			return true
+		}
+		return Tuple{Value(a)}.Key() != Tuple{Value(b)}.Key()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Union is commutative, associative, idempotent on instances.
+func TestPropInstanceUnionLaws(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		a := randomInstance(r)
+		b := randomInstance(r)
+		c := randomInstance(r)
+		if !a.Union(b).Equal(b.Union(a)) {
+			t.Fatalf("union not commutative")
+		}
+		if !a.Union(b).Union(c).Equal(a.Union(b.Union(c))) {
+			t.Fatalf("union not associative")
+		}
+		if !a.Union(a).Equal(a) {
+			t.Fatalf("union not idempotent")
+		}
+	}
+}
+
+func randomInstance(r *rand.Rand) *Instance {
+	i := NewInstance()
+	n := r.Intn(12)
+	for k := 0; k < n; k++ {
+		rel := []string{"R", "S"}[r.Intn(2)]
+		i.Add(NewFact(rel, Value(r.Intn(5)), Value(r.Intn(5))))
+	}
+	return i
+}
+
+// Semijoin then antijoin partition the left side.
+func TestPropSemiAntiPartition(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		l := randomRelation(r, "L", 2, r.Intn(20))
+		rr := randomRelation(r, "R", 2, r.Intn(20))
+		cols := []int{r.Intn(2)}
+		rcols := []int{r.Intn(2)}
+		semi := SemiJoin(l, rr, cols, rcols)
+		anti := AntiJoin(l, rr, cols, rcols)
+		if semi.Len()+anti.Len() != l.Len() {
+			t.Fatalf("semi+anti != l: %d + %d != %d", semi.Len(), anti.Len(), l.Len())
+		}
+		u := Union("U", semi, anti)
+		if !u.Equal(l) {
+			t.Fatalf("semi ∪ anti != l")
+		}
+	}
+}
+
+// Join output projected back to the left columns is exactly the semijoin.
+func TestPropJoinProjectsToSemijoin(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		l := randomRelation(r, "L", 2, r.Intn(15))
+		rr := randomRelation(r, "R", 2, r.Intn(15))
+		j := HashJoin("J", l, rr, []int{1}, []int{0})
+		proj := Project(j, "P", []int{0, 1})
+		semi := SemiJoin(l, rr, []int{1}, []int{0})
+		if !proj.Equal(semi) {
+			t.Fatalf("π_L(L⋈R) != L⋉R:\n%v\nvs\n%v", proj.SortedTuples(), semi.SortedTuples())
+		}
+	}
+}
+
+// Components are a partition and each is domain-disjoint from the rest.
+func TestPropComponentsPartition(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 60; trial++ {
+		i := randomInstance(r)
+		comps := Components(i)
+		joined := NewInstance()
+		for idx, c := range comps {
+			if c.IsEmpty() {
+				t.Fatalf("empty component")
+			}
+			joined.AddAll(c)
+			for jdx, o := range comps {
+				if idx != jdx && c.ADom().Intersects(o.ADom()) {
+					t.Fatalf("components not domain-disjoint")
+				}
+			}
+		}
+		if !joined.Equal(i) {
+			t.Fatalf("components do not reassemble instance")
+		}
+	}
+}
+
+// Induced is monotone and idempotent.
+func TestPropInducedLaws(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 60; trial++ {
+		i := randomInstance(r)
+		c := make(ValueSet)
+		for v := range i.ADom() {
+			if r.Intn(2) == 0 {
+				c.Add(v)
+			}
+		}
+		ind := i.Induced(c)
+		if !ind.SubsetOf(i) {
+			t.Fatalf("induced not a subinstance")
+		}
+		if !ind.Induced(c).Equal(ind) {
+			t.Fatalf("induced not idempotent")
+		}
+		if !ind.ADom().SubsetOf(c) {
+			t.Fatalf("induced adom escapes C")
+		}
+	}
+}
+
+func TestPropDiffUnionRestores(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 60; trial++ {
+		a := randomRelation(r, "A", 2, r.Intn(20))
+		b := randomRelation(r, "B", 2, r.Intn(20))
+		// (a ∖ b) ∪ (a ∩ b) == a
+		d := Diff("D", a, b)
+		in := Intersect("I", a, b)
+		if !Union("U", d, in).Equal(a) {
+			t.Fatalf("(a∖b) ∪ (a∩b) != a")
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package rel
+
+import "sort"
+
+// Relation is a named, fixed-arity set of tuples.
+type Relation struct {
+	Name  string
+	Arity int
+	set   map[string]Tuple
+}
+
+// NewRelation returns an empty relation.
+func NewRelation(name string, arity int) *Relation {
+	return &Relation{Name: name, Arity: arity, set: make(map[string]Tuple)}
+}
+
+// Add inserts t, reporting whether it was new. Add panics if the arity
+// is wrong: arity errors are programming errors, not data errors.
+func (r *Relation) Add(t Tuple) bool {
+	if len(t) != r.Arity {
+		panic("rel: arity mismatch in " + r.Name)
+	}
+	k := t.Key()
+	if _, ok := r.set[k]; ok {
+		return false
+	}
+	r.set[k] = t
+	return true
+}
+
+// Contains reports whether t is in the relation.
+func (r *Relation) Contains(t Tuple) bool {
+	_, ok := r.set[t.Key()]
+	return ok
+}
+
+// Remove deletes t, reporting whether it was present.
+func (r *Relation) Remove(t Tuple) bool {
+	k := t.Key()
+	if _, ok := r.set[k]; !ok {
+		return false
+	}
+	delete(r.set, k)
+	return true
+}
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.set) }
+
+// Each calls fn for every tuple in unspecified order; fn must not
+// mutate the relation. Iteration stops early if fn returns false.
+func (r *Relation) Each(fn func(Tuple) bool) {
+	for _, t := range r.set {
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+// Tuples returns all tuples in unspecified order.
+func (r *Relation) Tuples() []Tuple {
+	out := make([]Tuple, 0, len(r.set))
+	for _, t := range r.set {
+		out = append(out, t)
+	}
+	return out
+}
+
+// SortedTuples returns all tuples in lexicographic order, for
+// deterministic output.
+func (r *Relation) SortedTuples() []Tuple {
+	out := r.Tuples()
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Clone returns a deep copy of the relation.
+func (r *Relation) Clone() *Relation {
+	out := NewRelation(r.Name, r.Arity)
+	for k, t := range r.set {
+		out.set[k] = t
+	}
+	return out
+}
+
+// UnionWith adds every tuple of o into r; o must have the same arity.
+// It returns the number of tuples that were new.
+func (r *Relation) UnionWith(o *Relation) int {
+	if r.Arity != o.Arity && o.Len() > 0 {
+		panic("rel: arity mismatch in union of " + r.Name)
+	}
+	added := 0
+	for k, t := range o.set {
+		if _, ok := r.set[k]; !ok {
+			r.set[k] = t
+			added++
+		}
+	}
+	return added
+}
+
+// Equal reports whether r and o contain exactly the same tuples.
+func (r *Relation) Equal(o *Relation) bool {
+	if r.Len() != o.Len() || r.Arity != o.Arity {
+		return false
+	}
+	for k := range r.set {
+		if _, ok := o.set[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// ADom returns the set of values occurring in the relation.
+func (r *Relation) ADom() ValueSet {
+	s := make(ValueSet)
+	for _, t := range r.set {
+		for _, v := range t {
+			s.Add(v)
+		}
+	}
+	return s
+}

@@ -1,0 +1,28 @@
+package scale_test
+
+import (
+	"fmt"
+
+	"mpclogic/internal/cq"
+	"mpclogic/internal/rel"
+	"mpclogic/internal/scale"
+)
+
+// Friends-of-friends of a fixed user is boundedly evaluable when the
+// follows relation has bounded out-degree: the plan touches at most
+// 5 + 25 facts regardless of how large the graph is.
+func ExampleAnalyze() {
+	d := rel.NewDict()
+	q := cq.MustParse(d, "H(y, z) :- Follows(0, y), Follows(y, z)")
+	cons := scale.Constraints{{Rel: "Follows", On: []int{0}, Fanout: 5}}
+	plan, _ := scale.Analyze(q, cons)
+	fmt.Println("steps:", len(plan.Steps), "bound:", plan.Bound)
+
+	// Without a constant entry point the query is unbounded.
+	q2 := cq.MustParse(d, "H(x, y) :- Follows(x, y)")
+	_, err := scale.Analyze(q2, cons)
+	fmt.Println("unbounded rejected:", err != nil)
+	// Output:
+	// steps: 2 bound: 30
+	// unbounded rejected: true
+}

@@ -1,0 +1,263 @@
+// Package scale implements a simplified form of scale independence
+// (Fan, Geerts, Libkin — PODS 2014, cited in Section 6 of Neven's
+// survey): some queries need only a small subset of the data, whose
+// size is determined by the query's structure and the available access
+// methods rather than by the size of the database.
+//
+// An access constraint Rel: (cols → fanout) promises that for any
+// binding of the listed columns at most `fanout` tuples match (think:
+// a user follows at most 5000 accounts). A conjunctive query is
+// boundedly evaluable under a set of constraints when its atoms can be
+// ordered so that each is fetched through a constraint whose input
+// columns are already bound — by constants or by earlier atoms. The
+// number of facts touched is then at most the product of the fan-outs,
+// independent of |D|.
+package scale
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mpclogic/internal/cq"
+	"mpclogic/internal/rel"
+)
+
+// Access is one access constraint: given values for columns On of
+// relation Rel, at most Fanout tuples match. On may be empty, meaning
+// the whole relation has at most Fanout tuples (a "small" relation).
+type Access struct {
+	Rel    string
+	On     []int
+	Fanout int
+}
+
+func (a Access) String() string {
+	cols := make([]string, len(a.On))
+	for i, c := range a.On {
+		cols[i] = fmt.Sprint(c)
+	}
+	return fmt.Sprintf("%s(%s)→%d", a.Rel, strings.Join(cols, ","), a.Fanout)
+}
+
+// Constraints is the access schema: the constraints available per
+// relation.
+type Constraints []Access
+
+// Step is one fetch in a bounded query plan: retrieve the tuples of
+// Atom matching the bound columns via the chosen constraint.
+type Step struct {
+	AtomIndex int
+	Via       Access
+}
+
+// Plan is a bounded evaluation plan with its worst-case fetch bound.
+type Plan struct {
+	Query *cq.CQ
+	Steps []Step
+	// Bound is the worst-case number of fetched facts: the sum over
+	// steps of the product of fan-outs up to that step.
+	Bound int
+}
+
+// Analyze decides bounded evaluability of a pure CQ under the access
+// schema, greedily building a plan: at each point it picks an
+// unfetched atom that has a usable constraint (all input columns bound
+// by constants or earlier atoms), preferring the smallest fan-out.
+// Greedy selection is complete here: fetching an atom only ever binds
+// more variables, so usable atoms stay usable.
+func Analyze(q *cq.CQ, cons Constraints) (*Plan, error) {
+	if q.HasNegation() {
+		return nil, fmt.Errorf("scale: bounded evaluability for positive queries")
+	}
+	byRel := map[string][]Access{}
+	for _, a := range cons {
+		byRel[a.Rel] = append(byRel[a.Rel], a)
+	}
+	for _, as := range byRel {
+		sort.Slice(as, func(i, j int) bool { return as[i].Fanout < as[j].Fanout })
+	}
+
+	bound := map[string]bool{}
+	fetched := make([]bool, len(q.Body))
+	plan := &Plan{Query: q}
+	width := 1 // bindings alive before the next step
+
+	usable := func(ai int) (Access, bool) {
+		a := q.Body[ai]
+		for _, acc := range byRel[a.Rel] {
+			ok := true
+			for _, col := range acc.On {
+				if col >= len(a.Args) {
+					ok = false
+					break
+				}
+				t := a.Args[col]
+				if t.IsVar() && !bound[t.Var] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return acc, true
+			}
+		}
+		return Access{}, false
+	}
+
+	for steps := 0; steps < len(q.Body); steps++ {
+		best, bestFan := -1, 0
+		var bestAcc Access
+		for ai := range q.Body {
+			if fetched[ai] {
+				continue
+			}
+			if acc, ok := usable(ai); ok && (best < 0 || acc.Fanout < bestFan) {
+				best, bestFan, bestAcc = ai, acc.Fanout, acc
+			}
+		}
+		if best < 0 {
+			var stuck []string
+			for ai, a := range q.Body {
+				if !fetched[ai] {
+					stuck = append(stuck, a.String())
+				}
+			}
+			return nil, fmt.Errorf("scale: not boundedly evaluable; no access constraint covers %s", strings.Join(stuck, ", "))
+		}
+		fetched[best] = true
+		plan.Steps = append(plan.Steps, Step{AtomIndex: best, Via: bestAcc})
+		width *= bestAcc.Fanout
+		plan.Bound += width
+		for _, v := range q.Body[best].Vars() {
+			bound[v] = true
+		}
+	}
+	return plan, nil
+}
+
+// Execute runs a bounded plan on an instance, touching only the facts
+// the plan fetches, and reports the result together with the number of
+// facts actually fetched (which must stay within Plan.Bound as long as
+// the instance honours the declared constraints).
+func Execute(p *Plan, inst *rel.Instance) (*rel.Relation, int, error) {
+	q := p.Query
+	type partial struct {
+		v cq.Valuation
+	}
+	cur := []partial{{v: cq.Valuation{}}}
+	fetched := 0
+	for _, step := range p.Steps {
+		atom := q.Body[step.AtomIndex]
+		src := inst.Relation(atom.Rel)
+		var next []partial
+		for _, pa := range cur {
+			matches := fetchMatching(src, atom, step.Via, pa.v)
+			fetched += len(matches)
+			for _, t := range matches {
+				nv, ok := extend(pa.v, atom, t)
+				if ok {
+					next = append(next, partial{v: nv})
+				}
+			}
+		}
+		cur = next
+		if len(cur) == 0 {
+			break
+		}
+	}
+	out := rel.NewRelation(q.Head.Rel, len(q.Head.Args))
+	for _, pa := range cur {
+		if !pa.v.SatisfiesDiseq(q) {
+			continue
+		}
+		h := make(rel.Tuple, len(q.Head.Args))
+		for i, t := range q.Head.Args {
+			if t.IsVar() {
+				h[i] = pa.v[t.Var]
+			} else {
+				h[i] = t.Const
+			}
+		}
+		out.Add(h)
+	}
+	return out, fetched, nil
+}
+
+// fetchMatching returns the tuples of src matching the atom's
+// constants and the valuation's bindings on the constraint's input
+// columns (an index lookup in a real system; a filtered scan counted
+// as |result| fetches here).
+func fetchMatching(src *rel.Relation, atom cq.Atom, via Access, v cq.Valuation) []rel.Tuple {
+	if src == nil {
+		return nil
+	}
+	want := make(map[int]rel.Value)
+	for _, col := range via.On {
+		t := atom.Args[col]
+		if t.IsVar() {
+			want[col] = v[t.Var]
+		} else {
+			want[col] = t.Const
+		}
+	}
+	var out []rel.Tuple
+	src.Each(func(t rel.Tuple) bool {
+		for col, val := range want {
+			if t[col] != val {
+				return true
+			}
+		}
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+// extend unifies a fetched tuple with the atom under the current
+// valuation, returning the extended valuation.
+func extend(v cq.Valuation, atom cq.Atom, t rel.Tuple) (cq.Valuation, bool) {
+	nv := v.Clone()
+	for i, arg := range atom.Args {
+		if !arg.IsVar() {
+			if t[i] != arg.Const {
+				return nil, false
+			}
+			continue
+		}
+		if val, ok := nv[arg.Var]; ok {
+			if val != t[i] {
+				return nil, false
+			}
+			continue
+		}
+		nv[arg.Var] = t[i]
+	}
+	return nv, true
+}
+
+// Verify checks that an instance honours the declared constraints
+// (useful for generators and tests).
+func Verify(cons Constraints, inst *rel.Instance) error {
+	for _, acc := range cons {
+		r := inst.Relation(acc.Rel)
+		if r == nil {
+			continue
+		}
+		counts := map[string]int{}
+		bad := false
+		r.Each(func(t rel.Tuple) bool {
+			key := t.Project(acc.On).Key()
+			counts[key]++
+			if counts[key] > acc.Fanout {
+				bad = true
+				return false
+			}
+			return true
+		})
+		if bad {
+			return fmt.Errorf("scale: instance violates %s", acc)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,23 @@
+package stream_test
+
+import (
+	"fmt"
+
+	"mpclogic/internal/rel"
+	"mpclogic/internal/stream"
+)
+
+// A streaming semijoin with one boolean flag of memory per key group:
+// pass 1 detects the S-side, pass 2 emits the surviving R-tuples.
+func ExampleSemiJoin() {
+	d := rel.NewDict()
+	inst := rel.MustInstance(d, "R(a,1)", "R(b,2)", "S(1)")
+	n := &stream.Network{
+		Machines:  2,
+		Key:       stream.KeyOn(map[string][]int{"R": {1}, "S": {0}}),
+		Automaton: stream.SemiJoin("R", "S"),
+	}
+	out, st, _ := n.Run(inst.Facts())
+	fmt.Println(out.StringWith(d), "memory/group:", st.MemoryPerGroup)
+	// Output: {R(a,1)} memory/group: 1
+}

@@ -1,0 +1,167 @@
+package transducer
+
+import (
+	"mpclogic/internal/policy"
+	"mpclogic/internal/rel"
+)
+
+// This file implements the policy-aware strategies of Section 5.2.2:
+// nodes can query the distribution policy P^H on facts over their
+// local active domain, which lets them convert local absence into
+// global absence and thereby evaluate Mdistinct queries without
+// coordination (Theorem 5.8).
+
+// OpenTriangle is Example 5.4's program, verbatim: broadcast local
+// edges; when edges E(a,b), E(b,c) are known, E(c,a) is not, and this
+// node is responsible for E(c,a), output the open triangle (a,b,c).
+// Output facts are H(a,b,c).
+type OpenTriangle struct{}
+
+// Start implements Program.
+func (o *OpenTriangle) Start(ctx *Context) {
+	ctx.State().Each(func(f rel.Fact) bool {
+		ctx.Broadcast(f)
+		return true
+	})
+	o.emit(ctx)
+}
+
+// OnMessage implements Program.
+func (o *OpenTriangle) OnMessage(ctx *Context, _ policy.Node, f rel.Fact) {
+	if ctx.State().Add(f) {
+		o.emit(ctx)
+	}
+}
+
+func (o *OpenTriangle) emit(ctx *Context) {
+	e := ctx.State().Relation("E")
+	if e == nil {
+		return
+	}
+	e.Each(func(ab rel.Tuple) bool {
+		e.Each(func(bc rel.Tuple) bool {
+			if ab[1] != bc[0] {
+				return true
+			}
+			closing := rel.NewFact("E", bc[1], ab[0])
+			if ctx.State().Contains(closing) {
+				return true
+			}
+			if ctx.ResponsibleFor(closing) {
+				ctx.Output(rel.NewFact("H", ab[0], ab[1], bc[1]))
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// DistinctComplete is the generic strategy for Q ∈ Mdistinct from
+// Section 5.2.2: broadcast everything; whenever a value set C is
+// distinct-complete for this node (every candidate fact over C is
+// either present or this node is responsible for it and can vouch for
+// its absence), output Q(state|C). Soundness needs only Q ∈ Mdistinct
+// (Lemma 5.7); completeness of the union additionally needs the
+// policy to let some node vouch for each relevant absent fact.
+type DistinctComplete struct {
+	Q      Query
+	Schema rel.Schema
+	// MaxADom caps the exhaustive subset enumeration; larger active
+	// domains fall back to the single maximal greedy C.
+	MaxADom int
+}
+
+// Start implements Program.
+func (dc *DistinctComplete) Start(ctx *Context) {
+	ctx.State().Each(func(f rel.Fact) bool {
+		ctx.Broadcast(f)
+		return true
+	})
+	dc.emit(ctx)
+}
+
+// OnMessage implements Program.
+func (dc *DistinctComplete) OnMessage(ctx *Context, _ policy.Node, f rel.Fact) {
+	if ctx.State().Add(f) {
+		dc.emit(ctx)
+	}
+}
+
+// known reports whether this node can determine the status of f:
+// present, or absent-but-vouchable.
+func (dc *DistinctComplete) known(ctx *Context, f rel.Fact) bool {
+	return ctx.State().Contains(f) || ctx.ResponsibleFor(f)
+}
+
+func (dc *DistinctComplete) emit(ctx *Context) {
+	state := dataFacts(ctx.State())
+	adom := state.ADom().Sorted()
+	max := dc.MaxADom
+	if max <= 0 {
+		max = 12
+	}
+	if len(adom) > max {
+		dc.emitGreedy(ctx, state, adom)
+		return
+	}
+	n := uint(len(adom))
+	for mask := uint64(1); mask < 1<<n; mask++ {
+		c := make(rel.ValueSet)
+		for b := uint(0); b < n; b++ {
+			if mask&(1<<b) != 0 {
+				c.Add(adom[b])
+			}
+		}
+		if dc.complete(ctx, c) {
+			dc.Q(state.Induced(c)).Each(func(f rel.Fact) bool {
+				ctx.Output(f)
+				return true
+			})
+		}
+	}
+}
+
+// complete reports whether C is distinct-complete for this node.
+func (dc *DistinctComplete) complete(ctx *Context, c rel.ValueSet) bool {
+	for _, f := range dc.Schema.AllFacts(c.Sorted()) {
+		if !dc.known(ctx, f) {
+			return false
+		}
+	}
+	return true
+}
+
+// emitGreedy finds one large distinct-complete C by dropping the most
+// conflicted values.
+func (dc *DistinctComplete) emitGreedy(ctx *Context, state *rel.Instance, adom []rel.Value) {
+	c := rel.NewValueSet(adom...)
+	for {
+		conflicts := map[rel.Value]int{}
+		ok := true
+		for _, f := range dc.Schema.AllFacts(c.Sorted()) {
+			if !dc.known(ctx, f) {
+				ok = false
+				for v := range f.ADom() {
+					conflicts[v]++
+				}
+			}
+		}
+		if ok {
+			break
+		}
+		worst, worstN := rel.Value(0), -1
+		for v, n := range conflicts {
+			if n > worstN || (n == worstN && v < worst) {
+				worst, worstN = v, n
+			}
+		}
+		delete(c, worst)
+		if len(c) == 0 {
+			return
+		}
+	}
+	dc.Q(state.Induced(c)).Each(func(f rel.Fact) bool {
+		ctx.Output(f)
+		return true
+	})
+}

@@ -1,0 +1,335 @@
+// Package transducer implements relational transducer networks
+// (Section 5 of Neven, PODS 2016; Ameloot-Neven-Van den Bussche): a
+// set of computing nodes, each running the same program over its
+// relational state, communicating asynchronously through broadcasts
+// with arbitrary message delay, under an eventually consistent,
+// write-only-output semantics.
+//
+// The runtime models arbitrary delay with a seeded random scheduler
+// that repeatedly delivers one pending message to its destination
+// (fairness: the run only ends when every buffer is empty, so no
+// message is ignored forever). Outputs are write-only: once emitted,
+// a fact cannot be retracted, which is exactly the eventual-
+// consistency discipline of the model.
+//
+// The package also implements the paper's evaluation strategies:
+// naive broadcast for monotone queries (Example 5.1(1)), an explicit
+// coordination protocol for arbitrary queries (Example 5.1(2)), the
+// policy-aware distinct-complete strategy for Mdistinct (Theorem 5.8,
+// Example 5.4), and the domain-guided disjoint-complete strategy for
+// Mdisjoint (Theorem 5.12).
+package transducer
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"mpclogic/internal/policy"
+	"mpclogic/internal/rel"
+)
+
+// Program is the behaviour every node runs. Start is the node's first
+// transition (before any delivery); OnMessage is one transition
+// consuming one message. Programs interact with the node through the
+// Context and must be deterministic functions of (state, input).
+type Program interface {
+	Start(ctx *Context)
+	OnMessage(ctx *Context, from policy.Node, f rel.Fact)
+}
+
+// Context is a node's view of itself during a transition.
+type Context struct {
+	Self policy.Node
+	// All lists the network's nodes, or nil when the network is
+	// oblivious (the classes A0/A1/A2 have no access to All).
+	All []policy.Node
+
+	net   *Network
+	state *rel.Instance
+}
+
+// State returns the node's relational state (local database plus
+// everything received and any auxiliary relations the program keeps).
+func (c *Context) State() *rel.Instance { return c.state }
+
+// Output emits a fact to the node's write-only output relation.
+func (c *Context) Output(f rel.Fact) {
+	c.net.outputs[c.Self].Add(f)
+}
+
+// Broadcast sends f to every other node.
+func (c *Context) Broadcast(f rel.Fact) {
+	for i := 0; i < c.net.p; i++ {
+		if policy.Node(i) != c.Self {
+			c.net.enqueue(c.Self, policy.Node(i), f)
+		}
+	}
+}
+
+// Send sends f to one node (direct messaging; the paper notes this is
+// simulable by tagged broadcast).
+func (c *Context) Send(to policy.Node, f rel.Fact) {
+	c.net.enqueue(c.Self, to, f)
+}
+
+// PolicyAware reports whether the network carries a queryable
+// distribution policy.
+func (c *Context) PolicyAware() bool { return c.net.pol != nil }
+
+// ResponsibleFor asks the distribution policy whether this node is
+// responsible for f. Faithful to the model, the query is only
+// permitted for facts over the node's local active domain; violating
+// that is a programming error and panics.
+func (c *Context) ResponsibleFor(f rel.Fact) bool {
+	if c.net.pol == nil {
+		panic("transducer: network is not policy-aware")
+	}
+	adom := c.state.ADom()
+	for v := range f.ADom() {
+		if !adom.Contains(v) {
+			panic(fmt.Sprintf("transducer: policy queried outside local active domain (value %d)", v))
+		}
+	}
+	return c.net.pol.Responsible(c.Self, f)
+}
+
+// DomainNodes returns the nodes assigned to value v under a
+// domain-guided policy; it panics for other policies or for values
+// outside the local active domain.
+func (c *Context) DomainNodes(v rel.Value) []policy.Node {
+	dg, ok := c.net.pol.(*policy.DomainGuided)
+	if !ok {
+		panic("transducer: network policy is not domain-guided")
+	}
+	if !c.state.ADom().Contains(v) {
+		panic("transducer: domain query outside local active domain")
+	}
+	return dg.ValueNodes(v)
+}
+
+// message is an in-flight fact.
+type message struct {
+	from, to policy.Node
+	fact     rel.Fact
+}
+
+// Stats summarizes a run. Control messages are protocol facts
+// (relation names starting with the reserved prefix) as opposed to
+// data facts; their share quantifies how much a strategy coordinates —
+// the metric Section 6 of the paper asks for.
+type Stats struct {
+	Sent        int // messages enqueued
+	ControlSent int // of which control-plane (non-data) facts
+	Delivered   int // messages read from buffers
+	Steps       int // transitions executed (Start + deliveries)
+}
+
+// CoordinationRatio is the fraction of sent messages that were
+// control-plane traffic (0 for pure data-shipping strategies).
+func (s Stats) CoordinationRatio() float64 {
+	if s.Sent == 0 {
+		return 0
+	}
+	return float64(s.ControlSent) / float64(s.Sent)
+}
+
+// Network is a relational transducer network instance.
+type Network struct {
+	p        int
+	programs []Program
+	ctxs     []*Context
+	outputs  []*rel.Instance
+	buffers  [][]message
+	rng      *rand.Rand
+	pol      policy.Policy
+	aware    bool // nodes see All
+	silent   bool // messages are never delivered (coordination-freeness probe)
+	stats    Stats
+}
+
+// Option configures a network.
+type Option func(*Network)
+
+// WithPolicy makes nodes policy-aware (classes F1/F2).
+func WithPolicy(p policy.Policy) Option {
+	return func(n *Network) { n.pol = p }
+}
+
+// Oblivious removes the All relation (classes A0/A1/A2).
+func Oblivious() Option {
+	return func(n *Network) { n.aware = false }
+}
+
+// WithSeed seeds the delay-simulating scheduler.
+func WithSeed(seed int64) Option {
+	return func(n *Network) { n.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// New builds a network of p nodes, each running the program returned
+// by mk.
+func New(p int, mk func() Program, opts ...Option) *Network {
+	n := &Network{
+		p:        p,
+		programs: make([]Program, p),
+		ctxs:     make([]*Context, p),
+		outputs:  make([]*rel.Instance, p),
+		buffers:  make([][]message, p),
+		rng:      rand.New(rand.NewSource(1)),
+		aware:    true,
+	}
+	for i := 0; i < p; i++ {
+		n.programs[i] = mk()
+		n.outputs[i] = rel.NewInstance()
+		n.ctxs[i] = &Context{Self: policy.Node(i), net: n, state: rel.NewInstance()}
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	if n.aware {
+		all := make([]policy.Node, p)
+		for i := range all {
+			all[i] = policy.Node(i)
+		}
+		for _, c := range n.ctxs {
+			c.All = all
+		}
+	}
+	return n
+}
+
+// LoadParts installs an explicit horizontal distribution: parts[i]
+// becomes node i's local database. The union of the parts is the
+// global instance.
+func (n *Network) LoadParts(parts []*rel.Instance) error {
+	if len(parts) != n.p {
+		return fmt.Errorf("transducer: %d parts for %d nodes", len(parts), n.p)
+	}
+	for i, part := range parts {
+		n.ctxs[i].state = part.Clone()
+	}
+	return nil
+}
+
+// LoadPolicy distributes the global instance according to a
+// distribution policy P^H (every node gets loc-inst(κ)).
+func (n *Network) LoadPolicy(i *rel.Instance, p policy.Policy) error {
+	if p.NumNodes() != n.p {
+		return fmt.Errorf("transducer: policy has %d nodes, network %d", p.NumNodes(), n.p)
+	}
+	return n.LoadParts(policy.Distribute(p, i))
+}
+
+// LoadReplicated gives every node the full instance — the ideal
+// distribution of the coordination-freeness definition.
+func (n *Network) LoadReplicated(i *rel.Instance) {
+	for _, c := range n.ctxs {
+		c.state = i.Clone()
+	}
+}
+
+func (n *Network) enqueue(from, to policy.Node, f rel.Fact) {
+	n.stats.Sent++
+	if ControlFact(f) {
+		n.stats.ControlSent++
+	}
+	if n.silent {
+		return // sent but never read
+	}
+	n.buffers[to] = append(n.buffers[to], message{from: from, to: to, fact: f.Clone()})
+}
+
+// MaxSteps bounds a run; programs that never quiesce are reported as
+// errors rather than looping forever.
+const MaxSteps = 2_000_000
+
+// Run executes the network to quiescence: every node takes its Start
+// transition (in random order), then pending messages are delivered
+// one at a time in random order until all buffers drain. It returns
+// the run statistics.
+func (n *Network) Run() (Stats, error) {
+	n.start()
+	for {
+		// Nodes with pending messages.
+		var pending []int
+		for i, b := range n.buffers {
+			if len(b) > 0 {
+				pending = append(pending, i)
+			}
+		}
+		if len(pending) == 0 {
+			return n.stats, nil
+		}
+		if n.stats.Steps > MaxSteps {
+			return n.stats, fmt.Errorf("transducer: no quiescence after %d steps", MaxSteps)
+		}
+		// Arbitrary delay: pick a random pending node and a random
+		// buffered message (not necessarily the oldest).
+		ni := pending[n.rng.Intn(len(pending))]
+		b := n.buffers[ni]
+		mi := n.rng.Intn(len(b))
+		m := b[mi]
+		b[mi] = b[len(b)-1]
+		n.buffers[ni] = b[:len(b)-1]
+
+		n.stats.Delivered++
+		n.stats.Steps++
+		n.programs[ni].OnMessage(n.ctxs[ni], m.from, m.fact)
+	}
+}
+
+// RunSilent executes only the Start transitions and discards every
+// sent message — the "no input messages are ever read" regime of the
+// coordination-freeness definition. The network must already hold the
+// ideal distribution.
+func (n *Network) RunSilent() Stats {
+	n.silent = true
+	n.start()
+	n.silent = false
+	return n.stats
+}
+
+func (n *Network) start() {
+	order := n.rng.Perm(n.p)
+	for _, i := range order {
+		n.stats.Steps++
+		n.programs[i].Start(n.ctxs[i])
+	}
+}
+
+// Output returns the union of all nodes' output relations.
+func (n *Network) Output() *rel.Instance {
+	out := rel.NewInstance()
+	for _, o := range n.outputs {
+		out.AddAll(o)
+	}
+	return out
+}
+
+// NodeOutput returns one node's output.
+func (n *Network) NodeOutput(i policy.Node) *rel.Instance { return n.outputs[i] }
+
+// Stats returns the statistics so far.
+func (n *Network) Stats() Stats { return n.stats }
+
+// reservedPrefix marks control-plane relations; workloads must not use
+// it.
+const reservedPrefix = "⟂"
+
+// ControlFact reports whether f is a protocol control fact rather than
+// data.
+func ControlFact(f rel.Fact) bool {
+	return len(f.Rel) >= len(reservedPrefix) && f.Rel[:len(reservedPrefix)] == reservedPrefix
+}
+
+// dataFacts filters control facts out of an instance.
+func dataFacts(i *rel.Instance) *rel.Instance {
+	return i.Filter(func(f rel.Fact) bool { return !ControlFact(f) })
+}
+
+// sortedNodes renders node lists deterministically (for tests).
+func sortedNodes(ns []policy.Node) []policy.Node {
+	out := append([]policy.Node(nil), ns...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,156 @@
+package transducer
+
+import (
+	"mpclogic/internal/policy"
+	"mpclogic/internal/rel"
+)
+
+// Query is a generic query over instances, the object transducer
+// networks compute.
+type Query func(*rel.Instance) *rel.Instance
+
+// MonotoneBroadcast is the naive strategy of Example 5.1(1): output
+// Q(state) immediately and whenever state grows, and broadcast the
+// local database once. For monotone Q every run of this program
+// computes Q on every network and distribution, and the program is
+// coordination-free (ideal distribution: full replication).
+type MonotoneBroadcast struct {
+	Q Query
+}
+
+// Start implements Program.
+func (m *MonotoneBroadcast) Start(ctx *Context) {
+	ctx.State().Each(func(f rel.Fact) bool {
+		ctx.Broadcast(f)
+		return true
+	})
+	m.emit(ctx)
+}
+
+// OnMessage implements Program.
+func (m *MonotoneBroadcast) OnMessage(ctx *Context, _ policy.Node, f rel.Fact) {
+	if ctx.State().Add(f) {
+		m.emit(ctx)
+	}
+}
+
+func (m *MonotoneBroadcast) emit(ctx *Context) {
+	m.Q(dataFacts(ctx.State())).Each(func(f rel.Fact) bool {
+		ctx.Output(f)
+		return true
+	})
+}
+
+// Coordinated evaluates an arbitrary query with an explicit
+// coordination protocol in the spirit of Example 5.1(2): every node
+// broadcasts its data plus a count of how many facts it contributed;
+// a node outputs Q(state) only once it has received every node's
+// complete contribution. It requires knowledge of All — it is not
+// coordination-free, and CoordinationMessages counts the control
+// traffic it needed.
+type Coordinated struct {
+	Q Query
+
+	counts   map[policy.Node]int // announced contribution sizes
+	received map[policy.Node]int // data facts received per origin
+	done     bool
+}
+
+const countRel = reservedPrefix + "count"
+
+// Start implements Program.
+func (c *Coordinated) Start(ctx *Context) {
+	c.counts = map[policy.Node]int{}
+	c.received = map[policy.Node]int{}
+	n := 0
+	ctx.State().Each(func(f rel.Fact) bool {
+		ctx.Broadcast(f)
+		n++
+		return true
+	})
+	c.counts[ctx.Self] = n
+	c.received[ctx.Self] = n
+	ctx.Broadcast(rel.NewFact(countRel, rel.Value(n)))
+	c.maybeOutput(ctx)
+}
+
+// OnMessage implements Program.
+func (c *Coordinated) OnMessage(ctx *Context, from policy.Node, f rel.Fact) {
+	if f.Rel == countRel {
+		c.counts[from] = int(f.Tuple[0])
+	} else if ctx.State().Add(f) {
+		c.received[from]++
+	} else {
+		// Duplicate data (e.g. two nodes held the same fact): still
+		// counts toward the origin's contribution.
+		c.received[from]++
+	}
+	c.maybeOutput(ctx)
+}
+
+func (c *Coordinated) maybeOutput(ctx *Context) {
+	if c.done {
+		return
+	}
+	if ctx.All == nil {
+		// Oblivious networks cannot run this protocol: without All a
+		// node can never know every contribution has arrived. Staying
+		// silent (rather than guessing) keeps the run sound — and is
+		// exactly why A0 = M (Theorem 5.3).
+		return
+	}
+	for _, κ := range ctx.All {
+		n, ok := c.counts[κ]
+		if !ok || c.received[κ] < n {
+			return
+		}
+	}
+	c.done = true
+	c.Q(dataFacts(ctx.State())).Each(func(f rel.Fact) bool {
+		ctx.Output(f)
+		return true
+	})
+}
+
+// CoordinationMessages counts the control-plane messages a run sent
+// (exact, from the network's accounting).
+func CoordinationMessages(n *Network) int {
+	return n.stats.ControlSent
+}
+
+// EconomicalBroadcast refines MonotoneBroadcast in the spirit of
+// Ketsman-Neven's optimal broadcasting strategies (Section 6): for a
+// full conjunctive query without self-joins, only facts that can
+// actually participate in the query — facts unifying with some body
+// atom — are transmitted; everything else stays local. The query's
+// output is unchanged, the communication drops by the selectivity of
+// the atoms.
+type EconomicalBroadcast struct {
+	Q       Query
+	Matches func(rel.Fact) bool
+}
+
+// Start implements Program.
+func (e *EconomicalBroadcast) Start(ctx *Context) {
+	ctx.State().Each(func(f rel.Fact) bool {
+		if e.Matches(f) {
+			ctx.Broadcast(f)
+		}
+		return true
+	})
+	e.emit(ctx)
+}
+
+// OnMessage implements Program.
+func (e *EconomicalBroadcast) OnMessage(ctx *Context, _ policy.Node, f rel.Fact) {
+	if ctx.State().Add(f) {
+		e.emit(ctx)
+	}
+}
+
+func (e *EconomicalBroadcast) emit(ctx *Context) {
+	e.Q(dataFacts(ctx.State())).Each(func(f rel.Fact) bool {
+		ctx.Output(f)
+		return true
+	})
+}
