@@ -1,0 +1,31 @@
+# mpclogic build / verification entry points. `make verify` is the
+# gate every change must pass: it compiles the module, runs go vet,
+# the full test suite (including the determinism regression tests),
+# the race detector, and the repo-specific mpclint analyzers.
+
+GO ?= go
+
+.PHONY: all build vet test race lint verify fmt
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+lint:
+	$(GO) run ./cmd/mpclint ./...
+
+fmt:
+	gofmt -l -w .
+
+verify: build vet test race lint
+	@echo "verify: OK"

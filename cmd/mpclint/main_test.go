@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mpclogic/internal/lint"
+)
+
+const fixtureDir = "../../internal/lint/testdata/src"
+
+// TestFixtureText runs the driver end-to-end against the fixture
+// module and asserts the exact text diagnostics, line for line, using
+// the same golden file as the analyzer tests.
+func TestFixtureText(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{fixtureDir}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (diagnostics expected); stderr: %s", code, stderr.String())
+	}
+	golden, err := os.ReadFile(filepath.Join("..", "..", "internal", "lint", "testdata", "golden", "diagnostics.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stdout.String() != string(golden) {
+		t.Errorf("diagnostics differ from golden file.\n--- got ---\n%s--- want ---\n%s", stdout.String(), golden)
+	}
+	if !strings.Contains(stderr.String(), "diagnostic(s)") {
+		t.Errorf("stderr missing summary line: %q", stderr.String())
+	}
+}
+
+// TestFixtureJSON checks the machine-readable mode round-trips.
+func TestFixtureJSON(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-json", fixtureDir}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	var diags []lint.Diagnostic
+	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("JSON mode returned no diagnostics")
+	}
+	seen := make(map[string]bool)
+	for _, d := range diags {
+		if d.File == "" || d.Line == 0 || d.Analyzer == "" || d.Message == "" {
+			t.Errorf("incomplete diagnostic: %+v", d)
+		}
+		seen[d.Analyzer] = true
+	}
+	for _, a := range lint.Analyzers() {
+		if !seen[a.Name] {
+			t.Errorf("analyzer %s missing from JSON output", a.Name)
+		}
+	}
+}
+
+// TestRepoCleanExitZero is the acceptance check: the repository itself
+// lints clean, both for the bare root argument and the ./... pattern.
+func TestRepoCleanExitZero(t *testing.T) {
+	for _, arg := range []string{"../..", "../../..."} {
+		var stdout, stderr bytes.Buffer
+		code := run([]string{arg}, &stdout, &stderr)
+		if code != 0 {
+			t.Errorf("run(%q) = %d, want 0\nstdout:\n%s\nstderr:\n%s", arg, code, stdout.String(), stderr.String())
+		}
+	}
+}
+
+// TestAnalyzerFilter narrows the run to one analyzer.
+func TestAnalyzerFilter(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-analyzers", "lock-discipline", fixtureDir}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(stdout.String()), "\n") {
+		if !strings.Contains(line, "[lock-discipline]") {
+			t.Errorf("unexpected diagnostic in filtered run: %s", line)
+		}
+	}
+}
+
+// TestUsageErrors covers the 2-exit paths.
+func TestUsageErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-analyzers", "no-such-analyzer", fixtureDir}, &stdout, &stderr); code != 2 {
+		t.Errorf("unknown analyzer: exit %d, want 2", code)
+	}
+	if code := run([]string{"a", "b"}, &stdout, &stderr); code != 2 {
+		t.Errorf("extra args: exit %d, want 2", code)
+	}
+	if code := run([]string{t.TempDir()}, &stdout, &stderr); code != 2 {
+		t.Errorf("dir without go.mod: exit %d, want 2", code)
+	}
+}
+
+// TestListAnalyzers sanity-checks -list output.
+func TestListAnalyzers(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exit %d, want 0", code)
+	}
+	for _, a := range lint.Analyzers() {
+		if !strings.Contains(stdout.String(), a.Name) {
+			t.Errorf("-list output missing %s", a.Name)
+		}
+	}
+}

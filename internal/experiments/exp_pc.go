@@ -167,18 +167,24 @@ func expPCComplexity() (*Report, error) {
 		// Replication saturates every query, so the decision must scan
 		// every minimal valuation — the full Πᵖ₂-shaped search.
 		pol := &policy.Replicate{Nodes: 2}
-		const reps = 5
-		startT := time.Now()
-		for k := 0; k < reps; k++ {
-			ok, _, err := pc.Saturates(q, pol, u)
-			if err != nil {
-				return nil, err
-			}
-			if !ok {
-				return nil, fmt.Errorf("replication failed to saturate")
-			}
+		// Establish the verdict before the timed region: the emitted
+		// result must be a pure function of the inputs, with the clock
+		// confined to the duration measurement below.
+		ok, _, err := pc.Saturates(q, pol, u)
+		if err != nil {
+			return nil, err
 		}
-		el := time.Since(startT) / reps
+		if !ok {
+			return nil, fmt.Errorf("replication failed to saturate")
+		}
+		const reps = 5
+		el, err := timed(reps, func() error {
+			_, _, err := pc.Saturates(q, pol, u)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
 		times = append(times, el)
 		rep.rowf("%-12d %-14s", n, el.Round(time.Microsecond))
 	}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Report is one experiment's outcome.
@@ -38,6 +39,21 @@ func (r *Report) String() string {
 
 func (r *Report) rowf(format string, args ...any) {
 	r.Rows = append(r.Rows, fmt.Sprintf(format, args...))
+}
+
+// timed runs fn reps times and returns the mean wall-clock duration.
+// It is the only sanctioned use of the clock in this package: timing
+// is measurement-only, so callers must establish the correctness of
+// fn's result *outside* the timed region — the duration may appear in
+// a report row, but no emitted verdict may depend on it.
+func timed(reps int, fn func() error) (time.Duration, error) {
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		if err := fn(); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start) / time.Duration(reps), nil
 }
 
 // Experiment is a named, runnable reproduction unit.

@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ErrDiscardAnalyzer forbids silently dropping error returns in
+// library packages: no `_ = f()` where f returns an error, no
+// `x, _ := f()` discarding the error position, and no bare call
+// statement whose callee returns an error.
+//
+// Binaries (package main, anything under a cmd/ segment) and tests are
+// exempt: at the top of a program, printing-and-exiting is a policy
+// decision. Library code has no such excuse — a swallowed error there
+// is exactly how a nondeterministic partial result masquerades as a
+// correct one.
+//
+// Writes into strings.Builder and bytes.Buffer are allowlisted: their
+// Write methods are documented to never return a non-nil error, and
+// fmt.Fprintf into them inherits that guarantee.
+var ErrDiscardAnalyzer = &Analyzer{
+	Name: "error-discard",
+	Doc:  "library code must not discard error returns",
+	Run:  runErrDiscard,
+}
+
+func runErrDiscard(pass *Pass) {
+	if exemptFromErrDiscard(pass.Pkg) {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.DeferStmt:
+				// defer x.Close() etc.: a separate policy question;
+				// out of scope for this analyzer.
+				return false
+			case *ast.ExprStmt:
+				call, ok := s.X.(*ast.CallExpr)
+				if !ok || errAllowlisted(info, call) {
+					return true
+				}
+				if pos, ok := errorResult(info, call); ok {
+					what := "an error"
+					if pos >= 0 {
+						what = "an error (result " + strconv.Itoa(pos) + ")"
+					}
+					pass.Reportf(call.Pos(), "call discards %s; handle it or assign it explicitly", what)
+				}
+			case *ast.AssignStmt:
+				checkAssignDiscard(pass, s)
+			}
+			return true
+		})
+	}
+}
+
+func exemptFromErrDiscard(pkg *Package) bool {
+	if pkg.Types.Name() == "main" {
+		return true
+	}
+	for _, seg := range strings.Split(pkg.Path, "/") {
+		if seg == "cmd" {
+			return true
+		}
+	}
+	return false
+}
+
+// checkAssignDiscard flags blank-identifier positions that absorb an
+// error: `_ = f()` and `x, _ := g()`.
+func checkAssignDiscard(pass *Pass, s *ast.AssignStmt) {
+	info := pass.Pkg.Info
+	// Multi-value form: x, _ := g().
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		call, ok := s.Rhs[0].(*ast.CallExpr)
+		if !ok || errAllowlisted(info, call) {
+			return
+		}
+		tuple, ok := info.TypeOf(call).(*types.Tuple)
+		if !ok {
+			return
+		}
+		for i, lhs := range s.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name != "_" || i >= tuple.Len() {
+				continue
+			}
+			if isErrorType(tuple.At(i).Type()) {
+				pass.Reportf(id.Pos(), "blank identifier discards the error returned by this call; handle it or propagate it")
+			}
+		}
+		return
+	}
+	// Parallel form: _ = expr.
+	for i, lhs := range s.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" || i >= len(s.Rhs) {
+			continue
+		}
+		rhs := s.Rhs[i]
+		if call, ok := rhs.(*ast.CallExpr); ok && errAllowlisted(info, call) {
+			continue
+		}
+		t := info.TypeOf(rhs)
+		if isErrorType(t) {
+			pass.Reportf(id.Pos(), "assignment discards an error value; handle it or propagate it")
+			continue
+		}
+		if tuple, ok := t.(*types.Tuple); ok {
+			for j := 0; j < tuple.Len(); j++ {
+				if isErrorType(tuple.At(j).Type()) {
+					pass.Reportf(id.Pos(), "assignment discards an error value; handle it or propagate it")
+					break
+				}
+			}
+		}
+	}
+}
+
+// errorResult reports whether call returns an error, and at which
+// tuple position (-1 for a single error result).
+func errorResult(info *types.Info, call *ast.CallExpr) (int, bool) {
+	t := info.TypeOf(call)
+	if t == nil {
+		return 0, false
+	}
+	if isErrorType(t) {
+		return -1, true
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) {
+				return i, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// errAllowlisted reports whether the call's error is documented to be
+// always nil: Builder/Buffer writes and fmt printing into them.
+func errAllowlisted(info *types.Info, call *ast.CallExpr) bool {
+	if fn := methodCallee(info, call); fn != nil {
+		recv := fn.Type().(*types.Signature).Recv().Type()
+		if namedNamed(recv, "strings", "Builder") || namedNamed(recv, "bytes", "Buffer") {
+			return true
+		}
+	}
+	if path, name, ok := pkgFunc(info, call); ok && path == "fmt" {
+		switch name {
+		case "Fprint", "Fprintf", "Fprintln":
+			if len(call.Args) > 0 {
+				t := info.TypeOf(call.Args[0])
+				if namedNamed(t, "strings", "Builder") || namedNamed(t, "bytes", "Buffer") {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

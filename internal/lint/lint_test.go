@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixtureModule loads the fixture module under testdata/src once per
+// test that needs it.
+func fixtureModule(t *testing.T) *Module {
+	t.Helper()
+	mod, err := LoadModule(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatalf("loading fixture module: %v", err)
+	}
+	return mod
+}
+
+// TestFixtureDiagnostics runs the full suite over the fixture module
+// and compares every diagnostic, in order, against the golden file.
+func TestFixtureDiagnostics(t *testing.T) {
+	mod := fixtureModule(t)
+	diags := Run(mod, Analyzers(), DefaultConfig())
+
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	got := b.String()
+
+	golden := filepath.Join("testdata", "golden", "diagnostics.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to regenerate): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("diagnostics differ from golden file.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestFixtureCoverage asserts structural properties the golden file
+// alone would not make obvious: every analyzer fires at least once on
+// the fixtures, and the clean functions stay clean.
+func TestFixtureCoverage(t *testing.T) {
+	mod := fixtureModule(t)
+	diags := Run(mod, Analyzers(), DefaultConfig())
+
+	fired := make(map[string]int)
+	for _, d := range diags {
+		fired[d.Analyzer]++
+	}
+	for _, a := range Analyzers() {
+		if fired[a.Name] == 0 {
+			t.Errorf("analyzer %s fired zero diagnostics on the fixtures", a.Name)
+		}
+	}
+
+	// The cmd/tool fixture must be exempt from error-discard.
+	for _, d := range diags {
+		if strings.HasPrefix(d.File, "cmd/") {
+			t.Errorf("diagnostic under exempt cmd/ tree: %s", d)
+		}
+	}
+}
+
+// TestAnalyzerSelection checks that running a single analyzer yields
+// only its diagnostics.
+func TestAnalyzerSelection(t *testing.T) {
+	mod := fixtureModule(t)
+	a, ok := AnalyzerByName("seeded-rand")
+	if !ok {
+		t.Fatal("seeded-rand analyzer missing")
+	}
+	diags := Run(mod, []*Analyzer{a}, DefaultConfig())
+	if len(diags) == 0 {
+		t.Fatal("seeded-rand found nothing on the fixtures")
+	}
+	for _, d := range diags {
+		if d.Analyzer != "seeded-rand" {
+			t.Errorf("unexpected analyzer %q in filtered run", d.Analyzer)
+		}
+		if !strings.HasPrefix(d.File, "mpc/") {
+			t.Errorf("seeded-rand fired outside the engine fixture package: %s", d)
+		}
+	}
+}
+
+// TestRepoClean is the enforcement test: the repository itself must
+// lint clean. Any new violation of the determinism, randomness,
+// concurrency, lock, or error-handling rules fails tier-1.
+func TestRepoClean(t *testing.T) {
+	mod, err := LoadModule(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("loading repo module: %v", err)
+	}
+	if mod.Path != "mpclogic" {
+		t.Fatalf("unexpected module path %q", mod.Path)
+	}
+	diags := Run(mod, Analyzers(), DefaultConfig())
+	for _, d := range diags {
+		t.Errorf("repo must lint clean: %s", d)
+	}
+}
+
+// TestConfigEngineMatching pins the engine package list to the
+// packages whose outputs the paper's theorems constrain.
+func TestConfigEngineMatching(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, name := range []string{"rel", "cq", "mpc", "hypercube", "datalog", "transducer", "gym"} {
+		if !cfg.isEngine(name) {
+			t.Errorf("%s should be an engine package", name)
+		}
+	}
+	if cfg.isEngine("experiments") || cfg.isEngine("workload") {
+		t.Error("measurement-layer packages must not be on the engine list")
+	}
+}

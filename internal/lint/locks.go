@@ -1,0 +1,219 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockAnalyzer enforces two rules about sync primitives:
+//
+//  1. no copies: a value whose type (transitively) contains a
+//     sync.Mutex, sync.RWMutex, sync.WaitGroup, sync.Once or sync.Cond
+//     must not travel by value — not as a parameter, result, value
+//     receiver, plain assignment from an existing value, or range
+//     value. A copied lock guards nothing.
+//  2. paired locks: a function that calls Lock/RLock on a receiver
+//     must also call (or defer) the matching Unlock/RUnlock on the
+//     same receiver expression somewhere in the function.
+var LockAnalyzer = &Analyzer{
+	Name: "lock-discipline",
+	Doc:  "no by-value copies of lock-bearing types; every Lock pairs with a reachable Unlock",
+	Run:  runLocks,
+}
+
+var lockBearingNames = []string{"Mutex", "RWMutex", "WaitGroup", "Once", "Cond"}
+
+func runLocks(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.FuncDecl:
+				checkSignatureCopies(pass, s.Recv, s.Type)
+				if s.Body != nil {
+					checkLockPairs(pass, s.Body)
+				}
+			case *ast.FuncLit:
+				checkSignatureCopies(pass, nil, s.Type)
+				checkLockPairs(pass, s.Body)
+			case *ast.AssignStmt:
+				checkAssignCopies(pass, s)
+			case *ast.RangeStmt:
+				if s.Value != nil {
+					if t := info.TypeOf(s.Value); containsLocker(t) {
+						pass.Reportf(s.Value.Pos(), "range value copies %s, which contains a sync primitive; iterate by index or over pointers", types.TypeString(t, types.RelativeTo(pass.Pkg.Types)))
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// containsLocker reports whether t transitively holds one of the
+// non-copyable sync types by value.
+func containsLocker(t types.Type) bool {
+	return containsLockerSeen(t, make(map[types.Type]bool))
+}
+
+func containsLockerSeen(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	for _, name := range lockBearingNames {
+		if n, ok := t.(*types.Named); ok {
+			obj := n.Obj()
+			if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == name {
+				return true
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLockerSeen(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLockerSeen(u.Elem(), seen)
+	}
+	if n, ok := t.(*types.Named); ok && n.Underlying() != t {
+		return containsLockerSeen(n.Underlying(), seen)
+	}
+	return false
+}
+
+func checkSignatureCopies(pass *Pass, recv *ast.FieldList, ft *ast.FuncType) {
+	info := pass.Pkg.Info
+	report := func(field *ast.Field, kind string) {
+		t := info.TypeOf(field.Type)
+		if t == nil || !containsLocker(t) {
+			return
+		}
+		if _, isPtr := t.(*types.Pointer); isPtr {
+			return
+		}
+		pass.Reportf(field.Pos(), "%s passes %s by value, copying its sync primitive; use a pointer", kind, types.TypeString(t, types.RelativeTo(pass.Pkg.Types)))
+	}
+	if recv != nil {
+		for _, field := range recv.List {
+			report(field, "method receiver")
+		}
+	}
+	if ft.Params != nil {
+		for _, field := range ft.Params.List {
+			report(field, "parameter")
+		}
+	}
+	if ft.Results != nil {
+		for _, field := range ft.Results.List {
+			report(field, "result")
+		}
+	}
+}
+
+// checkAssignCopies flags x := y / x = y where y is an existing value
+// of a lock-bearing type. Composite literals and calls are allowed:
+// initialization is not a copy of a live lock.
+func checkAssignCopies(pass *Pass, s *ast.AssignStmt) {
+	info := pass.Pkg.Info
+	if len(s.Lhs) != len(s.Rhs) {
+		return
+	}
+	for i, rhs := range s.Rhs {
+		switch rhs.(type) {
+		case *ast.CompositeLit, *ast.CallExpr, *ast.UnaryExpr, *ast.FuncLit:
+			continue
+		}
+		if id, ok := s.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+			continue
+		}
+		t := info.TypeOf(rhs)
+		if t == nil || !containsLocker(t) {
+			continue
+		}
+		if _, isPtr := t.(*types.Pointer); isPtr {
+			continue
+		}
+		pass.Reportf(s.Pos(), "assignment copies %s, which contains a sync primitive; use a pointer", types.TypeString(t, types.RelativeTo(pass.Pkg.Types)))
+	}
+}
+
+// checkLockPairs verifies Lock/Unlock pairing per function scope,
+// matching receivers by printed expression.
+func checkLockPairs(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	locks := make(map[string]ast.Node)  // recv expr -> first Lock call
+	unlocks := make(map[string]bool)    // recv expr -> has Unlock
+	rlocks := make(map[string]ast.Node) // recv expr -> first RLock call
+	runlocks := make(map[string]bool)   // recv expr -> has RUnlock
+	record := func(call *ast.CallExpr) {
+		fn := methodCallee(info, call)
+		if fn == nil {
+			return
+		}
+		recvType := fn.Type().(*types.Signature).Recv().Type()
+		if !namedSyncType(recvType, "Mutex") && !namedSyncType(recvType, "RWMutex") {
+			return
+		}
+		sel := call.Fun.(*ast.SelectorExpr)
+		key := types.ExprString(sel.X)
+		switch fn.Name() {
+		case "Lock":
+			if _, ok := locks[key]; !ok {
+				locks[key] = call
+			}
+		case "Unlock":
+			unlocks[key] = true
+		case "RLock":
+			if _, ok := rlocks[key]; !ok {
+				rlocks[key] = call
+			}
+		case "RUnlock":
+			runlocks[key] = true
+		}
+	}
+	// Locks are attributed to the scope that takes them (nested
+	// literals are their own scope), but an Unlock inside a nested
+	// closure — e.g. defer func() { mu.Unlock() }() — still satisfies
+	// the pairing, so unlocks are collected from the full subtree.
+	walkScope(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			record(call)
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := methodCallee(info, call)
+		if fn == nil || (fn.Name() != "Unlock" && fn.Name() != "RUnlock") {
+			return true
+		}
+		recvType := fn.Type().(*types.Signature).Recv().Type()
+		if !namedSyncType(recvType, "Mutex") && !namedSyncType(recvType, "RWMutex") {
+			return true
+		}
+		key := types.ExprString(call.Fun.(*ast.SelectorExpr).X)
+		if fn.Name() == "Unlock" {
+			unlocks[key] = true
+		} else {
+			runlocks[key] = true
+		}
+		return true
+	})
+	for key, call := range locks {
+		if !unlocks[key] {
+			pass.Reportf(call.Pos(), "%s.Lock() with no reachable %s.Unlock() in this function; add a deferred unlock", key, key)
+		}
+	}
+	for key, call := range rlocks {
+		if !runlocks[key] {
+			pass.Reportf(call.Pos(), "%s.RLock() with no reachable %s.RUnlock() in this function; add a deferred unlock", key, key)
+		}
+	}
+}

@@ -1,0 +1,282 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapIterAnalyzer flags `for ... range m` over a map when the loop
+// body feeds externally visible output whose order therefore depends
+// on Go's randomized map iteration:
+//
+//   - the body appends to a slice that the enclosing function returns
+//     or emits, and no sort call over that slice follows the loop, or
+//   - the body writes output directly (fmt printing, Builder/Buffer
+//     writes), where no later sort can repair the order.
+//
+// This is the mechanical face of parallel-correctness: the paper's
+// equivalence [Q,P](I) = Q(I) is a statement about *sets*, and the
+// implementation keeps it observable only if every serialization of a
+// set is order-stable. Suppress deliberate unordered enumeration with
+// a //lint:sorted comment explaining why order does not matter.
+var MapIterAnalyzer = &Analyzer{
+	Name: "mapiter-determinism",
+	Doc:  "map iteration must not determine returned or emitted order",
+	Run:  runMapIter,
+}
+
+func runMapIter(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkMapRanges(pass, fn.Type, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkMapRanges(pass, fn.Type, fn.Body)
+			}
+			return true
+		})
+	}
+}
+
+// checkMapRanges analyzes one function scope. Nested function literals
+// are scanned as part of the loop body when they appear inside a map
+// range (a closure appending to a captured slice is still
+// order-dependent), but ranges inside nested literals are reported
+// when the literal itself is visited.
+func checkMapRanges(pass *Pass, ft *ast.FuncType, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	var ranges []*ast.RangeStmt
+	walkScope(body, func(n ast.Node) bool {
+		if r, ok := n.(*ast.RangeStmt); ok && isMapType(info, r.X) {
+			ranges = append(ranges, r)
+		}
+		return true
+	})
+	for _, r := range ranges {
+		checkOneMapRange(pass, ft, body, r)
+	}
+}
+
+func checkOneMapRange(pass *Pass, ft *ast.FuncType, body *ast.BlockStmt, r *ast.RangeStmt) {
+	info := pass.Pkg.Info
+
+	// Scan the loop body (including nested closures: they run inside
+	// the iteration) for appends to identifiers and for direct output.
+	appendTargets := make(map[types.Object]*ast.Ident)
+	var emitPos token.Pos
+	ast.Inspect(r.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.RangeStmt:
+			// A nested map range is reported on its own; do not blame
+			// this loop for its body.
+			if s != r && isMapType(info, s.X) {
+				return false
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range s.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || len(s.Lhs) <= i {
+					continue
+				}
+				if id, ok := appendTarget(info, s.Lhs[i], call); ok {
+					appendTargets[objectOf(info, id)] = id
+				}
+			}
+		case *ast.CallExpr:
+			if emitPos == token.NoPos && isEmitCall(info, s) {
+				emitPos = s.Pos()
+			}
+		}
+		return true
+	})
+
+	if emitPos != token.NoPos {
+		pass.Reportf(r.Pos(), "map iteration emits output inside the loop; map order is nondeterministic, so emitted order varies across runs")
+	}
+
+	for obj, id := range appendTargets {
+		if obj == nil {
+			continue
+		}
+		if !escapesFunction(info, ft, body, obj, id) {
+			continue
+		}
+		if sortedAfter(info, body, obj, r.End()) {
+			continue
+		}
+		pass.Reportf(r.Pos(), "map iteration appends to %q which escapes this function without a subsequent sort; returned order is nondeterministic", id.Name)
+	}
+}
+
+// appendTarget matches `x = append(x, ...)` and returns x's ident.
+func appendTarget(info *types.Info, lhs ast.Expr, call *ast.CallExpr) (*ast.Ident, bool) {
+	id, ok := lhs.(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	fun, ok := call.Fun.(*ast.Ident)
+	if !ok || fun.Name != "append" {
+		return nil, false
+	}
+	if b, ok := info.Uses[fun].(*types.Builtin); !ok || b.Name() != "append" {
+		return nil, false
+	}
+	if len(call.Args) == 0 {
+		return nil, false
+	}
+	arg0, ok := call.Args[0].(*ast.Ident)
+	if !ok || objectOf(info, arg0) != objectOf(info, id) {
+		return nil, false
+	}
+	return id, true
+}
+
+// isEmitCall reports whether call writes user-visible output: fmt
+// printing or a Write* method on a builder, buffer, or writer.
+func isEmitCall(info *types.Info, call *ast.CallExpr) bool {
+	if path, name, ok := pkgFunc(info, call); ok {
+		if path == "fmt" {
+			switch name {
+			case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+				return true
+			}
+		}
+		return false
+	}
+	if fn := methodCallee(info, call); fn != nil {
+		recv := fn.Type().(*types.Signature).Recv().Type()
+		if isWriterLike(recv) {
+			switch fn.Name() {
+			case "Write", "WriteString", "WriteByte", "WriteRune":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isWriterLike(t types.Type) bool {
+	for _, name := range []string{"Builder", "Buffer"} {
+		if namedNamed(t, "strings", name) || namedNamed(t, "bytes", name) {
+			return true
+		}
+	}
+	if n, ok := deref(t).(*types.Named); ok {
+		obj := n.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "os" && obj.Name() == "File" {
+			return true
+		}
+	}
+	return false
+}
+
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+func namedNamed(t types.Type, pkg, name string) bool {
+	n, ok := deref(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkg && obj.Name() == name
+}
+
+// escapesFunction reports whether obj's slice leaves the function:
+// returned by a return statement, declared as a named result, or
+// passed to an emit call.
+func escapesFunction(info *types.Info, ft *ast.FuncType, body *ast.BlockStmt, obj types.Object, id *ast.Ident) bool {
+	if ft != nil && ft.Results != nil {
+		for _, field := range ft.Results.List {
+			for _, name := range field.Names {
+				if info.Defs[name] == obj {
+					return true
+				}
+			}
+		}
+	}
+	escapes := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if escapes {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range s.Results {
+				if rid, ok := res.(*ast.Ident); ok && objectOf(info, rid) == obj {
+					escapes = true
+				}
+			}
+		case *ast.CallExpr:
+			if !isEmitCall(info, s) {
+				return true
+			}
+			for _, arg := range s.Args {
+				if aid, ok := arg.(*ast.Ident); ok && objectOf(info, aid) == obj {
+					escapes = true
+				}
+			}
+		}
+		return true
+	})
+	return escapes
+}
+
+// sortedAfter reports whether, after pos, obj is passed to a sorting
+// call: any function of package sort, a function whose name contains
+// "Sort"/"sort", or a Sort* method invoked on obj itself.
+func sortedAfter(info *types.Info, body *ast.BlockStmt, obj types.Object, pos token.Pos) bool {
+	sorted := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		if !isSortCall(info, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if aid, ok := arg.(*ast.Ident); ok && objectOf(info, aid) == obj {
+				sorted = true
+				return false
+			}
+		}
+		// Method form: out.Sort().
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if rid, ok := sel.X.(*ast.Ident); ok && objectOf(info, rid) == obj {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	if path, _, ok := pkgFunc(info, call); ok {
+		return path == "sort" || path == "slices"
+	}
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return false
+	}
+	return strings.Contains(strings.ToLower(name), "sort")
+}

@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// SeededRandAnalyzer forbids ambient nondeterminism in engine
+// packages: top-level math/rand functions (which draw from the global,
+// process-wide source) and wall-clock reads via time.Now.
+//
+// Engine packages compute the objects the paper's theorems quantify
+// over — query results, routing decisions, transducer runs. Those must
+// be pure functions of (input, seed): the sanctioned pattern is an
+// explicit *rand.Rand built from rand.NewSource(seed), as
+// internal/workload and the transducer network scheduler already do.
+// Timing belongs to the measurement layer (experiments, benchmarks),
+// never inside the evaluation it measures.
+var SeededRandAnalyzer = &Analyzer{
+	Name: "seeded-rand",
+	Doc:  "engine packages must use explicitly seeded randomness and take time as input",
+	Run:  runSeededRand,
+}
+
+// randConstructors are the math/rand functions that merely build
+// explicitly seeded generators; they are the fix, not the hazard.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+func runSeededRand(pass *Pass) {
+	if !pass.Config.isEngine(pass.Pkg.Types.Name()) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			path, name, ok := pkgFunc(pass.Pkg.Info, call)
+			if !ok {
+				return true
+			}
+			switch {
+			case (path == "math/rand" || path == "math/rand/v2") && !randConstructors[name]:
+				pass.Reportf(call.Pos(), "call to %s.%s uses the global random source; engine packages must thread a *rand.Rand built from an explicit seed", pathBase(path), name)
+			case path == "time" && name == "Now":
+				pass.Reportf(call.Pos(), "time.Now() in engine package; evaluation must be a pure function of its inputs — take timestamps as parameters or measure in the experiments layer")
+			}
+			return true
+		})
+	}
+}
+
+func pathBase(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}

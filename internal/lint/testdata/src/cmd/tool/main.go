@@ -1,0 +1,11 @@
+// Command tool shows the error-discard exemption: binaries under a
+// cmd/ segment may discard errors at top level.
+package main
+
+import "errors"
+
+func mk() error { return errors.New("x") }
+
+func main() {
+	_ = mk()
+}

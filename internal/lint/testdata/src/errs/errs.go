@@ -1,0 +1,53 @@
+// Package errs exercises the error-discard analyzer.
+package errs
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func mk() error { return errors.New("boom") }
+
+func two() (int, error) { return 0, errors.New("boom") }
+
+// Discard drops a single error result: flagged.
+func Discard() {
+	_ = mk()
+}
+
+// DiscardTuple drops the error half of a pair: flagged.
+func DiscardTuple() int {
+	n, _ := two()
+	return n
+}
+
+// Bare drops the error of a bare call statement: flagged.
+func Bare() {
+	mk()
+}
+
+// Builder writes are allowlisted (documented to never fail): clean.
+func Builder() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "x=%d", 1)
+	b.WriteString("y")
+	return b.String()
+}
+
+// Annotated documents a deliberate discard: clean.
+func Annotated() {
+	_ = mk() //lint:ignore error-discard demo of a documented exception
+}
+
+// Handled propagates: clean.
+func Handled() error {
+	if err := mk(); err != nil {
+		return fmt.Errorf("wrap: %w", err)
+	}
+	n, err := two()
+	if n < 0 {
+		return errors.New("negative")
+	}
+	return err
+}

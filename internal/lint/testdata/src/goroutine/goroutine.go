@@ -1,0 +1,102 @@
+// Package goroutine exercises the goroutine-hygiene analyzer.
+package goroutine
+
+import "sync"
+
+// NoJoin forks without any join: flagged.
+func NoJoin(n int) {
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			use(i)
+		}(i)
+	}
+}
+
+// Joined is the sanctioned fan-out: WaitGroup join, loop variable
+// passed as a parameter, writes disjoint by that parameter. Clean.
+func Joined(n int) []int {
+	out := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = i * i
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// CaptureLoop captures the loop variable instead of passing it:
+// flagged.
+func CaptureLoop(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			use(i)
+		}()
+	}
+	wg.Wait()
+}
+
+// SharedMap writes a map from concurrent workers: flagged.
+func SharedMap(keys []string) map[string]bool {
+	m := make(map[string]bool)
+	var wg sync.WaitGroup
+	for _, k := range keys {
+		wg.Add(1)
+		go func(k string) {
+			defer wg.Done()
+			m[k] = true
+		}(k)
+	}
+	wg.Wait()
+	return m
+}
+
+// SharedSlot aims every worker at index 0: flagged.
+func SharedSlot(n int) []int {
+	out := make([]int, 1)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[0] += i
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// LockedSlot serializes the shared write with a mutex: clean.
+func LockedSlot(n int) []int {
+	out := make([]int, 1)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			mu.Lock()
+			defer mu.Unlock()
+			out[0] += i
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// ChanJoin joins through a channel receive: clean.
+func ChanJoin() int {
+	ch := make(chan int)
+	go func() {
+		ch <- 42
+	}()
+	return <-ch
+}
+
+func use(int) {}

@@ -1,0 +1,49 @@
+// Package locks exercises the lock-discipline analyzer.
+package locks
+
+import "sync"
+
+// Counter is a lock-bearing type.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// ByValue copies the mutex through a parameter: flagged.
+func ByValue(c Counter) int {
+	return c.n
+}
+
+// Get copies the mutex through a value receiver: flagged.
+func (c Counter) Get() int {
+	return c.n
+}
+
+// Snapshot copies the mutex through the result and through the deref
+// assignment: both flagged.
+func Snapshot(c *Counter) Counter {
+	d := *c
+	return d
+}
+
+// ByPointer is the sanctioned spelling: clean.
+func ByPointer(c *Counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// LockNoUnlock takes the lock and never releases it: flagged.
+func LockNoUnlock(c *Counter) {
+	c.mu.Lock()
+	c.n++
+}
+
+// LockDeferredClosure releases through a deferred closure: clean.
+func LockDeferredClosure(c *Counter) {
+	c.mu.Lock()
+	defer func() {
+		c.mu.Unlock()
+	}()
+	c.n++
+}

@@ -1,0 +1,72 @@
+// Package mapiter exercises the mapiter-determinism analyzer.
+package mapiter
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Keys leaks map order: appended and returned with no sort.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// KeysSorted repairs the order before returning: clean.
+func KeysSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// KeysAnnotated documents a deliberate unordered enumeration.
+func KeysAnnotated(m map[string]int) []string {
+	var out []string
+	//lint:sorted callers treat the result as a set
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Dump emits inside the loop: no later sort can fix this.
+func Dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+// Closure appends through a nested literal, still inside the range.
+func Closure(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		func(s string) {
+			out = append(out, s)
+		}(k)
+	}
+	return out
+}
+
+// Count is order-insensitive: clean.
+func Count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Local appends but never escapes: clean.
+func Local(m map[string]int) int {
+	var tmp []string
+	for k := range m {
+		tmp = append(tmp, k)
+	}
+	return len(tmp)
+}

@@ -1,0 +1,35 @@
+// Package mpc exercises the seeded-rand analyzer: the package name is
+// on the engine list, so global randomness and wall-clock reads are
+// forbidden here.
+package mpc
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Shuffle uses the global source: flagged.
+func Shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// Pick uses the global source: flagged.
+func Pick(xs []int) int {
+	return xs[rand.Intn(len(xs))]
+}
+
+// Stamp reads the wall clock: flagged.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Seeded threads an explicit generator: clean.
+func Seeded(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}
+
+// Since takes time as an input: clean.
+func Since(t0, t1 time.Time) time.Duration {
+	return t1.Sub(t0)
+}

@@ -1,0 +1,112 @@
+package mpc
+
+import (
+	"strings"
+	"testing"
+
+	"mpclogic/internal/rel"
+)
+
+func ringInstance(n int) *rel.Instance {
+	inst := rel.NewInstance()
+	for v := 0; v < n; v++ {
+		inst.Add(rel.NewFact("R", rel.Value(v), rel.Value((v+1)%n)))
+		inst.Add(rel.NewFact("S", rel.Value(v)))
+	}
+	return inst
+}
+
+// TestComputePanicSurfaced: a panic in one server's compute phase must
+// surface as the round's error — deterministically the lowest
+// panicking server — and must not record round statistics.
+func TestComputePanicSurfaced(t *testing.T) {
+	c := NewCluster(4)
+	c.LoadRoundRobin(ringInstance(16))
+	_, err := c.RunRound(Round{
+		Name:  "boom",
+		Route: Broadcast(4),
+		Compute: func(server int, local *rel.Instance) *rel.Instance {
+			if server >= 2 {
+				panic("kaboom")
+			}
+			return local
+		},
+	})
+	if err == nil {
+		t.Fatal("RunRound swallowed a worker panic")
+	}
+	if !strings.Contains(err.Error(), "server 2") || !strings.Contains(err.Error(), "kaboom") {
+		t.Errorf("error should name the lowest panicking server and the panic value: %v", err)
+	}
+	if !strings.Contains(err.Error(), `round "boom"`) {
+		t.Errorf("error should name the round: %v", err)
+	}
+	if c.Rounds() != 0 {
+		t.Errorf("failed round recorded stats: %d rounds", c.Rounds())
+	}
+}
+
+// TestRunStopsAtPanic: Run must stop at the first failing round.
+func TestRunStopsAtPanic(t *testing.T) {
+	c := NewCluster(2)
+	c.LoadRoundRobin(ringInstance(4))
+	ran := false
+	err := c.Run(
+		Round{Name: "explode", Compute: func(int, *rel.Instance) *rel.Instance { panic("no") }},
+		Round{Name: "after", Compute: func(_ int, l *rel.Instance) *rel.Instance { ran = true; return l }},
+	)
+	if err == nil {
+		t.Fatal("Run swallowed the failing round")
+	}
+	if ran {
+		t.Error("Run executed rounds after the failure")
+	}
+}
+
+// TestRoundRobinDeterministic: the initial placement must be identical
+// across repeated loads of the same instance, both per server and in
+// the serialized output.
+func TestRoundRobinDeterministic(t *testing.T) {
+	inst := ringInstance(64)
+	c1 := NewCluster(5)
+	c2 := NewCluster(5)
+	c1.LoadRoundRobin(inst)
+	c2.LoadRoundRobin(inst)
+	for s := 0; s < 5; s++ {
+		a, b := c1.Server(s).String(), c2.Server(s).String()
+		if a != b {
+			t.Errorf("server %d placement differs across identical loads:\n%s\n%s", s, a, b)
+		}
+	}
+}
+
+// TestRoundDeterministic: executing the same hash-routed round twice
+// from the same initial state must produce byte-identical outputs and
+// identical load statistics — the mechanical face of the MPC model's
+// claim that one-round evaluation is a function of (input, policy).
+func TestRoundDeterministic(t *testing.T) {
+	round := Round{
+		Name:  "hash",
+		Route: HashOn(7, []int{0}, 42),
+	}
+	var outputs []string
+	var loads []string
+	for run := 0; run < 3; run++ {
+		c := NewCluster(7)
+		c.LoadRoundRobin(ringInstance(100))
+		stats, err := c.RunRound(round)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outputs = append(outputs, c.Output().String())
+		loads = append(loads, stats.String())
+	}
+	for run := 1; run < len(outputs); run++ {
+		if outputs[run] != outputs[0] {
+			t.Errorf("run %d output differs:\n%s\n%s", run, outputs[run], outputs[0])
+		}
+		if loads[run] != loads[0] {
+			t.Errorf("run %d load stats differ: %s vs %s", run, loads[run], loads[0])
+		}
+	}
+}

@@ -175,20 +175,38 @@ func (c *Cluster) RunRound(r Round) (RoundStats, error) {
 		}
 	}
 
-	// Computation phase: local and embarrassingly parallel.
-	if r.Compute == nil {
-		r.Compute = func(_ int, local *rel.Instance) *rel.Instance { return local }
+	// Computation phase: local and embarrassingly parallel. Each
+	// worker writes only its own index of next/workerErrs, so the
+	// fan-out is race-free by index-disjointness, and a panicking
+	// Compute surfaces as this round's error instead of killing the
+	// process (or worse, being silently lost).
+	compute := r.Compute
+	if compute == nil {
+		compute = func(_ int, local *rel.Instance) *rel.Instance { return local }
 	}
 	next := make([]*rel.Instance, c.p)
+	workerErrs := make([]error, c.p)
 	var wg sync.WaitGroup
 	for i := 0; i < c.p; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			next[i] = r.Compute(i, inboxes[i])
+			defer func() {
+				if rec := recover(); rec != nil {
+					workerErrs[i] = fmt.Errorf("mpc: server %d compute phase panicked in round %q: %v", i, r.Name, rec)
+				}
+			}()
+			next[i] = compute(i, inboxes[i])
 		}(i)
 	}
 	wg.Wait()
+	// Report the lowest panicking server so repeated failing runs
+	// surface the same error.
+	for _, err := range workerErrs {
+		if err != nil {
+			return RoundStats{}, err
+		}
+	}
 	for i, inst := range next {
 		if inst == nil {
 			inst = rel.NewInstance()

@@ -107,38 +107,35 @@ func (i *Instance) Len() int {
 // IsEmpty reports whether the instance holds no facts.
 func (i *Instance) IsEmpty() bool { return i.Len() == 0 }
 
-// Facts returns every fact in unspecified order.
+// Facts returns every fact in deterministic (relation, tuple) order.
+// Instance-level enumeration is the serialization and routing path —
+// experiment output, transducer message order, MPC initial placement —
+// so it must be byte-stable across runs; unordered per-relation access
+// for hot local computation is Relation.Each.
 func (i *Instance) Facts() []Fact {
 	out := make([]Fact, 0, i.Len())
-	for name, r := range i.rels {
-		r.Each(func(t Tuple) bool {
-			out = append(out, Fact{Rel: name, Tuple: t})
-			return true
-		})
-	}
+	i.Each(func(f Fact) bool {
+		out = append(out, f)
+		return true
+	})
 	return out
 }
 
-// SortedFacts returns every fact ordered by (relation, tuple).
+// SortedFacts returns every fact ordered by (relation, tuple). Facts
+// already enumerates in that order; this name is kept for callers that
+// want to state the ordering explicitly.
 func (i *Instance) SortedFacts() []Fact {
-	out := i.Facts()
-	SortFacts(out)
-	return out
+	return i.Facts()
 }
 
-// Each calls fn for every fact; iteration stops if fn returns false.
+// Each calls fn for every fact in deterministic (relation, tuple)
+// order; iteration stops if fn returns false.
 func (i *Instance) Each(fn func(Fact) bool) {
-	for name, r := range i.rels {
-		stop := false
-		r.Each(func(t Tuple) bool {
+	for _, name := range i.RelationNames() {
+		for _, t := range i.rels[name].Tuples() {
 			if !fn(Fact{Rel: name, Tuple: t}) {
-				stop = true
-				return false
+				return
 			}
-			return true
-		})
-		if stop {
-			return
 		}
 	}
 }

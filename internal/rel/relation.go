@@ -57,21 +57,24 @@ func (r *Relation) Each(fn func(Tuple) bool) {
 	}
 }
 
-// Tuples returns all tuples in unspecified order.
+// Tuples returns all tuples in deterministic lexicographic order.
+// Materialized enumeration feeds serialization and distribution, so it
+// must be byte-stable across runs; order-free single-pass access for
+// hot local computation is Each.
 func (r *Relation) Tuples() []Tuple {
 	out := make([]Tuple, 0, len(r.set))
 	for _, t := range r.set {
 		out = append(out, t)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
 	return out
 }
 
-// SortedTuples returns all tuples in lexicographic order, for
-// deterministic output.
+// SortedTuples returns all tuples in lexicographic order. Tuples
+// already enumerates in that order; this name is kept for callers that
+// want to state the ordering explicitly.
 func (r *Relation) SortedTuples() []Tuple {
-	out := r.Tuples()
-	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
-	return out
+	return r.Tuples()
 }
 
 // Clone returns a deep copy of the relation.
