@@ -2,10 +2,24 @@
 # gate every change must pass: it compiles the module, runs go vet,
 # the full test suite (including the determinism regression tests),
 # the race detector, and the repo-specific mpclint analyzers.
+# `make verify-perf` additionally guards against benchmark regressions
+# relative to the checked-in baseline report.
 
 GO ?= go
 
-.PHONY: all build vet test race lint verify fmt
+# Benchmark harness knobs: BENCHTIME trades precision for wall time,
+# BENCH_BASELINE names the checked-in report that verify-perf compares
+# against, MAX_REGRESS is the allowed ns/op slowdown factor. The ns/op
+# factor is loose because shared CI hardware shows >1.4x run-to-run
+# scheduler noise at this BENCHTIME; benchdiff separately holds
+# allocs/op to a tight factor and domain metrics (maxload, totalcomm)
+# to exact equality, which noise cannot excuse.
+BENCHTIME ?= 0.5s
+BENCHCOUNT ?= 3
+BENCH_BASELINE ?= BENCH_2.json
+MAX_REGRESS ?= 1.6
+
+.PHONY: all build vet test race lint verify fmt bench bench-json verify-perf
 
 all: verify
 
@@ -29,3 +43,26 @@ fmt:
 
 verify: build vet test race lint
 	@echo "verify: OK"
+
+bench:
+	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) .
+
+# bench-json regenerates the checked-in baseline report. The raw
+# benchmark output goes through an intermediate file so a failing
+# benchmark run aborts the target instead of feeding benchjson an
+# empty pipe.
+# Benchmarks repeat BENCHCOUNT times; benchjson keeps each one's
+# fastest run, the noise-robust estimate on shared hardware.
+bench-json:
+	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) . > .bench_raw.txt
+	$(GO) run ./cmd/benchjson -out $(BENCH_BASELINE) .bench_raw.txt
+	@rm -f .bench_raw.txt
+	@echo "bench-json: wrote $(BENCH_BASELINE)"
+
+# verify-perf runs the benchmarks fresh and fails when any ns/op
+# regressed more than MAX_REGRESS times the checked-in baseline.
+verify-perf:
+	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) . > .bench_head_raw.txt
+	$(GO) run ./cmd/benchjson -out BENCH_head.json .bench_head_raw.txt
+	@rm -f .bench_head_raw.txt
+	$(GO) run ./cmd/benchdiff -max-regress $(MAX_REGRESS) $(BENCH_BASELINE) BENCH_head.json

@@ -59,6 +59,7 @@ func BenchmarkFigure1Transfer(b *testing.B) {
 		cq.MustParse(d, "H() :- S(x), R(x, y), T(y)"),
 		cq.MustParse(d, "H() :- R(x, y), T(y)"),
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, qi := range qs {
@@ -78,6 +79,7 @@ func BenchmarkFigure2Classify(b *testing.B) {
 	q := func(i *rel.Instance) *rel.Instance { return cq.Output(open, i) }
 	schema := rel.Schema{"E": 2}
 	u := []rel.Value{0, 1, 2}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := mono.IsDomainDistinctMonotone(q, schema, u); err != nil {
@@ -120,13 +122,17 @@ func benchJoinLoad(b *testing.B, inst *rel.Instance, mk func(*cq.CQ, int) (mpc.R
 	d := rel.NewDict()
 	q := joinQ(d)
 	const p = 64
+	// Round construction is pure planning (share optimization, router
+	// closure setup); build it once so the timed loop measures round
+	// execution — routing, delivery, accounting — not planning.
+	r, err := mk(q, p)
+	if err != nil {
+		b.Fatal(err)
+	}
 	var last *mpc.Cluster
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r, err := mk(q, p)
-		if err != nil {
-			b.Fatal(err)
-		}
 		last = runLoadOnly(b, p, inst, r)
 	}
 	b.ReportMetric(float64(last.MaxLoad()), "maxload")
@@ -137,6 +143,8 @@ func benchJoinLoad(b *testing.B, inst *rel.Instance, mk func(*cq.CQ, int) (mpc.R
 func BenchmarkCascadeTriangle(b *testing.B) {
 	inst := workload.TriangleSkewFree(5000)
 	var last *mpc.Cluster
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c, _, err := gym.CascadeTriangle(64, inst, 3)
 		if err != nil {
@@ -163,6 +171,8 @@ func BenchmarkHyperCubeTriangle(b *testing.B) {
 				b.Fatal(err)
 			}
 			var last *mpc.Cluster
+			b.ReportAllocs()
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				last = runLoadOnly(b, g.P(), inst, hypercube.HyperCubeRound(g))
 			}
@@ -176,6 +186,8 @@ func BenchmarkHyperCubeTriangle(b *testing.B) {
 func BenchmarkShareOptimization(b *testing.B) {
 	d := rel.NewDict()
 	q := cq.MustParse(d, "H(x, y, z, w) :- R(x, y), S(y, z), T(z, w), U(w, x)")
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := hypercube.OptimalShares(q, 256); err != nil {
 			b.Fatal(err)
@@ -196,6 +208,7 @@ func BenchmarkSkewTriangle(b *testing.B) {
 	}
 	b.Run("one-round", func(b *testing.B) {
 		var last *mpc.Cluster
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			last = runLoadOnly(b, g.P(), inst, hypercube.HyperCubeRound(g))
 		}
@@ -203,6 +216,7 @@ func BenchmarkSkewTriangle(b *testing.B) {
 	})
 	b.Run("two-rounds", func(b *testing.B) {
 		var last *mpc.Cluster
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			c, _, err := gym.SkewTriangleTwoRound(p, inst, heavy, 5, g)
 			if err != nil {
@@ -226,6 +240,8 @@ func BenchmarkPCDecision(b *testing.B) {
 				u[i] = rel.Value(i)
 			}
 			pol := &policy.Replicate{Nodes: 2}
+			b.ReportAllocs()
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := pc.Saturates(q, pol, u); err != nil {
 					b.Fatal(err)
@@ -240,6 +256,8 @@ func BenchmarkCQNegPC(b *testing.B) {
 	d := rel.NewDict()
 	q := cq.MustParse(d, "H(x) :- R(x), not S(x)")
 	pol := &policy.Replicate{Nodes: 2}
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := pc.ParallelCorrectNegBounded(q, pol, 2); err != nil {
 			b.Fatal(err)
@@ -254,6 +272,7 @@ func BenchmarkYannakakis(b *testing.B) {
 	inst := hubInstance(400, 10)
 	b.Run("yannakakis", func(b *testing.B) {
 		var st *gym.Stats
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			_, s, err := gym.Yannakakis(q, inst)
 			if err != nil {
@@ -265,6 +284,7 @@ func BenchmarkYannakakis(b *testing.B) {
 	})
 	b.Run("cascade", func(b *testing.B) {
 		var st *gym.Stats
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			_, s, err := gym.CascadeJoin(q, inst)
 			if err != nil {
@@ -295,6 +315,8 @@ func BenchmarkGYMTriangle(b *testing.B) {
 	q := triangleQ(d)
 	inst := workload.TriangleSkewFree(2000)
 	var last *mpc.Cluster
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c, _, _, err := gym.GYM(q, 16, inst, 5)
 		if err != nil {
@@ -311,6 +333,7 @@ func BenchmarkMapReduceTC(b *testing.B) {
 	g := workload.PathGraph(64)
 	b.Run("linear", func(b *testing.B) {
 		var res *mapreduce.TCResult
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			r, err := mapreduce.TransitiveClosure(8, g, "E", false)
 			if err != nil {
@@ -322,6 +345,7 @@ func BenchmarkMapReduceTC(b *testing.B) {
 	})
 	b.Run("doubling", func(b *testing.B) {
 		var res *mapreduce.TCResult
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			r, err := mapreduce.TransitiveClosure(8, g, "E", true)
 			if err != nil {
@@ -345,6 +369,8 @@ func BenchmarkBroadcast(b *testing.B) {
 	parts := policy.Distribute(&policy.Hash{Nodes: 4}, full)
 	run := func(b *testing.B, mk func() transducer.Program) {
 		var st transducer.Stats
+		b.ReportAllocs()
+		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			n := transducer.New(4, mk, transducer.WithSeed(4))
 			if err := n.LoadParts(parts); err != nil {
@@ -373,6 +399,8 @@ func BenchmarkDisjointCompleteNotTC(b *testing.B) {
 	g := workload.ComponentsGraph(4, 4)
 	pol := &policy.DomainGuided{Nodes: 4, DefaultWidth: 1}
 	var st transducer.Stats
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		n := transducer.New(4, func() transducer.Program {
 			return &transducer.DisjointComplete{Q: benchNotTC}
@@ -426,6 +454,7 @@ func BenchmarkCQEvaluateTriangle(b *testing.B) {
 	d := rel.NewDict()
 	q := triangleQ(d)
 	inst := workload.TriangleSkewFree(20000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if cq.Evaluate(q, inst).Len() != 20000 {
@@ -438,6 +467,7 @@ func BenchmarkDatalogTransitiveClosure(b *testing.B) {
 	d := rel.NewDict()
 	p := datalog.MustParse(d, "TC(x, y) :- E(x, y)\nTC(x, y) :- TC(x, z), E(z, y)")
 	g := workload.CycleGraph(100)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		out, err := datalog.EvalQuery(p, g, "TC")
@@ -454,6 +484,7 @@ func BenchmarkMinimalValuations(b *testing.B) {
 	d := rel.NewDict()
 	q := cq.MustParse(d, "H(x, z) :- R(x, y), R(y, z), R(x, x)")
 	u := []rel.Value{0, 1, 2}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := cq.MinimalValuations(q, u); err != nil {
@@ -480,6 +511,8 @@ func BenchmarkAblationShareAllocation(b *testing.B) {
 			b.Fatal(err)
 		}
 		var last *mpc.Cluster
+		b.ReportAllocs()
+		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			last = runLoadOnly(b, g.P(), inst, hypercube.HyperCubeRound(g))
 		}
@@ -527,6 +560,8 @@ func BenchmarkAblationHashFinalizer(b *testing.B) {
 	}
 	bench := func(b *testing.B, r mpc.Router) {
 		var last *mpc.Cluster
+		b.ReportAllocs()
+		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			last = runLoadOnly(b, p, inst, mpc.Round{Route: r})
 		}
@@ -556,6 +591,7 @@ func BenchmarkAblationSemijoinReduction(b *testing.B) {
 		}
 		b.Run(name, func(b *testing.B) {
 			var st *gym.Stats
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				_, s, err := gym.YannakakisWith(q, inst, reduce)
 				if err != nil {
@@ -575,6 +611,7 @@ func BenchmarkAblationTransferFullPath(b *testing.B) {
 	q := cq.MustParse(d, "H(x, y, z) :- R(x, y), S(y, z), T(z, x)")
 	qp := cq.MustParse(d, "H(x, y, z) :- R(x, y), S(y, z)")
 	b.Run("full-fast-path", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, _, err := pc.CoversFull(q, qp); err != nil {
 				b.Fatal(err)
@@ -582,6 +619,7 @@ func BenchmarkAblationTransferFullPath(b *testing.B) {
 		}
 	})
 	b.Run("general-path", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, _, err := pc.Covers(q, qp); err != nil {
 				b.Fatal(err)
@@ -616,6 +654,7 @@ func BenchmarkGenericJoin(b *testing.B) {
 	}
 	wantLen := 3*n + 1
 	b.Run("worst-case-optimal", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			out, err := cq.GenericJoin(q, fan)
 			if err != nil || out.Len() != wantLen {
@@ -624,6 +663,7 @@ func BenchmarkGenericJoin(b *testing.B) {
 		}
 	})
 	b.Run("binary-join-plan", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if cq.Evaluate(q, fan).Len() != wantLen {
 				b.Fatal("wrong result")
@@ -642,6 +682,7 @@ func BenchmarkStreamSemiJoin(b *testing.B) {
 		Automaton: stream.SemiJoin("R", "S"),
 	}
 	var st *stream.Stats
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, s, err := n.Run(facts)
@@ -677,6 +718,7 @@ func BenchmarkScaleIndependence(b *testing.B) {
 	}
 	b.Run("bounded-plan", func(b *testing.B) {
 		var fetched int
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			_, f, err := scale.Execute(plan, inst)
 			if err != nil {
@@ -687,6 +729,7 @@ func BenchmarkScaleIndependence(b *testing.B) {
 		b.ReportMetric(float64(fetched), "fetched")
 	})
 	b.Run("full-evaluation", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			cq.Evaluate(q, inst)
 		}

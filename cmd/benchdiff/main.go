@@ -1,0 +1,145 @@
+// Command benchdiff compares two benchjson reports and exits nonzero
+// when any benchmark regressed. It is the gate behind
+// `make verify-perf`: the old report is the checked-in baseline
+// (BENCH_<n>.json), the new one is a fresh run.
+//
+//	benchdiff [-max-regress 1.6] [-max-alloc-regress 1.02] old.json new.json
+//
+// Each metric is held to the strictness it can bear: ns/op is at the
+// mercy of scheduler noise, so its factor is loose; allocs/op is
+// deterministic modulo map growth, so its factor is tight; and the
+// domain metrics (maxload, totalcomm, and any other custom b.ReportMetric
+// series) are pure functions of the input, so they must match exactly.
+// B/op and iters are not compared.
+//
+// Output lines are sorted by benchmark name so repeated runs over the
+// same pair of reports are byte-identical.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type benchmark struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iters"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+type report struct {
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+func main() {
+	maxRegress := flag.Float64("max-regress", 1.6,
+		"fail when new ns/op exceeds old ns/op by more than this factor")
+	maxAllocRegress := flag.Float64("max-alloc-regress", 1.02,
+		"fail when new allocs/op exceeds old allocs/op by more than this factor")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-max-regress f] old.json new.json")
+		os.Exit(2)
+	}
+	old := load(flag.Arg(0))
+	new_ := load(flag.Arg(1))
+
+	names := make([]string, 0, len(old))
+	for name := range old {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	regressions := 0
+	compared := 0
+	for _, name := range names {
+		o, n := old[name], new_[name]
+		if n.Name == "" {
+			fmt.Printf("%-60s only in %s\n", name, flag.Arg(0))
+			continue
+		}
+		oNS, oOK := o.Metrics["ns/op"]
+		nNS, nOK := n.Metrics["ns/op"]
+		if !oOK || !nOK || oNS == 0 {
+			continue
+		}
+		compared++
+		bad := ""
+		ratio := nNS / oNS
+		if ratio > *maxRegress {
+			bad = "ns/op REGRESSION"
+			regressions++
+		}
+		if oA, nA := o.Metrics["allocs/op"], n.Metrics["allocs/op"]; oA > 0 && nA/oA > *maxAllocRegress {
+			bad += fmt.Sprintf("  allocs/op REGRESSION %.0f -> %.0f", oA, nA)
+			regressions++
+		}
+		for _, metric := range domainMetrics(o) {
+			if o.Metrics[metric] != n.Metrics[metric] {
+				bad += fmt.Sprintf("  %s DRIFT %g -> %g", metric, o.Metrics[metric], n.Metrics[metric])
+				regressions++
+			}
+		}
+		status := "ok"
+		if bad != "" {
+			status = bad
+		}
+		fmt.Printf("%-60s %14.0f -> %14.0f ns/op  (x%.3f)  %s\n", name, oNS, nNS, ratio, status)
+	}
+	newNames := make([]string, 0, len(new_))
+	for name := range new_ {
+		if _, ok := old[name]; !ok {
+			newNames = append(newNames, name)
+		}
+	}
+	sort.Strings(newNames)
+	for _, name := range newNames {
+		fmt.Printf("%-60s only in %s\n", name, flag.Arg(1))
+	}
+
+	fmt.Printf("benchdiff: %d compared, %d regressed (max allowed x%.2f)\n",
+		compared, regressions, *maxRegress)
+	if regressions > 0 {
+		os.Exit(1)
+	}
+}
+
+// domainMetrics returns b's metric names that are pure functions of the
+// benchmark input — everything except the timing and allocation series
+// the Go test runner emits — sorted for stable output.
+func domainMetrics(b benchmark) []string {
+	out := make([]string, 0, len(b.Metrics))
+	for name := range b.Metrics {
+		switch name {
+		case "ns/op", "B/op", "allocs/op", "MB/s":
+			continue
+		}
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func load(path string) map[string]benchmark {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var r report
+	if err := json.Unmarshal(buf, &r); err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	out := make(map[string]benchmark, len(r.Benchmarks))
+	for _, b := range r.Benchmarks {
+		out[b.Name] = b
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

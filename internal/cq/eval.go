@@ -17,8 +17,8 @@ func Evaluate(q *CQ, i *rel.Instance) *rel.Relation {
 		return out
 	}
 	pos := varPositions(vars)
+	h := make(rel.Tuple, len(q.Head.Args)) // reused: Add copies into out
 	tuples.Each(func(t rel.Tuple) bool {
-		h := make(rel.Tuple, len(q.Head.Args))
 		for k, arg := range q.Head.Args {
 			if arg.IsVar() {
 				h[k] = t[pos[arg.Var]]
@@ -175,21 +175,34 @@ func evalBindings(q *CQ, inst *rel.Instance) ([]string, *rel.Relation) {
 			freshCols[k] = varFirstPos[v]
 		}
 
-		// Index the atom's tuples by shared-variable key.
-		idx := make(map[string][]rel.Tuple, src.Len())
+		// Index the atom's admitted tuples by shared-variable hash.
+		// Buckets hold the source tuples themselves: candidates are
+		// verified column-by-column at probe time, so no projected
+		// tuple or string key is allocated per entry.
+		idx := make(map[uint64][]rel.Tuple, src.Len())
 		src.Each(func(t rel.Tuple) bool {
 			if !admits(t) {
 				return true
 			}
-			idx[t.Project(sharedAtomCols).Key()] = append(idx[t.Project(sharedAtomCols).Key()], t.Project(freshCols))
+			h := rel.HashCols(t, sharedAtomCols)
+			idx[h] = append(idx[h], t)
 			return true
 		})
 
-		next := rel.NewRelation("⋈", current.Arity+len(fresh))
+		next := rel.NewRelationSize("⋈", current.Arity+len(fresh), current.Len())
+		scratch := make(rel.Tuple, current.Arity+len(fresh)) // reused: Add copies
+		curArity := current.Arity
 		current.Each(func(t rel.Tuple) bool {
-			k := t.Project(sharedCurCols).Key()
-			for _, ext := range idx[k] {
-				next.Add(t.Concat(ext))
+			h := rel.HashCols(t, sharedCurCols)
+			for _, s := range idx[h] {
+				if !rel.EqualOn(t, sharedCurCols, s, sharedAtomCols) {
+					continue
+				}
+				copy(scratch, t)
+				for k, c := range freshCols {
+					scratch[curArity+k] = s[c]
+				}
+				next.Add(scratch)
 			}
 			return true
 		})

@@ -109,8 +109,14 @@ func (g *Grid) Coord(server int) []int {
 // all body atoms of the fact's relation of the grid points consistent
 // with the hashed bindings. Facts that match no atom (wrong relation,
 // constant mismatch, repeated-variable mismatch) go nowhere.
+// Targets is called concurrently by the MPC communication phase, so it
+// keeps no scratch state on the grid. enumerate emits server ids of one
+// atom in ascending order (lexicographic coordinates are numeric order
+// in the mixed-radix id scheme), so a sort and dedup pass is needed
+// only when several atoms match the fact.
 func (g *Grid) Targets(f rel.Fact) []int {
-	targets := map[int]struct{}{}
+	var out []int
+	atoms := 0
 	for _, a := range g.Query.Body {
 		if a.Rel != f.Rel || len(a.Args) != len(f.Tuple) {
 			continue
@@ -119,15 +125,32 @@ func (g *Grid) Targets(f rel.Fact) []int {
 		if !ok {
 			continue
 		}
+		atoms++
+		if out == nil {
+			n := 1
+			for dim, c := range fixed {
+				if c < 0 {
+					n *= g.Shares[dim]
+				}
+			}
+			out = make([]int, 0, n)
+		}
 		g.enumerate(fixed, func(server int) {
-			targets[server] = struct{}{}
+			out = append(out, server)
 		})
 	}
-	out := make([]int, 0, len(targets))
-	for s := range targets {
-		out = append(out, s)
+	if atoms > 1 {
+		sort.Ints(out)
+		n := 0
+		for i, s := range out {
+			if i > 0 && s == out[n-1] {
+				continue
+			}
+			out[n] = s
+			n++
+		}
+		out = out[:n]
 	}
-	sort.Ints(out)
 	return out
 }
 
@@ -139,7 +162,6 @@ func (g *Grid) atomBinding(a cq.Atom, f rel.Fact) ([]int, bool) {
 	for i := range fixed {
 		fixed[i] = -1
 	}
-	bound := map[string]rel.Value{}
 	for i, t := range a.Args {
 		v := f.Tuple[i]
 		if !t.IsVar() {
@@ -148,13 +170,21 @@ func (g *Grid) atomBinding(a cq.Atom, f rel.Fact) ([]int, bool) {
 			}
 			continue
 		}
-		if prev, ok := bound[t.Var]; ok {
-			if prev != v {
+		// Atom arities are tiny, so scanning for the variable's first
+		// occurrence beats allocating a per-fact binding map.
+		first := i
+		for j := 0; j < i; j++ {
+			if a.Args[j].IsVar() && a.Args[j].Var == t.Var {
+				first = j
+				break
+			}
+		}
+		if first < i {
+			if f.Tuple[first] != v {
 				return nil, false
 			}
 			continue
 		}
-		bound[t.Var] = v
 		dim := g.dims[t.Var]
 		fixed[dim] = g.hash(dim, v)
 	}

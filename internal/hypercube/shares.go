@@ -3,6 +3,7 @@ package hypercube
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"mpclogic/internal/cq"
 )
@@ -45,11 +46,20 @@ func OptimalShares(q *cq.CQ, p int) (map[string]int, float64, error) {
 		shares[v]--
 	}
 	// Greedy: spend leftover budget on the variable whose increment
-	// best reduces the bottleneck load.
+	// best reduces the bottleneck load. Candidates are visited in
+	// sorted order so ties break by variable name, not map iteration
+	// order — with a symmetric query and a leftover factor, the
+	// winning variable (and hence the measured load on skewed data)
+	// would otherwise differ from run to run.
+	vars := make([]string, 0, len(shares))
+	for v := range shares {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
 	for {
 		bestVar := ""
 		bestLoad := math.Inf(1)
-		for v := range shares {
+		for _, v := range vars {
 			if prod/shares[v]*(shares[v]+1) > p {
 				continue
 			}

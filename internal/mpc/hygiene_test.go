@@ -1,6 +1,7 @@
 package mpc
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -60,6 +61,114 @@ func TestRunStopsAtPanic(t *testing.T) {
 	}
 	if ran {
 		t.Error("Run executed rounds after the failure")
+	}
+}
+
+// TestRouteErrorDeterministic: a routing error raised by middle source
+// servers must surface deterministically — the lowest erring source
+// wins, and within that source the smallest offending fact is reported
+// regardless of enumeration order — and must leave the cluster
+// untouched: no stats recorded, server contents bit-identical.
+func TestRouteErrorDeterministic(t *testing.T) {
+	const p = 5
+	badRouter := RouterFunc(func(f rel.Fact) []int {
+		if f.Rel == "B" {
+			return []int{p + 10}
+		}
+		return []int{0}
+	})
+	build := func() *Cluster {
+		c := NewCluster(p)
+		for s := 0; s < p; s++ {
+			c.LoadAt(s, rel.FromFacts(rel.NewFact("R", rel.Value(s))))
+		}
+		// Bad facts only at the middle sources 1 and 3; source 1 holds
+		// two so the reported fact must be the Less-minimal one.
+		c.LoadAt(1, rel.FromFacts(rel.NewFact("B", 5), rel.NewFact("B", 2)))
+		c.LoadAt(3, rel.FromFacts(rel.NewFact("B", 1)))
+		return c
+	}
+	want := fmt.Sprintf("mpc: route of %v targets server %d outside [0,%d)",
+		rel.NewFact("B", 2), p+10, p)
+	for run := 0; run < 3; run++ {
+		c := build()
+		before := make([]string, p)
+		for s := 0; s < p; s++ {
+			before[s] = c.Server(s).String()
+		}
+		_, err := c.RunRound(Round{Name: "badroute", Route: badRouter})
+		if err == nil {
+			t.Fatal("RunRound swallowed the routing error")
+		}
+		if err.Error() != want {
+			t.Errorf("run %d: error %q, want %q", run, err, want)
+		}
+		if c.Rounds() != 0 {
+			t.Errorf("run %d: failed round recorded stats", run)
+		}
+		for s := 0; s < p; s++ {
+			if got := c.Server(s).String(); got != before[s] {
+				t.Errorf("run %d: server %d mutated by failed round:\n%s\n%s", run, s, got, before[s])
+			}
+		}
+	}
+}
+
+// TestRouteErrorNotMaskedByLaterPanic: once a source has a confirmed
+// range error, a Router that panics on that source's later facts must
+// not convert the clean range error into a panic error — the
+// Less-minimal refinement probes those facts under their own recover.
+func TestRouteErrorNotMaskedByLaterPanic(t *testing.T) {
+	const p = 3
+	router := RouterFunc(func(f rel.Fact) []int {
+		if f.Rel != "B" {
+			return []int{0}
+		}
+		if f.Tuple[0] == 5 {
+			return []int{p + 7}
+		}
+		panic("router broken on later facts")
+	})
+	c := NewCluster(p)
+	c.LoadAt(0, rel.FromFacts(rel.NewFact("R", rel.Value(0))))
+	// Insertion order fixes enumeration: B(5) (out of range) comes
+	// first; B(2) and B(3) panic and are Less than B(5), so the error
+	// refinement must probe them.
+	c.LoadAt(1, rel.FromFacts(rel.NewFact("B", 5), rel.NewFact("B", 2), rel.NewFact("B", 3)))
+	want := fmt.Sprintf("mpc: route of %v targets server %d outside [0,%d)",
+		rel.NewFact("B", 5), p+7, p)
+	_, err := c.RunRound(Round{Name: "maskedroute", Route: router})
+	if err == nil {
+		t.Fatal("RunRound swallowed the routing error")
+	}
+	if err.Error() != want {
+		t.Errorf("error %q, want %q", err, want)
+	}
+	if c.Rounds() != 0 {
+		t.Errorf("failed round recorded stats: %d rounds", c.Rounds())
+	}
+}
+
+// TestCommPanicSurfaced: a panicking Router must surface as the
+// round's error (naming the round and a source server) instead of
+// killing the process now that routing runs in goroutines.
+func TestCommPanicSurfaced(t *testing.T) {
+	c := NewCluster(3)
+	c.LoadRoundRobin(ringInstance(9))
+	_, err := c.RunRound(Round{
+		Name:  "panicroute",
+		Route: RouterFunc(func(rel.Fact) []int { panic("router down") }),
+	})
+	if err == nil {
+		t.Fatal("RunRound swallowed a router panic")
+	}
+	if !strings.Contains(err.Error(), "communication phase panicked") ||
+		!strings.Contains(err.Error(), "router down") ||
+		!strings.Contains(err.Error(), `round "panicroute"`) {
+		t.Errorf("error should name the phase, round, and panic value: %v", err)
+	}
+	if c.Rounds() != 0 {
+		t.Errorf("failed round recorded stats: %d rounds", c.Rounds())
 	}
 }
 

@@ -15,6 +15,7 @@ package mpc
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"mpclogic/internal/rel"
@@ -22,6 +23,11 @@ import (
 
 // Router decides the destination servers of a fact during a
 // communication phase. Destinations out of range are an error.
+//
+// The communication phase fans out over source servers, so Route is
+// called concurrently from multiple goroutines and implementations
+// must be safe for concurrent use. Every router in this package (and
+// package hypercube) is stateless and therefore trivially safe.
 type Router interface {
 	Route(f rel.Fact) []int
 }
@@ -40,7 +46,8 @@ type Compute func(server int, local *rel.Instance) *rel.Instance
 // Round couples a communication phase with a computation phase.
 // Facts for which Keep returns true stay at their current server and
 // are not counted as communication (local data needs no network hop);
-// all other facts are shipped according to Route.
+// all other facts are shipped according to Route. Like Route, Keep is
+// called concurrently and must be safe for concurrent use.
 type Round struct {
 	Name    string
 	Route   Router
@@ -140,38 +147,202 @@ func (c *Cluster) LoadAt(server int, i *rel.Instance) {
 	c.servers[server].AddAll(i)
 }
 
+// commShard is one routing worker's contribution to a communication
+// phase: per-destination outboxes and per-destination delivery counts
+// for a contiguous ascending range of source servers. Shards are
+// round-private, so destinations may adopt their outboxes wholesale.
+// Bounding the number of shards by the worker count (not p) keeps the
+// outbox count at workers×p instead of p², which matters at large p
+// where most (source, destination) pairs carry only a few facts.
+type commShard struct {
+	outs []*rel.Instance // outs[dst]: facts bound for dst; nil if none
+	sent []int           // routed deliveries per destination (Keep facts uncounted)
+	err  error
+}
+
+// routeRange runs the communication phase for sources [lo, hi). It
+// only reads those servers' relations and writes its own shard, so
+// ranges can route concurrently. Errors pick the lowest erring source
+// (sources are visited in ascending order) and, within it, the
+// smallest offending fact by Fact.Less, so the reported error does not
+// depend on enumeration order; a panicking Router or Keep surfaces as
+// the shard's error instead of killing the process. Once a source has a
+// confirmed range error, nothing more is delivered or counted for it —
+// the remaining facts are only probed (see probeBadRoute) to refine the
+// reported fact.
+func (c *Cluster) routeRange(lo, hi int, r Round) (sh commShard) {
+	sh.outs = make([]*rel.Instance, c.p)
+	sh.sent = make([]int, c.p)
+	cur := lo
+	defer func() {
+		if rec := recover(); rec != nil {
+			sh.err = fmt.Errorf("mpc: server %d communication phase panicked in round %q: %v", cur, r.Name, rec)
+		}
+	}()
+	deliver := func(dst int, f rel.Fact) {
+		if sh.outs[dst] == nil {
+			sh.outs[dst] = rel.NewInstance()
+		}
+		sh.outs[dst].Add(f)
+	}
+	for src := lo; src < hi; src++ {
+		cur = src
+		var badFact rel.Fact
+		badDst := -1
+		srv := c.servers[src]
+		for _, name := range srv.RelationNames() {
+			rl := srv.Relation(name)
+			rl.Each(func(t rel.Tuple) bool {
+				f := rel.Fact{Rel: name, Tuple: t}
+				if badDst >= 0 {
+					// The round is already doomed at this source: stop
+					// delivering, and re-route only facts that could
+					// replace the reported (Less-minimal) offender.
+					if f.Less(badFact) {
+						if dst, bad := probeBadRoute(r, f, c.p); bad {
+							badFact, badDst = f, dst
+						}
+					}
+					return true
+				}
+				if r.Keep != nil && r.Keep(f) {
+					deliver(src, f)
+					return true
+				}
+				if r.Route == nil {
+					return true
+				}
+				for _, dst := range r.Route.Route(f) {
+					if dst < 0 || dst >= c.p {
+						badFact, badDst = f, dst
+						return true
+					}
+					sh.sent[dst]++
+					deliver(dst, f)
+				}
+				return true
+			})
+		}
+		if badDst >= 0 {
+			// The round is abandoned on error, so the remaining
+			// sources of the range need not be routed.
+			sh.err = fmt.Errorf("mpc: route of %v targets server %d outside [0,%d)", badFact, badDst, c.p)
+			return sh
+		}
+	}
+	return sh
+}
+
+// probeBadRoute reports whether routing f targets a destination outside
+// [0,p). It refines an already-confirmed range error to the
+// Less-minimal offending fact, so it recovers from Router and Keep
+// panics and treats the fact as non-offending: a later panicking fact
+// must not convert a clean range error into a panic error.
+func probeBadRoute(r Round, f rel.Fact, p int) (dst int, bad bool) {
+	defer func() {
+		if recover() != nil {
+			dst, bad = 0, false
+		}
+	}()
+	if r.Keep != nil && r.Keep(f) {
+		return 0, false
+	}
+	for _, d := range r.Route.Route(f) {
+		if d < 0 || d >= p {
+			return d, true
+		}
+	}
+	return 0, false
+}
+
 // RunRound executes one communication + computation round and records
 // its statistics.
 func (c *Cluster) RunRound(r Round) (RoundStats, error) {
+	// Communication phase, step 1: fan out over disjoint ascending
+	// source ranges, one per worker. Each goroutine writes only
+	// shards[w] for its own w, so the fan-out is race-free by
+	// index-disjointness, and each shard's content depends only on its
+	// range's data — not on scheduling. The merged inboxes and counts
+	// below are unions and sums over all sources, so they are also
+	// independent of the worker count.
+	workers := runtime.GOMAXPROCS(0)
+	if workers > c.p {
+		workers = c.p
+	}
+	chunk := (c.p + workers - 1) / workers
+	workers = (c.p + chunk - 1) / chunk
+	shards := make([]commShard, workers)
+	var routeWG sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > c.p {
+			hi = c.p
+		}
+		routeWG.Add(1)
+		go func(w, lo, hi int) {
+			defer routeWG.Done()
+			shards[w] = c.routeRange(lo, hi, r)
+		}(w, lo, hi)
+	}
+	routeWG.Wait()
+	// Worker order is source order, so the first erring shard carries
+	// the lowest erring source and repeated failing runs surface the
+	// same error.
+	for w := range shards {
+		if shards[w].err != nil {
+			return RoundStats{}, shards[w].err
+		}
+	}
+
+	// Step 2: merge shards into per-destination inboxes, one goroutine
+	// per destination, each visiting sources in ascending order. Every
+	// worker writes only its own index of inboxes/received/mergeErrs,
+	// and the (dst, src) merge order is fixed, so the resulting inboxes
+	// and load accounting are byte-identical to a sequential phase.
 	inboxes := make([]*rel.Instance, c.p)
 	received := make([]int, c.p)
-	for i := range inboxes {
-		inboxes[i] = rel.NewInstance()
-	}
-	// Communication phase. Sequential over source servers: routing is
-	// cheap; the accounting must be exact and race-free.
-	for src := 0; src < c.p; src++ {
-		var routeErr error
-		c.servers[src].Each(func(f rel.Fact) bool {
-			if r.Keep != nil && r.Keep(f) {
-				inboxes[src].Add(f)
-				return true
-			}
-			if r.Route == nil {
-				return true
-			}
-			for _, dst := range r.Route.Route(f) {
-				if dst < 0 || dst >= c.p {
-					routeErr = fmt.Errorf("mpc: route of %v targets server %d outside [0,%d)", f, dst, c.p)
-					return false
+	mergeErrs := make([]error, c.p)
+	var mergeWG sync.WaitGroup
+	for dst := 0; dst < c.p; dst++ {
+		mergeWG.Add(1)
+		go func(dst int) {
+			defer mergeWG.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					mergeErrs[dst] = fmt.Errorf("mpc: server %d inbox merge panicked in round %q: %v", dst, r.Name, rec)
 				}
-				received[dst]++
-				inboxes[dst].Add(f)
+			}()
+			var inbox *rel.Instance
+			n := 0
+			for w := range shards {
+				n += shards[w].sent[dst]
+				out := shards[w].outs[dst]
+				if out == nil {
+					continue
+				}
+				if inbox == nil {
+					// Shards are round-private: adopt the first outbox
+					// instead of copying it.
+					inbox = out
+					continue
+				}
+				for _, name := range out.RelationNames() {
+					o := out.Relation(name)
+					inbox.EnsureRelationSize(name, o.Arity, o.Len()).UnionWith(o)
+				}
 			}
-			return true
-		})
-		if routeErr != nil {
-			return RoundStats{}, routeErr
+			if inbox == nil {
+				inbox = rel.NewInstance()
+			}
+			inboxes[dst] = inbox
+			received[dst] = n
+		}(dst)
+	}
+	mergeWG.Wait()
+	for _, err := range mergeErrs {
+		if err != nil {
+			return RoundStats{}, err
 		}
 	}
 

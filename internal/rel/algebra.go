@@ -76,6 +76,13 @@ func Intersect(name string, l, r *Relation) *Relation {
 // lCols/rCols (same length). The result tuple is the concatenation of
 // the l-tuple and the r-tuple (all columns of both, join columns
 // duplicated), with arity l.Arity + r.Arity.
+//
+// The build side's hash index is cached on the relation (see
+// Relation.index), so repeated joins against an unchanged relation —
+// the shape of semi-naive Datalog iteration — skip the build phase
+// entirely. Probing hashes the probe columns in place and result tuples
+// are assembled in a reused scratch buffer; Add copies into the result
+// arena, so the loop allocates nothing per probe.
 func HashJoin(name string, l, r *Relation, lCols, rCols []int) *Relation {
 	if len(lCols) != len(rCols) {
 		panic("rel: join column count mismatch")
@@ -90,20 +97,23 @@ func HashJoin(name string, l, r *Relation, lCols, rCols []int) *Relation {
 		bCols, pCols = rCols, lCols
 		swapped = true
 	}
-	idx := make(map[string][]Tuple, build.Len())
-	build.Each(func(t Tuple) bool {
-		k := t.Project(bCols).Key()
-		idx[k] = append(idx[k], t)
-		return true
-	})
+	idx := build.index(bCols)
+	scratch := make(Tuple, l.Arity+r.Arity)
 	probe.Each(func(t Tuple) bool {
-		k := t.Project(pCols).Key()
-		for _, b := range idx[k] {
-			if swapped {
-				out.Add(t.Concat(b))
-			} else {
-				out.Add(b.Concat(t))
+		h := HashCols(t, pCols)
+		for _, bi := range idx.buckets[h] {
+			bt := build.tupleAt(bi)
+			if !EqualOn(bt, bCols, t, pCols) {
+				continue
 			}
+			if swapped {
+				copy(scratch, t)
+				copy(scratch[len(t):], bt)
+			} else {
+				copy(scratch, bt)
+				copy(scratch[len(bt):], t)
+			}
+			out.Add(scratch)
 		}
 		return true
 	})
@@ -111,20 +121,20 @@ func HashJoin(name string, l, r *Relation, lCols, rCols []int) *Relation {
 }
 
 // SemiJoin returns the tuples of l that join with at least one tuple of
-// r on the given columns (l ⋉ r).
+// r on the given columns (l ⋉ r). The index over r is cached on r.
 func SemiJoin(l, r *Relation, lCols, rCols []int) *Relation {
 	if len(lCols) != len(rCols) {
 		panic("rel: semijoin column count mismatch")
 	}
-	keys := make(map[string]struct{}, r.Len())
-	r.Each(func(t Tuple) bool {
-		keys[t.Project(rCols).Key()] = struct{}{}
-		return true
-	})
+	idx := r.index(rCols)
 	out := NewRelation(l.Name, l.Arity)
 	l.Each(func(t Tuple) bool {
-		if _, ok := keys[t.Project(lCols).Key()]; ok {
-			out.Add(t)
+		h := HashCols(t, lCols)
+		for _, ri := range idx.buckets[h] {
+			if EqualOn(r.tupleAt(ri), rCols, t, lCols) {
+				out.Add(t)
+				break
+			}
 		}
 		return true
 	})
@@ -132,21 +142,21 @@ func SemiJoin(l, r *Relation, lCols, rCols []int) *Relation {
 }
 
 // AntiJoin returns the tuples of l that join with no tuple of r on the
-// given columns (l ▷ r).
+// given columns (l ▷ r). The index over r is cached on r.
 func AntiJoin(l, r *Relation, lCols, rCols []int) *Relation {
 	if len(lCols) != len(rCols) {
 		panic("rel: antijoin column count mismatch")
 	}
-	keys := make(map[string]struct{}, r.Len())
-	r.Each(func(t Tuple) bool {
-		keys[t.Project(rCols).Key()] = struct{}{}
-		return true
-	})
+	idx := r.index(rCols)
 	out := NewRelation(l.Name, l.Arity)
 	l.Each(func(t Tuple) bool {
-		if _, ok := keys[t.Project(lCols).Key()]; !ok {
-			out.Add(t)
+		h := HashCols(t, lCols)
+		for _, ri := range idx.buckets[h] {
+			if EqualOn(r.tupleAt(ri), rCols, t, lCols) {
+				return true
+			}
 		}
+		out.Add(t)
 		return true
 	})
 	return out

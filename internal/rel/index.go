@@ -1,0 +1,93 @@
+package rel
+
+// Join indexing: a reusable hash index over a column projection of a
+// relation, built once per (relation, columns) and cached on the
+// relation until its next mutation. Buckets key on the 64-bit
+// projection hash; probes verify candidates column-by-column, so the
+// index never allocates per-probe string keys or projected tuples.
+
+// joinIndex maps the hash of a column projection to the stored-tuple
+// indices sharing that projection hash.
+type joinIndex struct {
+	cols    []int
+	buckets map[uint64][]int32
+}
+
+// colsKey folds a column list into a cache key. Distinct column lists
+// can in principle collide, so index lookups re-verify cols.
+func colsKey(cols []int) uint64 {
+	k := uint64(len(cols))
+	for _, c := range cols {
+		k = k*131 + uint64(c) + 1
+	}
+	return k
+}
+
+func equalCols(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// index returns the relation's join index on cols, building and caching
+// it on first use. The cache is invalidated on mutation. Like the rest
+// of Relation, index is not safe for concurrent use.
+func (r *Relation) index(cols []int) *joinIndex {
+	k := colsKey(cols)
+	if ji, ok := r.idx[k]; ok && equalCols(ji.cols, cols) {
+		return ji
+	}
+	ji := &joinIndex{
+		cols:    append([]int(nil), cols...),
+		buckets: make(map[uint64][]int32, r.live),
+	}
+	for i := range r.hashes {
+		if r.dead[i] {
+			continue
+		}
+		h := HashCols(r.tupleAt(int32(i)), cols)
+		ji.buckets[h] = append(ji.buckets[h], int32(i))
+	}
+	if r.idx == nil {
+		r.idx = make(map[uint64]*joinIndex)
+	}
+	r.idx[k] = ji
+	return ji
+}
+
+// HashCols returns the partition-quality hash of t's projection onto
+// cols, equal to t.Project(cols).Hash() without allocating the
+// projected tuple.
+func HashCols(t Tuple, cols []int) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, c := range cols {
+		u := uint64(t[c])
+		for i := 0; i < 8; i++ {
+			h ^= u & 0xff
+			h *= prime
+			u >>= 8
+		}
+	}
+	return Mix64(h)
+}
+
+// EqualOn reports whether a's projection onto aCols equals b's
+// projection onto bCols (the lists must have the same length).
+func EqualOn(a Tuple, aCols []int, b Tuple, bCols []int) bool {
+	for k := range aCols {
+		if a[aCols[k]] != b[bCols[k]] {
+			return false
+		}
+	}
+	return true
+}

@@ -16,6 +16,11 @@ func NewInstance() *Instance {
 	return &Instance{rels: make(map[string]*Relation)}
 }
 
+// NewInstanceSize returns an empty instance pre-sized for n relations.
+func NewInstanceSize(n int) *Instance {
+	return &Instance{rels: make(map[string]*Relation, n)}
+}
+
 // FromFacts builds an instance containing exactly the given facts.
 func FromFacts(fs ...Fact) *Instance {
 	i := NewInstance()
@@ -77,6 +82,20 @@ func (i *Instance) EnsureRelation(name string, arity int) *Relation {
 		r = NewRelation(name, arity)
 		i.rels[name] = r
 	}
+	return r
+}
+
+// EnsureRelationSize is EnsureRelation with a capacity hint: an absent
+// relation is created pre-sized for size tuples, and an existing one is
+// pre-grown to hold size more tuples without rehashing.
+func (i *Instance) EnsureRelationSize(name string, arity, size int) *Relation {
+	r, ok := i.rels[name]
+	if !ok {
+		r = NewRelationSize(name, arity, size)
+		i.rels[name] = r
+		return r
+	}
+	r.grow(r.live + size)
 	return r
 }
 
@@ -156,7 +175,7 @@ func (i *Instance) ADom() ValueSet {
 
 // Clone returns a deep copy.
 func (i *Instance) Clone() *Instance {
-	out := NewInstance()
+	out := NewInstanceSize(len(i.rels))
 	for name, r := range i.rels {
 		out.rels[name] = r.Clone()
 	}
