@@ -19,7 +19,13 @@ BENCHCOUNT ?= 3
 BENCH_BASELINE ?= BENCH_2.json
 MAX_REGRESS ?= 1.6
 
-.PHONY: all build vet test race lint verify fmt bench bench-json verify-perf
+# Per-target budget for the coverage-guided fuzzing pass in `make
+# verify`. The checked-in corpora under */testdata/fuzz always replay
+# as plain unit tests regardless of this knob; the budget only bounds
+# how long each fuzzer searches for NEW inputs.
+FUZZTIME ?= 5s
+
+.PHONY: all build vet test race lint verify fmt fuzz bench bench-json verify-perf
 
 all: verify
 
@@ -41,7 +47,12 @@ lint:
 fmt:
 	gofmt -l -w .
 
-verify: build vet test race lint
+# Each go fuzz engine invocation takes exactly one -fuzz target.
+fuzz:
+	$(GO) test ./internal/cq -run='^$$' -fuzz='^FuzzParseCQ$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/rel -run='^$$' -fuzz='^FuzzRelation$$' -fuzztime=$(FUZZTIME)
+
+verify: build vet test race lint fuzz
 	@echo "verify: OK"
 
 bench:

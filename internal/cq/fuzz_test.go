@@ -1,0 +1,50 @@
+package cq
+
+import (
+	"testing"
+
+	"mpclogic/internal/rel"
+)
+
+// FuzzParseCQ asserts two properties over arbitrary input:
+//
+//  1. Parse never panics — it returns an error on garbage.
+//  2. Parse–print–parse is a fixpoint: a successfully parsed query
+//     renders (String) to canonical rule syntax that reparses to a
+//     query with the identical rendering. (The original source is NOT
+//     required to round-trip byte-for-byte: the renderer normalizes
+//     "<-" to ":-", "¬"/"!" to "not", "≠" to "!=", quoted constants
+//     to interned integers, and whitespace.)
+func FuzzParseCQ(f *testing.F) {
+	for _, s := range []string{
+		"H(x, z) :- R(x, y), R(y, z)",
+		"H(x, y, z) :- E(x, y), E(y, z), not E(z, x)",
+		"T() :- E(x, y), E(y, z), E(z, x).",
+		"H(x) <- R(x, y), x != y",
+		"H(x) :- R(x, 0), S(x, 'a'), x ≠ 3",
+		"Q(x) :- R(x, x), ¬S(x)",
+		"H() :- E(-1, 2), !S(2)",
+		"H(x):-R(x,y),not  S( y ),y!=x.",
+		"H(x) :- notable(x)",
+		"H(x) :- R(x, y", // truncated: must error, not panic
+		":- R(x)",
+		"",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		d := rel.NewDict()
+		q, err := Parse(d, src)
+		if err != nil {
+			return // rejection is fine; panicking is not
+		}
+		s1 := q.String()
+		q2, err := Parse(d, s1)
+		if err != nil {
+			t.Fatalf("canonical rendering does not reparse: Parse(%q) -> %q -> %v", src, s1, err)
+		}
+		if s2 := q2.String(); s2 != s1 {
+			t.Fatalf("print-parse-print not a fixpoint: %q -> %q -> %q", src, s1, s2)
+		}
+	})
+}

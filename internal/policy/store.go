@@ -1,0 +1,50 @@
+package policy
+
+import (
+	"fmt"
+
+	"mpclogic/internal/rel"
+)
+
+// StableStore models the durable half of a computing node's state:
+// the horizontal fragment it was loaded with, which survives a crash
+// and can be reloaded on restart. The transducer runtime's
+// crash-restart fault injector reloads from here; everything else a
+// node accumulated — received facts, protocol maps, auxiliary
+// relations — is volatile and lost.
+//
+// The store snapshots the parts at construction time, so later
+// mutation of a node's working state never leaks into what a restart
+// recovers: reloads always reproduce the original distribution
+// loc-inst(κ).
+type StableStore struct {
+	parts []*rel.Instance
+}
+
+// NewStableStore snapshots one durable fragment per node.
+func NewStableStore(parts []*rel.Instance) *StableStore {
+	s := &StableStore{parts: make([]*rel.Instance, len(parts))}
+	for i, p := range parts {
+		s.parts[i] = p.Clone()
+	}
+	return s
+}
+
+// StoreFromPolicy builds the stable store holding loc-inst_{P,I}(κ)
+// for every node κ — the distribution a policy-loaded network can
+// recover after a crash.
+func StoreFromPolicy(p Policy, i *rel.Instance) *StableStore {
+	return NewStableStore(Distribute(p, i))
+}
+
+// NumNodes returns the number of fragments held.
+func (s *StableStore) NumNodes() int { return len(s.parts) }
+
+// Reload returns a fresh copy of node κ's durable fragment; mutating
+// the returned instance never affects the store.
+func (s *StableStore) Reload(κ Node) *rel.Instance {
+	if int(κ) < 0 || int(κ) >= len(s.parts) {
+		panic(fmt.Sprintf("policy: reload of node %d from a %d-node store", κ, len(s.parts)))
+	}
+	return s.parts[κ].Clone()
+}

@@ -1,6 +1,9 @@
 package transducer
 
 import (
+	"fmt"
+	"sort"
+
 	"mpclogic/internal/policy"
 	"mpclogic/internal/rel"
 )
@@ -45,7 +48,10 @@ func (dj *DisjointComplete) Start(ctx *Context) {
 	dj.requested = map[rel.Value]bool{}
 	dj.complete = map[rel.Value]bool{}
 	dj.expected = map[rel.Value]int{}
-	for v := range dataFacts(ctx.State()).ADom() {
+	// Sorted: broadcast order feeds the message buffers, and map
+	// iteration here would make fault-injected runs (where the
+	// delivered prefix at a crash point matters) nondeterministic.
+	for _, v := range dataFacts(ctx.State()).ADom().Sorted() {
 		// Values this node is assigned to are complete locally: a
 		// domain-guided node holds every fact containing them.
 		if dj.ownedBy(ctx, v) {
@@ -102,6 +108,68 @@ func (dj *DisjointComplete) OnMessage(ctx *Context, from policy.Node, f rel.Fact
 		ctx.State().Add(f)
 		dj.settle(ctx)
 	}
+}
+
+// OnPeerRestart implements Recoverer: re-announce the active domain
+// this node knows about. The restarted node's own pull protocol
+// (request → transfer → done) then rebuilds the lost data; the pulls
+// are idempotent, so racing with in-flight pre-crash messages is safe.
+func (dj *DisjointComplete) OnPeerRestart(ctx *Context, κ policy.Node) {
+	vs := dataFacts(ctx.State()).ADom().Sorted()
+	for _, v := range vs {
+		ctx.Send(κ, rel.NewFact(adomRel, v))
+	}
+}
+
+// Snapshot implements Forkable.
+func (dj *DisjointComplete) Snapshot() Program {
+	cp := &DisjointComplete{
+		Q:         dj.Q,
+		requested: map[rel.Value]bool{},
+		complete:  map[rel.Value]bool{},
+		expected:  map[rel.Value]int{},
+		emitted:   dj.emitted,
+	}
+	for k, v := range dj.requested {
+		cp.requested[k] = v
+	}
+	for k, v := range dj.complete {
+		cp.complete[k] = v
+	}
+	for k, v := range dj.expected {
+		cp.expected[k] = v
+	}
+	return cp
+}
+
+// Fingerprint implements Forkable: canonical rendering of the
+// volatile protocol maps (sorted enumeration).
+func (dj *DisjointComplete) Fingerprint() string {
+	render := func(label string, m map[rel.Value]bool) string {
+		var vs []int
+		for v, ok := range m {
+			if ok {
+				vs = append(vs, int(v))
+			}
+		}
+		sort.Ints(vs)
+		s := label + "="
+		for _, v := range vs {
+			s += fmt.Sprintf("%d,", v)
+		}
+		return s
+	}
+	s := render("req", dj.requested) + ";" + render("cmp", dj.complete)
+	var vs []int
+	for v := range dj.expected {
+		vs = append(vs, int(v))
+	}
+	sort.Ints(vs)
+	s += ";exp="
+	for _, v := range vs {
+		s += fmt.Sprintf("%d:%d,", v, dj.expected[rel.Value(v)])
+	}
+	return s + fmt.Sprintf(";emitted=%d", dj.emitted)
 }
 
 // settle promotes values to complete once all announced facts have

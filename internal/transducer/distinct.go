@@ -33,6 +33,23 @@ func (o *OpenTriangle) OnMessage(ctx *Context, _ policy.Node, f rel.Fact) {
 	}
 }
 
+// OnPeerRestart implements Recoverer: re-send all known edges. The
+// program is monotone in its message handling (state only grows), so
+// shipping the full data state is sound and restores the peer in one
+// assist transition.
+func (o *OpenTriangle) OnPeerRestart(ctx *Context, κ policy.Node) {
+	dataFacts(ctx.State()).Each(func(f rel.Fact) bool {
+		ctx.Send(κ, f)
+		return true
+	})
+}
+
+// Snapshot implements Forkable.
+func (o *OpenTriangle) Snapshot() Program { return &OpenTriangle{} }
+
+// Fingerprint implements Forkable.
+func (o *OpenTriangle) Fingerprint() string { return "" }
+
 func (o *OpenTriangle) emit(ctx *Context) {
 	e := ctx.State().Relation("E")
 	if e == nil {
@@ -86,6 +103,24 @@ func (dc *DistinctComplete) OnMessage(ctx *Context, _ policy.Node, f rel.Fact) {
 		dc.emit(ctx)
 	}
 }
+
+// OnPeerRestart implements Recoverer: re-send the full data state
+// (the strategy already broadcasts everything, so this only
+// accelerates what normal flow would eventually re-deliver).
+func (dc *DistinctComplete) OnPeerRestart(ctx *Context, κ policy.Node) {
+	dataFacts(ctx.State()).Each(func(f rel.Fact) bool {
+		ctx.Send(κ, f)
+		return true
+	})
+}
+
+// Snapshot implements Forkable.
+func (dc *DistinctComplete) Snapshot() Program {
+	return &DistinctComplete{Q: dc.Q, Schema: dc.Schema, MaxADom: dc.MaxADom}
+}
+
+// Fingerprint implements Forkable.
+func (dc *DistinctComplete) Fingerprint() string { return "" }
 
 // known reports whether this node can determine the status of f:
 // present, or absent-but-vouchable.

@@ -5,12 +5,16 @@
 // with arbitrary message delay, under an eventually consistent,
 // write-only-output semantics.
 //
-// The runtime models arbitrary delay with a seeded random scheduler
-// that repeatedly delivers one pending message to its destination
+// The runtime models arbitrary delay with a pluggable Scheduler that
+// repeatedly delivers one pending message to its destination
 // (fairness: the run only ends when every buffer is empty, so no
-// message is ignored forever). Outputs are write-only: once emitted,
-// a fact cannot be retracted, which is exactly the eventual-
-// consistency discipline of the model.
+// message is ignored forever). The default is the seeded random
+// scheduler; FIFO, LIFO, per-node starvation, and a greedy adversary
+// stress the same quantifier from other directions, faults.go injects
+// the model's duplication plus crash-restart, and explore.go
+// exhaustively enumerates every schedule of a small network. Outputs
+// are write-only: once emitted, a fact cannot be retracted, which is
+// exactly the eventual-consistency discipline of the model.
 //
 // The package also implements the paper's evaluation strategies:
 // naive broadcast for monotone queries (Example 5.1(1)), an explicit
@@ -22,7 +26,6 @@ package transducer
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 
 	"mpclogic/internal/policy"
@@ -108,21 +111,31 @@ func (c *Context) DomainNodes(v rel.Value) []policy.Node {
 	return dg.ValueNodes(v)
 }
 
-// message is an in-flight fact.
-type message struct {
-	from, to policy.Node
-	fact     rel.Fact
+// Message is an in-flight fact, visible to Schedulers picking the
+// next delivery.
+type Message struct {
+	From, To policy.Node
+	Fact     rel.Fact
 }
 
 // Stats summarizes a run. Control messages are protocol facts
 // (relation names starting with the reserved prefix) as opposed to
 // data facts; their share quantifies how much a strategy coordinates —
 // the metric Section 6 of the paper asks for.
+//
+// Accounting invariants, tested in stats_test.go: Delivered ≤ Sent
+// always (silent runs read nothing; duplicated copies count as Sent),
+// and Steps == p + Delivered + Crashes + Assists (every transition is
+// a Start, a delivery, a restart Start, or a recovery assist).
 type Stats struct {
-	Sent        int // messages enqueued
+	Sent        int // messages enqueued (including injected duplicates)
 	ControlSent int // of which control-plane (non-data) facts
 	Delivered   int // messages read from buffers
-	Steps       int // transitions executed (Start + deliveries)
+	Steps       int // transitions executed (Start + deliveries + restarts + assists)
+	Duplicated  int // extra copies injected by the duplication fault
+	Bursts      int // delay bursts begun
+	Crashes     int // crash-restart events fired
+	Assists     int // peer recovery-assist transitions
 }
 
 // CoordinationRatio is the fraction of sent messages that were
@@ -137,11 +150,14 @@ func (s Stats) CoordinationRatio() float64 {
 // Network is a relational transducer network instance.
 type Network struct {
 	p        int
+	mk       func() Program // rebuilds a node's program after a crash
 	programs []Program
 	ctxs     []*Context
 	outputs  []*rel.Instance
-	buffers  [][]message
-	rng      *rand.Rand
+	buffers  [][]Message
+	sched    Scheduler
+	faults   *faultState
+	store    *policy.StableStore // durable per-node fragments for crash reload
 	pol      policy.Policy
 	aware    bool // nodes see All
 	silent   bool // messages are never delivered (coordination-freeness probe)
@@ -161,9 +177,15 @@ func Oblivious() Option {
 	return func(n *Network) { n.aware = false }
 }
 
-// WithSeed seeds the delay-simulating scheduler.
+// WithSeed seeds the default delay-simulating random scheduler.
 func WithSeed(seed int64) Option {
-	return func(n *Network) { n.rng = rand.New(rand.NewSource(seed)) }
+	return func(n *Network) { n.sched = NewRandom(seed) }
+}
+
+// WithScheduler installs a custom message scheduler (see scheduler.go
+// for the matrix of built-in ones).
+func WithScheduler(s Scheduler) Option {
+	return func(n *Network) { n.sched = s }
 }
 
 // New builds a network of p nodes, each running the program returned
@@ -171,11 +193,12 @@ func WithSeed(seed int64) Option {
 func New(p int, mk func() Program, opts ...Option) *Network {
 	n := &Network{
 		p:        p,
+		mk:       mk,
 		programs: make([]Program, p),
 		ctxs:     make([]*Context, p),
 		outputs:  make([]*rel.Instance, p),
-		buffers:  make([][]message, p),
-		rng:      rand.New(rand.NewSource(1)),
+		buffers:  make([][]Message, p),
+		sched:    NewRandom(1),
 		aware:    true,
 	}
 	for i := 0; i < p; i++ {
@@ -208,6 +231,7 @@ func (n *Network) LoadParts(parts []*rel.Instance) error {
 	for i, part := range parts {
 		n.ctxs[i].state = part.Clone()
 	}
+	n.store = policy.NewStableStore(parts)
 	return nil
 }
 
@@ -223,20 +247,32 @@ func (n *Network) LoadPolicy(i *rel.Instance, p policy.Policy) error {
 // LoadReplicated gives every node the full instance — the ideal
 // distribution of the coordination-freeness definition.
 func (n *Network) LoadReplicated(i *rel.Instance) {
-	for _, c := range n.ctxs {
+	parts := make([]*rel.Instance, n.p)
+	for j, c := range n.ctxs {
 		c.state = i.Clone()
+		parts[j] = i
 	}
+	n.store = policy.NewStableStore(parts)
 }
 
 func (n *Network) enqueue(from, to policy.Node, f rel.Fact) {
-	n.stats.Sent++
-	if ControlFact(f) {
-		n.stats.ControlSent++
+	copies := 1
+	if fs := n.faults; fs != nil && fs.dupBound > 0 {
+		extra := fs.dupRng.Intn(fs.dupBound + 1)
+		copies += extra
+		n.stats.Duplicated += extra
 	}
-	if n.silent {
-		return // sent but never read
+	control := ControlFact(f)
+	for c := 0; c < copies; c++ {
+		n.stats.Sent++
+		if control {
+			n.stats.ControlSent++
+		}
+		if n.silent {
+			continue // sent but never read
+		}
+		n.buffers[to] = append(n.buffers[to], Message{From: from, To: to, Fact: f.Clone()})
 	}
-	n.buffers[to] = append(n.buffers[to], message{from: from, to: to, fact: f.Clone()})
 }
 
 // MaxSteps bounds a run; programs that never quiesce are reported as
@@ -244,37 +280,46 @@ func (n *Network) enqueue(from, to policy.Node, f rel.Fact) {
 const MaxSteps = 2_000_000
 
 // Run executes the network to quiescence: every node takes its Start
-// transition (in random order), then pending messages are delivered
-// one at a time in random order until all buffers drain. It returns
-// the run statistics.
+// transition (in the scheduler's start order), then pending messages
+// are delivered one at a time as the scheduler picks them until all
+// buffers drain, with any configured faults injected along the way.
+// It returns the run statistics.
 func (n *Network) Run() (Stats, error) {
 	n.start()
 	for {
-		// Nodes with pending messages.
-		var pending []int
-		for i, b := range n.buffers {
-			if len(b) > 0 {
-				pending = append(pending, i)
+		n.maybeCrash(false)
+		view, any := n.deliveryView()
+		if !any {
+			// Quiescent. Fire crash events whose trigger was never
+			// reached — a restart may send recovery traffic, so loop
+			// back rather than return.
+			n.maybeCrash(true)
+			if _, again := n.deliveryView(); !again {
+				return n.stats, nil
 			}
-		}
-		if len(pending) == 0 {
-			return n.stats, nil
+			continue
 		}
 		if n.stats.Steps > MaxSteps {
 			return n.stats, fmt.Errorf("transducer: no quiescence after %d steps", MaxSteps)
 		}
-		// Arbitrary delay: pick a random pending node and a random
-		// buffered message (not necessarily the oldest).
-		ni := pending[n.rng.Intn(len(pending))]
+		ni, mi := n.sched.Next(view)
 		b := n.buffers[ni]
-		mi := n.rng.Intn(len(b))
+		if ni < 0 || ni >= n.p || mi < 0 || mi >= len(b) {
+			panic(fmt.Sprintf("transducer: scheduler picked invalid delivery (node %d, pos %d)", ni, mi))
+		}
 		m := b[mi]
-		b[mi] = b[len(b)-1]
-		n.buffers[ni] = b[:len(b)-1]
+		if n.sched.OrderPreserving() {
+			n.buffers[ni] = append(b[:mi], b[mi+1:]...)
+		} else {
+			// Swap-removal: the historical mutation the seeded-random
+			// scheduler's bit-compatibility depends on.
+			b[mi] = b[len(b)-1]
+			n.buffers[ni] = b[:len(b)-1]
+		}
 
 		n.stats.Delivered++
 		n.stats.Steps++
-		n.programs[ni].OnMessage(n.ctxs[ni], m.from, m.fact)
+		n.programs[ni].OnMessage(n.ctxs[ni], m.From, m.Fact)
 	}
 }
 
@@ -290,7 +335,7 @@ func (n *Network) RunSilent() Stats {
 }
 
 func (n *Network) start() {
-	order := n.rng.Perm(n.p)
+	order := n.sched.StartOrder(n.p)
 	for _, i := range order {
 		n.stats.Steps++
 		n.programs[i].Start(n.ctxs[i])

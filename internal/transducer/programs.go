@@ -1,6 +1,9 @@
 package transducer
 
 import (
+	"fmt"
+	"sort"
+
 	"mpclogic/internal/policy"
 	"mpclogic/internal/rel"
 )
@@ -41,6 +44,24 @@ func (m *MonotoneBroadcast) emit(ctx *Context) {
 	})
 }
 
+// OnPeerRestart implements Recoverer: re-send the full data state to
+// the restarted node. For a monotone query more facts never hurt, so
+// shipping everything (not just this node's fragment) restores the
+// peer fastest.
+func (m *MonotoneBroadcast) OnPeerRestart(ctx *Context, κ policy.Node) {
+	dataFacts(ctx.State()).Each(func(f rel.Fact) bool {
+		ctx.Send(κ, f)
+		return true
+	})
+}
+
+// Snapshot implements Forkable.
+func (m *MonotoneBroadcast) Snapshot() Program { return &MonotoneBroadcast{Q: m.Q} }
+
+// Fingerprint implements Forkable: no volatile state beyond the
+// node's relational state, which the explorer hashes separately.
+func (m *MonotoneBroadcast) Fingerprint() string { return "" }
+
 // Coordinated evaluates an arbitrary query with an explicit
 // coordination protocol in the spirit of Example 5.1(2): every node
 // broadcasts its data plus a count of how many facts it contributed;
@@ -52,7 +73,9 @@ type Coordinated struct {
 	Q Query
 
 	counts   map[policy.Node]int // announced contribution sizes
-	received map[policy.Node]int // data facts received per origin
+	received map[policy.Node]int // distinct data facts received per origin
+	seen     map[string]bool     // (origin, fact) pairs already counted
+	local    []rel.Fact          // this node's own contribution, for recovery re-sends
 	done     bool
 }
 
@@ -62,9 +85,12 @@ const countRel = reservedPrefix + "count"
 func (c *Coordinated) Start(ctx *Context) {
 	c.counts = map[policy.Node]int{}
 	c.received = map[policy.Node]int{}
+	c.seen = map[string]bool{}
+	c.local = nil
 	n := 0
 	ctx.State().Each(func(f rel.Fact) bool {
 		ctx.Broadcast(f)
+		c.local = append(c.local, f.Clone())
 		n++
 		return true
 	})
@@ -78,14 +104,85 @@ func (c *Coordinated) Start(ctx *Context) {
 func (c *Coordinated) OnMessage(ctx *Context, from policy.Node, f rel.Fact) {
 	if f.Rel == countRel {
 		c.counts[from] = int(f.Tuple[0])
-	} else if ctx.State().Add(f) {
-		c.received[from]++
 	} else {
-		// Duplicate data (e.g. two nodes held the same fact): still
-		// counts toward the origin's contribution.
-		c.received[from]++
+		ctx.State().Add(f)
+		// Count each (origin, fact) pair once: the model allows message
+		// duplication, so a raw per-delivery counter would cross the
+		// announced threshold early and output an unsound answer. Two
+		// origins holding the same fact still count separately.
+		key := fmt.Sprintf("%d\x00%s", from, f.Key())
+		if !c.seen[key] {
+			c.seen[key] = true
+			c.received[from]++
+		}
 	}
 	c.maybeOutput(ctx)
+}
+
+// OnPeerRestart implements Recoverer: re-send exactly this node's
+// original contribution plus its count. Sending more (say, the full
+// accumulated state) would be unsound — facts relayed from third
+// nodes would inflate the restarted node's per-origin tallies.
+func (c *Coordinated) OnPeerRestart(ctx *Context, κ policy.Node) {
+	for _, f := range c.local {
+		ctx.Send(κ, f)
+	}
+	ctx.Send(κ, rel.NewFact(countRel, rel.Value(len(c.local))))
+}
+
+// Snapshot implements Forkable.
+func (c *Coordinated) Snapshot() Program {
+	cp := &Coordinated{
+		Q:        c.Q,
+		counts:   map[policy.Node]int{},
+		received: map[policy.Node]int{},
+		seen:     map[string]bool{},
+		local:    append([]rel.Fact(nil), c.local...),
+		done:     c.done,
+	}
+	for k, v := range c.counts {
+		cp.counts[k] = v
+	}
+	for k, v := range c.received {
+		cp.received[k] = v
+	}
+	for k, v := range c.seen {
+		cp.seen[k] = v
+	}
+	return cp
+}
+
+// Fingerprint implements Forkable: a canonical rendering of the
+// volatile protocol state (the maps are enumerated in sorted order).
+func (c *Coordinated) Fingerprint() string {
+	var nodes []int
+	for κ := range c.counts {
+		nodes = append(nodes, int(κ))
+	}
+	sort.Ints(nodes)
+	s := fmt.Sprintf("done=%v;counts=", c.done)
+	for _, κ := range nodes {
+		s += fmt.Sprintf("%d:%d,", κ, c.counts[policy.Node(κ)])
+	}
+	nodes = nodes[:0]
+	for κ := range c.received {
+		nodes = append(nodes, int(κ))
+	}
+	sort.Ints(nodes)
+	s += ";received="
+	for _, κ := range nodes {
+		s += fmt.Sprintf("%d:%d,", κ, c.received[policy.Node(κ)])
+	}
+	var keys []string
+	for k := range c.seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s += ";seen="
+	for _, k := range keys {
+		s += k + ","
+	}
+	return s
 }
 
 func (c *Coordinated) maybeOutput(ctx *Context) {
@@ -154,3 +251,22 @@ func (e *EconomicalBroadcast) emit(ctx *Context) {
 		return true
 	})
 }
+
+// OnPeerRestart implements Recoverer: re-send the query-relevant
+// slice of the data state — the same economy discipline Start uses.
+func (e *EconomicalBroadcast) OnPeerRestart(ctx *Context, κ policy.Node) {
+	dataFacts(ctx.State()).Each(func(f rel.Fact) bool {
+		if e.Matches(f) {
+			ctx.Send(κ, f)
+		}
+		return true
+	})
+}
+
+// Snapshot implements Forkable.
+func (e *EconomicalBroadcast) Snapshot() Program {
+	return &EconomicalBroadcast{Q: e.Q, Matches: e.Matches}
+}
+
+// Fingerprint implements Forkable.
+func (e *EconomicalBroadcast) Fingerprint() string { return "" }

@@ -1,0 +1,231 @@
+package transducer
+
+import (
+	"math/rand"
+	"strconv"
+
+	"mpclogic/internal/policy"
+)
+
+// Scheduler decides which pending message the network delivers next.
+// Section 5's theorems quantify over *every* message schedule — the
+// model of Ameloot-Neven-Van den Bussche allows arbitrary delay — so
+// the runtime factors the schedule out of Run into this interface:
+// correctness claims are then tested against many schedulers (and,
+// for small networks, against all schedules via Explore).
+//
+// The runtime guarantees fairness by construction: Next is called
+// until every buffer drains, so no implementation can ignore a
+// message forever — only delay it.
+type Scheduler interface {
+	// StartOrder returns the order (a permutation of 0..p-1) in which
+	// the p nodes take their Start transitions.
+	StartOrder(p int) []int
+
+	// Next picks the next delivery from the buffer view: the node
+	// whose buffer to deliver from and the position within it.
+	// buffers[i] is node i's pending queue; at least one is nonempty
+	// (a fault-frozen node appears empty). Picking an empty buffer or
+	// an out-of-range position is a programming error and panics.
+	Next(buffers [][]Message) (node, pos int)
+
+	// OrderPreserving reports whether the runtime must preserve the
+	// relative order of the remaining messages when removing the
+	// picked one (FIFO/LIFO disciplines need it). When false the
+	// runtime swap-removes — the historical behavior the seeded-random
+	// scheduler's bit-compatibility depends on.
+	OrderPreserving() bool
+}
+
+// identityOrder returns 0..p-1.
+func identityOrder(p int) []int {
+	out := make([]int, p)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Random is the seeded-random scheduler: arbitrary delay simulated by
+// delivering a uniformly random pending message each step. It is
+// bit-compatible with the pre-extraction Network.Run: for the same
+// seed it consumes the generator in exactly the same call sequence
+// (Perm for the start order, then two Intn per delivery), so runs
+// reproduce historical outputs exactly.
+type Random struct {
+	rng *rand.Rand
+}
+
+// NewRandom returns a Random scheduler seeded with seed.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed))}
+}
+
+// StartOrder implements Scheduler.
+func (r *Random) StartOrder(p int) []int { return r.rng.Perm(p) }
+
+// Next implements Scheduler.
+func (r *Random) Next(buffers [][]Message) (int, int) {
+	var pending []int
+	for i, b := range buffers {
+		if len(b) > 0 {
+			pending = append(pending, i)
+		}
+	}
+	ni := pending[r.rng.Intn(len(pending))]
+	return ni, r.rng.Intn(len(buffers[ni]))
+}
+
+// OrderPreserving implements Scheduler.
+func (r *Random) OrderPreserving() bool { return false }
+
+// FIFO delivers each node's oldest pending message, visiting nodes in
+// round-robin order — the most network-like well-behaved schedule
+// (per-link in-order delivery, no starvation).
+type FIFO struct {
+	cursor int
+}
+
+// StartOrder implements Scheduler.
+func (f *FIFO) StartOrder(p int) []int { return identityOrder(p) }
+
+// Next implements Scheduler.
+func (f *FIFO) Next(buffers [][]Message) (int, int) {
+	p := len(buffers)
+	for k := 0; k < p; k++ {
+		i := (f.cursor + k) % p
+		if len(buffers[i]) > 0 {
+			f.cursor = (i + 1) % p
+			return i, 0
+		}
+	}
+	panic("transducer: FIFO.Next called with no pending messages")
+}
+
+// OrderPreserving implements Scheduler.
+func (f *FIFO) OrderPreserving() bool { return true }
+
+// LIFO delivers each node's newest pending message first (a stack
+// discipline), visiting nodes in round-robin order. It maximizes
+// reordering relative to send order while staying deterministic.
+type LIFO struct {
+	cursor int
+}
+
+// StartOrder implements Scheduler.
+func (l *LIFO) StartOrder(p int) []int { return identityOrder(p) }
+
+// Next implements Scheduler.
+func (l *LIFO) Next(buffers [][]Message) (int, int) {
+	p := len(buffers)
+	for k := 0; k < p; k++ {
+		i := (l.cursor + k) % p
+		if n := len(buffers[i]); n > 0 {
+			l.cursor = (i + 1) % p
+			return i, n - 1
+		}
+	}
+	panic("transducer: LIFO.Next called with no pending messages")
+}
+
+// OrderPreserving implements Scheduler.
+func (l *LIFO) OrderPreserving() bool { return true }
+
+// Starve starves one victim node: messages addressed to it are
+// delivered only when every other buffer is empty. This is the
+// per-node-starvation adversary — it stays within the model's
+// fairness guarantee (the victim's messages are delivered eventually)
+// while maximizing the victim's information lag.
+type Starve struct {
+	Victim policy.Node
+	cursor int
+}
+
+// StartOrder implements Scheduler. The victim starts last.
+func (s *Starve) StartOrder(p int) []int {
+	out := make([]int, 0, p)
+	for i := 0; i < p; i++ {
+		if policy.Node(i) != s.Victim {
+			out = append(out, i)
+		}
+	}
+	if int(s.Victim) < p {
+		out = append(out, int(s.Victim))
+	}
+	return out
+}
+
+// Next implements Scheduler.
+func (s *Starve) Next(buffers [][]Message) (int, int) {
+	p := len(buffers)
+	for k := 0; k < p; k++ {
+		i := (s.cursor + k) % p
+		if policy.Node(i) == s.Victim {
+			continue
+		}
+		if len(buffers[i]) > 0 {
+			s.cursor = (i + 1) % p
+			return i, 0
+		}
+	}
+	if int(s.Victim) < p && len(buffers[s.Victim]) > 0 {
+		return int(s.Victim), 0
+	}
+	panic("transducer: Starve.Next called with no pending messages")
+}
+
+// OrderPreserving implements Scheduler.
+func (s *Starve) OrderPreserving() bool { return true }
+
+// GreedyAdversary delays the Fact.Less-minimal pending message the
+// longest: each step it delivers the Less-maximal message instead
+// (ties broken by lowest node, then lowest position). Programs whose
+// correctness silently leans on small facts — the ones emitted first
+// by sorted enumerations — arriving early break under this schedule.
+type GreedyAdversary struct{}
+
+// StartOrder implements Scheduler. Nodes start in reverse order, the
+// adversarial mirror of the sorted default.
+func (GreedyAdversary) StartOrder(p int) []int {
+	out := make([]int, p)
+	for i := range out {
+		out[i] = p - 1 - i
+	}
+	return out
+}
+
+// Next implements Scheduler.
+func (GreedyAdversary) Next(buffers [][]Message) (int, int) {
+	bestN, bestP := -1, -1
+	for i, b := range buffers {
+		for j, m := range b {
+			if bestN < 0 || buffers[bestN][bestP].Fact.Less(m.Fact) {
+				bestN, bestP = i, j
+			}
+		}
+	}
+	if bestN < 0 {
+		panic("transducer: GreedyAdversary.Next called with no pending messages")
+	}
+	return bestN, bestP
+}
+
+// OrderPreserving implements Scheduler.
+func (GreedyAdversary) OrderPreserving() bool { return true }
+
+// SchedulerMatrix returns one instance of every deterministic
+// scheduler plus a seeded-random one, keyed by name — the standard
+// matrix the robustness tests and the chaos experiments sweep.
+// Starvation is instantiated once per node of a p-node network.
+func SchedulerMatrix(p int, seed int64) map[string]Scheduler {
+	m := map[string]Scheduler{
+		"random":    NewRandom(seed),
+		"fifo":      &FIFO{},
+		"lifo":      &LIFO{},
+		"adversary": GreedyAdversary{},
+	}
+	for i := 0; i < p; i++ {
+		m["starve"+strconv.Itoa(i)] = &Starve{Victim: policy.Node(i)}
+	}
+	return m
+}
