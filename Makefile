@@ -25,7 +25,7 @@ MAX_REGRESS ?= 1.6
 # how long each fuzzer searches for NEW inputs.
 FUZZTIME ?= 5s
 
-.PHONY: all build vet test race lint verify fmt fuzz bench bench-json verify-perf
+.PHONY: all build vet test race lint faultmatrix verify fmt fuzz bench bench-json verify-perf nightly
 
 all: verify
 
@@ -38,8 +38,20 @@ vet:
 test:
 	$(GO) test ./...
 
+# The race pass runs -short: the seeded fault matrix, schedule sweeps,
+# and exhaustive exploration trim themselves under -short, and all run
+# at full size (race-free but exhaustively) in the plain `test` pass
+# above. The nightly job repeats race at full size.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -short ./...
+
+# faultmatrix pins the PR-4 fault-transparency gate by name: every plan
+# in the seeded matrix must leave outputs and logical load metrics
+# byte-identical to the fault-free run, across the multi-round
+# algorithms and the FAULTMPC experiment's checkpoint-resume row.
+faultmatrix:
+	$(GO) test -run 'TestFaultTransparency|TestCheckpoint|TestRunYannakakisRoundsResumesAfterFailure|TestGYMRestoreFromCheckpoint' ./internal/mpc ./internal/gym
+	$(GO) run ./cmd/experiments -run FAULTMPC-matrix
 
 lint:
 	$(GO) run ./cmd/mpclint ./...
@@ -52,8 +64,19 @@ fuzz:
 	$(GO) test ./internal/cq -run='^$$' -fuzz='^FuzzParseCQ$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/rel -run='^$$' -fuzz='^FuzzRelation$$' -fuzztime=$(FUZZTIME)
 
-verify: build vet test race lint fuzz
+verify: build vet test race faultmatrix lint fuzz
 	@echo "verify: OK"
+
+# nightly is the scheduled deep pass (.github/workflows/nightly.yml):
+# full-size race run, longer fuzzing, the benchmark-regression gate,
+# and the complete SCHED / CHAOS / FAULTMPC experiment sweeps.
+nightly: verify
+	$(GO) test -race ./...
+	$(MAKE) verify-perf
+	$(GO) run ./cmd/experiments -run SCHED-exhaustive
+	$(GO) run ./cmd/experiments -run CHAOS-matrix
+	$(GO) run ./cmd/experiments -run FAULTMPC-matrix
+	@echo "nightly: OK"
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) .

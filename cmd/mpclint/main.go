@@ -1,4 +1,4 @@
-// Command mpclint runs the repo's static-analysis suite: five
+// Command mpclint runs the repo's static-analysis suite: six
 // analyzers enforcing the determinism and concurrency invariants the
 // reproduced theorems depend on (see internal/lint).
 //

@@ -47,13 +47,13 @@ func (r *Report) rowf(format string, args ...any) {
 // fn's result *outside* the timed region — the duration may appear in
 // a report row, but no emitted verdict may depend on it.
 func timed(reps int, fn func() error) (time.Duration, error) {
-	start := time.Now()
+	start := time.Now() //lint:allow wallclock-free measurement-layer stopwatch
 	for i := 0; i < reps; i++ {
 		if err := fn(); err != nil {
 			return 0, err
 		}
 	}
-	return time.Since(start) / time.Duration(reps), nil
+	return time.Since(start) / time.Duration(reps), nil //lint:allow wallclock-free measurement-layer stopwatch
 }
 
 // Experiment is a named, runnable reproduction unit.

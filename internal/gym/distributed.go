@@ -19,6 +19,15 @@ import (
 // are accounted by the MPC simulator, which is exactly the trade-off
 // GYM studies (deep trees: fewer tuples shipped per round, more
 // rounds; shallow trees: the opposite).
+//
+// Every algorithm is exposed in two layers: a *Program builder that
+// returns the complete round list as pure data (a function of the
+// query, p, and the seed only — never of execution results), and a
+// driver that executes it. Because the program is data, a failed or
+// checkpointed execution can resume: rebuild the identical program,
+// restore the cluster (mpc.Restore), and mpc.Cluster.RunResumable
+// skips the completed prefix and continues with the first outstanding
+// round.
 
 // yname names the node relation of atom/bag i.
 func yname(i int) string { return fmt.Sprintf("Y%d", i) }
@@ -58,21 +67,21 @@ func edgeRound(name string, p int, aName, bName string, aCols, bCols []int, seed
 	}
 }
 
-// RunYannakakisRounds executes the distributed Yannakakis program for
-// q over the cluster's current contents (raw input facts). It leaves
-// the result in relation head_Q across the cluster.
-func RunYannakakisRounds(c *mpc.Cluster, q *cq.CQ, seed uint64) error {
+// YannakakisProgram builds the complete distributed Yannakakis round
+// list for an acyclic pure CQ on p servers: materialize, bottom-up
+// semijoins, top-down semijoins, bottom-up joins with projection, and
+// the final head projection. The program is pure data — its rounds
+// depend only on (q, p, seed) — so rebuilding it yields an identical
+// program, which is what makes executions resumable.
+func YannakakisProgram(q *cq.CQ, p int, seed uint64) ([]mpc.Round, error) {
 	if q.HasNegation() || q.HasDiseq() {
-		return fmt.Errorf("gym: distributed Yannakakis for pure CQs")
+		return nil, fmt.Errorf("gym: distributed Yannakakis for pure CQs")
 	}
 	jt, ok := cq.GYO(q)
 	if !ok {
-		return fmt.Errorf("gym: %v is cyclic; use GYM", q)
+		return nil, fmt.Errorf("gym: %v is cyclic; use GYM", q)
 	}
-	if err := c.Run(materializeRound(q)); err != nil {
-		return err
-	}
-	p := c.P()
+	prog := []mpc.Round{materializeRound(q)}
 	n := len(jt.Atoms)
 	vars := make([][]string, n)
 	for i, a := range jt.Atoms {
@@ -87,11 +96,8 @@ func RunYannakakisRounds(c *mpc.Cluster, q *cq.CQ, seed uint64) error {
 		}
 		pc, cc := sharedCols(vars[par], vars[i])
 		pn, cn := yname(par), yname(i)
-		round := edgeRound(fmt.Sprintf("semijoin↑ %s⋉%s", pn, cn), p, pn, cn, pc, cc, seed,
-			semijoinCombine(pn, cn, pc, cc, len(vars[par]), len(vars[i])))
-		if err := c.Run(round); err != nil {
-			return err
-		}
+		prog = append(prog, edgeRound(fmt.Sprintf("semijoin↑ %s⋉%s", pn, cn), p, pn, cn, pc, cc, seed,
+			semijoinCombine(pn, cn, pc, cc, len(vars[par]), len(vars[i]))))
 	}
 	// Phase 2: top-down semijoin rounds (child ⋉ parent).
 	for k := n - 1; k >= 0; k-- {
@@ -102,11 +108,8 @@ func RunYannakakisRounds(c *mpc.Cluster, q *cq.CQ, seed uint64) error {
 		}
 		cc, pc := sharedCols(vars[i], vars[par])
 		cn, pn := yname(i), yname(par)
-		round := edgeRound(fmt.Sprintf("semijoin↓ %s⋉%s", cn, pn), p, cn, pn, cc, pc, seed,
-			semijoinCombine(cn, pn, cc, pc, len(vars[i]), len(vars[par])))
-		if err := c.Run(round); err != nil {
-			return err
-		}
+		prog = append(prog, edgeRound(fmt.Sprintf("semijoin↓ %s⋉%s", cn, pn), p, cn, pn, cc, pc, seed,
+			semijoinCombine(cn, pn, cc, pc, len(vars[i]), len(vars[par]))))
 	}
 
 	headVars := map[string]bool{}
@@ -142,7 +145,8 @@ func RunYannakakisRounds(c *mpc.Cluster, q *cq.CQ, seed uint64) error {
 			}
 		}
 		pArity, cArity := len(vars[par]), len(vars[i])
-		round := edgeRound(fmt.Sprintf("join %s⋈%s", pn, cn), p, pn, cn, pc, cc, seed,
+		keep := keepCols
+		prog = append(prog, edgeRound(fmt.Sprintf("join %s⋈%s", pn, cn), p, pn, cn, pc, cc, seed,
 			func(local *rel.Instance) *rel.Instance {
 				out := stripRelations(local, pn, cn)
 				l := local.Relation(pn)
@@ -154,12 +158,9 @@ func RunYannakakisRounds(c *mpc.Cluster, q *cq.CQ, seed uint64) error {
 					r = rel.NewRelation(cn, cArity)
 				}
 				joined := rel.HashJoin("⋈", l, r, pc, cc)
-				out.SetRelation(rel.Project(joined, pn, keepCols))
+				out.SetRelation(rel.Project(joined, pn, keep))
 				return out
-			})
-		if err := c.Run(round); err != nil {
-			return err
-		}
+			}))
 		vars[par] = newVars
 	}
 
@@ -167,7 +168,7 @@ func RunYannakakisRounds(c *mpc.Cluster, q *cq.CQ, seed uint64) error {
 	root := jt.Order[n-1]
 	rootName := yname(root)
 	rootVars := vars[root]
-	return c.Run(mpc.Round{
+	prog = append(prog, mpc.Round{
 		Name: "project-head",
 		Keep: func(rel.Fact) bool { return true },
 		Compute: func(_ int, local *rel.Instance) *rel.Instance {
@@ -180,6 +181,44 @@ func RunYannakakisRounds(c *mpc.Cluster, q *cq.CQ, seed uint64) error {
 			return out
 		},
 	})
+	return prog, nil
+}
+
+// RunYannakakisRounds executes the distributed Yannakakis program for
+// q over the cluster's current contents (raw input facts). It leaves
+// the result in relation head_Q across the cluster.
+//
+// If the cluster's executed history is already a prefix of the
+// program (a checkpoint-restored cluster, or a re-invocation after a
+// mid-program failure), execution resumes with the first outstanding
+// round instead of restarting.
+func RunYannakakisRounds(c *mpc.Cluster, q *cq.CQ, seed uint64) error {
+	prog, err := YannakakisProgram(q, c.P(), seed)
+	if err != nil {
+		return err
+	}
+	return runOrResume(c, prog)
+}
+
+// runOrResume resumes prog when the cluster's history is a prefix of
+// it (matching round names), and otherwise appends the whole program
+// to whatever the cluster ran before — the historical behavior for
+// callers composing programs by hand.
+func runOrResume(c *mpc.Cluster, prog []mpc.Round) error {
+	done := c.Rounds()
+	if done <= len(prog) {
+		match := true
+		for i, s := range c.Stats() {
+			if s.Name != prog[i].Name {
+				match = false
+				break
+			}
+		}
+		if match {
+			return c.RunResumable(prog...)
+		}
+	}
+	return c.Run(prog...)
 }
 
 // semijoinCombine returns a compute phase replacing relation a with
@@ -210,41 +249,50 @@ func stripRelations(local *rel.Instance, names ...string) *rel.Instance {
 }
 
 // DistributedYannakakis evaluates an acyclic pure CQ on p servers and
-// returns the cluster (for stats) and the result.
-func DistributedYannakakis(q *cq.CQ, p int, inst *rel.Instance, seed uint64) (*mpc.Cluster, *rel.Instance, error) {
-	c := mpc.NewCluster(p)
-	c.LoadRoundRobin(inst)
-	if err := RunYannakakisRounds(c, q, seed); err != nil {
+// returns the cluster (for stats) and the result. Options (e.g.
+// mpc.WithFaultPlan, mpc.WithCheckpoints) configure the cluster; on
+// error the partially-executed cluster is still returned so callers
+// can checkpoint and resume it.
+func DistributedYannakakis(q *cq.CQ, p int, inst *rel.Instance, seed uint64, opts ...mpc.Option) (*mpc.Cluster, *rel.Instance, error) {
+	prog, err := YannakakisProgram(q, p, seed)
+	if err != nil {
 		return nil, nil, err
+	}
+	c := mpc.NewCluster(p, opts...)
+	c.LoadRoundRobin(inst)
+	if err := c.RunResumable(prog...); err != nil {
+		return c, nil, err
 	}
 	return c, c.Output(), nil
 }
 
-// GYM evaluates a (possibly cyclic) pure CQ on p servers: it
-// decomposes the query into bags, evaluates each bag with a
-// HyperCube round, and runs distributed Yannakakis over the bag tree
-// (Afrati et al.'s Generalized Yannakakis in MapReduce, Section 3.2).
-func GYM(q *cq.CQ, p int, inst *rel.Instance, seed uint64) (*mpc.Cluster, *rel.Instance, *Decomposition, error) {
+// GYMProgram builds the complete GYM round list for a (possibly
+// cyclic) pure CQ on p servers: one HyperCube round per bag of the
+// decomposition, a cleanup round dropping raw facts, then the full
+// distributed Yannakakis program over the bag tree. Like
+// YannakakisProgram, the result is pure data and rebuilding it yields
+// an identical program, so GYM executions are resumable end to end —
+// including across the bag/Yannakakis phase boundary.
+func GYMProgram(q *cq.CQ, p int, seed uint64) ([]mpc.Round, *Decomposition, error) {
 	dec, err := Decompose(q)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, err
 	}
-	c := mpc.NewCluster(p)
-	c.LoadRoundRobin(inst)
+	var prog []mpc.Round
 
 	// One HyperCube round per bag, materializing B<i> facts. Raw facts
 	// and previously computed bags are kept local.
 	for i, bq := range dec.BagQueries {
 		grid, err := hypercube.NewOptimalGrid(bq, p, seed+uint64(i)*7919)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, err
 		}
 		memberRels := map[string]bool{}
 		for _, a := range bq.Body {
 			memberRels[a.Rel] = true
 		}
 		bq := bq
-		round := mpc.Round{
+		prog = append(prog, mpc.Round{
 			Name: fmt.Sprintf("bag %d (%s)", i, grid.String()),
 			// Keep bag outputs, facts of non-member relations, and —
 			// crucially — member-relation facts this bag's grid routes
@@ -260,29 +308,46 @@ func GYM(q *cq.CQ, p int, inst *rel.Instance, seed uint64) (*mpc.Cluster, *rel.I
 				out.SetRelation(cq.Evaluate(bq, local))
 				return out
 			},
-		}
-		if err := c.Run(round); err != nil {
-			return nil, nil, nil, err
-		}
+		})
 	}
 
 	// Drop raw facts; keep only bag relations. Zero communication.
-	if err := c.Run(mpc.Round{
+	prog = append(prog, mpc.Round{
 		Name: "cleanup",
 		Keep: func(rel.Fact) bool { return true },
 		Compute: func(_ int, local *rel.Instance) *rel.Instance {
 			return local.Filter(func(f rel.Fact) bool { return strings.HasPrefix(f.Rel, "B") })
 		},
-	}); err != nil {
-		return nil, nil, nil, err
-	}
+	})
 
 	// Yannakakis over the bag tree: the synthetic query's body atoms
 	// are B<i>(bag vars) and its head is the original head.
 	synth := synthQuery(q, dec.Bags)
 	synth.Head = q.Head
-	if err := RunYannakakisRounds(c, synth, seed^0xabcdef); err != nil {
+	yprog, err := YannakakisProgram(synth, p, seed^0xabcdef)
+	if err != nil {
+		return nil, nil, err
+	}
+	return append(prog, yprog...), dec, nil
+}
+
+// GYM evaluates a (possibly cyclic) pure CQ on p servers: it
+// decomposes the query into bags, evaluates each bag with a
+// HyperCube round, and runs distributed Yannakakis over the bag tree
+// (Afrati et al.'s Generalized Yannakakis in MapReduce, Section 3.2).
+// Options configure the cluster; on a mid-program error the
+// partially-executed cluster is still returned so callers can
+// checkpoint it and resume via GYMProgram + mpc.Restore +
+// RunResumable.
+func GYM(q *cq.CQ, p int, inst *rel.Instance, seed uint64, opts ...mpc.Option) (*mpc.Cluster, *rel.Instance, *Decomposition, error) {
+	prog, dec, err := GYMProgram(q, p, seed)
+	if err != nil {
 		return nil, nil, nil, err
+	}
+	c := mpc.NewCluster(p, opts...)
+	c.LoadRoundRobin(inst)
+	if err := c.RunResumable(prog...); err != nil {
+		return c, nil, dec, err
 	}
 	return c, c.Output(), dec, nil
 }

@@ -1,0 +1,223 @@
+package gym
+
+import (
+	"testing"
+
+	"mpclogic/internal/cq"
+	"mpclogic/internal/hypercube"
+	"mpclogic/internal/mpc"
+	"mpclogic/internal/rel"
+	"mpclogic/internal/workload"
+)
+
+// Fault-transparency invariant (the headline property of the
+// fault-tolerance layer): for every fault plan in the seeded standard
+// matrix, a multi-round algorithm's output AND its logical per-round
+// metrics (received vector, max load, total communication, round
+// count) are byte-identical to the fault-free run — recovery is
+// visible only in the recovery metrics. Checked across the matrix for
+// all four multi-round algorithms: cascade triangle, distributed
+// Yannakakis, GYM, and the skew-aware two-round triangle.
+func TestFaultTransparencyMatrix(t *testing.T) {
+	d := rel.NewDict()
+	chainQ := cq.MustParse(d, "H(a, dd) :- R0(a, b), R1(b, c), R2(c, dd)")
+	chainInst, _ := workload.AcyclicChain(3, 100, 0.4, 2)
+	triQ := cq.MustParse(d, "H(x, y, z) :- R(x, y), S(y, z), T(z, x)")
+	triInst := workload.TriangleSkewFree(40)
+	skewInst := workload.TriangleSkewed(150, 0.3)
+	heavy := rel.NewValueSet(workload.HeavyHitters(skewInst, "R", 1, 15)...)
+	grid, err := hypercube.NewOptimalGrid(triQ, 8, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	algos := []struct {
+		name string
+		p    int
+		run  func(opts ...mpc.Option) (*mpc.Cluster, *rel.Instance, error)
+	}{
+		{"cascade-triangle", 6, func(opts ...mpc.Option) (*mpc.Cluster, *rel.Instance, error) {
+			return CascadeTriangle(6, triInst, 11, opts...)
+		}},
+		{"yannakakis-chain", 6, func(opts ...mpc.Option) (*mpc.Cluster, *rel.Instance, error) {
+			return DistributedYannakakis(chainQ, 6, chainInst, 42, opts...)
+		}},
+		{"gym-triangle", 6, func(opts ...mpc.Option) (*mpc.Cluster, *rel.Instance, error) {
+			c, out, _, err := GYM(triQ, 6, triInst, 3, opts...)
+			return c, out, err
+		}},
+		{"skew-two-round", 8, func(opts ...mpc.Option) (*mpc.Cluster, *rel.Instance, error) {
+			return SkewTriangleTwoRound(8, skewInst, heavy, 17, grid, opts...)
+		}},
+	}
+
+	for _, a := range algos {
+		a := a
+		t.Run(a.name, func(t *testing.T) {
+			base, baseOut, err := a.run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantOut := baseOut.String()
+			wantTrace := base.LogicalTrace()
+
+			matrix := mpc.StandardFaultMatrix(2026, 12, a.p)
+			if testing.Short() {
+				matrix = matrix[:3]
+			}
+			var tot mpc.RecoveryStats
+			for _, np := range matrix {
+				c, out, err := a.run(mpc.WithFaultPlan(np.Plan))
+				if err != nil {
+					t.Fatalf("%s under %s: %v", a.name, np.Name, err)
+				}
+				if got := out.String(); got != wantOut {
+					t.Errorf("%s under %s: output diverged", a.name, np.Name)
+				}
+				if got := c.LogicalTrace(); got != wantTrace {
+					t.Errorf("%s under %s: logical trace diverged:\n got %q\nwant %q", a.name, np.Name, got, wantTrace)
+				}
+				if c.MaxLoad() != base.MaxLoad() || c.TotalComm() != base.TotalComm() || c.Rounds() != base.Rounds() {
+					t.Errorf("%s under %s: domain metrics diverged", a.name, np.Name)
+				}
+				r := c.RecoveryTotals()
+				tot.Retries += r.Retries
+				tot.RecoveredServers += r.RecoveredServers
+				tot.ReplicaComm += r.ReplicaComm
+				tot.SpeculativeWins += r.SpeculativeWins
+			}
+			// Transparency must not be vacuous: the matrix has to have
+			// actually crashed servers and retried transfers.
+			if !testing.Short() && (tot.Retries == 0 || tot.RecoveredServers == 0) {
+				t.Errorf("%s: matrix injected no recoverable faults (totals %+v)", a.name, tot)
+			}
+		})
+	}
+}
+
+// A run that exhausts its retry budget mid-program fails atomically at
+// round granularity; re-running the same program on the same cluster
+// after removing the fault plan resumes with the failed round instead
+// of restarting — via the public RunYannakakisRounds entry point.
+func TestRunYannakakisRoundsResumesAfterFailure(t *testing.T) {
+	d := rel.NewDict()
+	q := cq.MustParse(d, "H(a, dd) :- R0(a, b), R1(b, c), R2(c, dd)")
+	inst, _ := workload.AcyclicChain(3, 100, 0.4, 2)
+	want := cq.Output(q, inst)
+
+	// Kill round 5 (a top-down semijoin) beyond the retry budget.
+	plan := mpc.NewFaultPlan().AddCrash(5, 1, mpc.DefaultRetryBudget+1)
+	c := mpc.NewCluster(8, mpc.WithFaultPlan(plan))
+	c.LoadRoundRobin(inst)
+	if err := RunYannakakisRounds(c, q, 42); err == nil {
+		t.Fatal("budget-exceeding crash did not fail the run")
+	}
+	if c.Rounds() != 5 {
+		t.Fatalf("failed run completed %d rounds, want 5 (atomic failure)", c.Rounds())
+	}
+
+	c.SetFaultPlan(nil)
+	if err := RunYannakakisRounds(c, q, 42); err != nil {
+		t.Fatal(err)
+	}
+	if c.Rounds() != 8 {
+		t.Errorf("resumed run has %d rounds, want 8", c.Rounds())
+	}
+	if !c.Output().Filter(func(f rel.Fact) bool { return f.Rel == q.Head.Rel }).Equal(want) {
+		t.Errorf("resumed output wrong")
+	}
+}
+
+// Checkpoint/Restore across the GYM phase boundary: a run killed
+// mid-Yannakakis is restored from its checkpoint onto a fresh cluster
+// and resumed via the rebuilt program, reproducing the fault-free
+// output and logical trace.
+func TestGYMRestoreFromCheckpoint(t *testing.T) {
+	d := rel.NewDict()
+	q := cq.MustParse(d, "H(x, y, z) :- R(x, y), S(y, z), T(z, x)")
+	inst := workload.TriangleSkewFree(40)
+
+	free, want, _, err := GYM(q, 6, inst, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill round 4 — inside the Yannakakis phase, past the bag rounds.
+	plan := mpc.NewFaultPlan().AddCrash(4, 0, mpc.DefaultRetryBudget+1)
+	c, _, _, err := GYM(q, 6, inst, 3, mpc.WithFaultPlan(plan))
+	if err == nil {
+		t.Fatal("budget-exceeding crash did not fail the run")
+	}
+	if c == nil {
+		t.Fatal("failed GYM did not return the partial cluster")
+	}
+	ck := c.Checkpoint()
+	if ck == nil || ck.Rounds() != 4 {
+		t.Fatalf("checkpoint covers %d rounds, want 4", ck.Rounds())
+	}
+
+	prog, _, err := GYMProgram(q, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := mpc.Restore(ck)
+	if err := restored.RunResumable(prog...); err != nil {
+		t.Fatal(err)
+	}
+	if got := restored.Output().String(); got != want.String() {
+		t.Errorf("restored output diverged from fault-free run")
+	}
+	if got := restored.LogicalTrace(); got != free.LogicalTrace() {
+		t.Errorf("restored logical trace diverged:\n got %q\nwant %q", got, free.LogicalTrace())
+	}
+}
+
+// Program builders must be pure data: rebuilding with the same
+// arguments yields the same round names in the same order (the
+// property RunResumable's prefix check relies on).
+func TestProgramsAreReproducible(t *testing.T) {
+	d := rel.NewDict()
+	tri := cq.MustParse(d, "H(x, y, z) :- R(x, y), S(y, z), T(z, x)")
+	chain := cq.MustParse(d, "H(a, c) :- R0(a, b), R1(b, c)")
+
+	names := func(prog []mpc.Round) []string {
+		out := make([]string, len(prog))
+		for i, r := range prog {
+			out[i] = r.Name
+		}
+		return out
+	}
+	eq := func(a, b []string) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+
+	y1, err := YannakakisProgram(chain, 8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y2, _ := YannakakisProgram(chain, 8, 42)
+	if !eq(names(y1), names(y2)) {
+		t.Errorf("YannakakisProgram not reproducible: %v vs %v", names(y1), names(y2))
+	}
+
+	g1, _, err := GYMProgram(tri, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _, _ := GYMProgram(tri, 8, 3)
+	if !eq(names(g1), names(g2)) {
+		t.Errorf("GYMProgram not reproducible: %v vs %v", names(g1), names(g2))
+	}
+
+	if !eq(names(CascadeTriangleProgram(8, 11)), names(CascadeTriangleProgram(8, 11))) {
+		t.Errorf("CascadeTriangleProgram not reproducible")
+	}
+}

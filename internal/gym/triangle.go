@@ -14,15 +14,9 @@ import (
 // skew-free exponent by treating each heavy hitter's residual query —
 // which is acyclic — with semijoins instead of a cartesian join.
 
-// CascadeTriangle computes H(x,y,z) :- R(x,y), S(y,z), T(z,x) in two
-// rounds on p servers: round 1 repartition-joins R and S on y into an
-// intermediate K; round 2 repartition-joins K with T on (x,z). The
-// intermediate K can be much larger than the output — the trade-off
-// versus the one-round HyperCube that the paper discusses.
-func CascadeTriangle(p int, inst *rel.Instance, seed uint64) (*mpc.Cluster, *rel.Instance, error) {
-	c := mpc.NewCluster(p)
-	c.LoadRoundRobin(inst)
-
+// CascadeTriangleProgram builds the two cascade rounds as pure data
+// (a function of p and seed only), so executions are resumable.
+func CascadeTriangleProgram(p int, seed uint64) []mpc.Round {
 	round1 := mpc.Round{
 		Name: "cascade-1 R⋈S",
 		Keep: func(f rel.Fact) bool { return f.Rel == "T" },
@@ -70,13 +64,27 @@ func CascadeTriangle(p int, inst *rel.Instance, seed uint64) (*mpc.Cluster, *rel
 			return out
 		},
 	}
-	if err := c.Run(round1, round2); err != nil {
-		return nil, nil, err
+	return []mpc.Round{round1, round2}
+}
+
+// CascadeTriangle computes H(x,y,z) :- R(x,y), S(y,z), T(z,x) in two
+// rounds on p servers: round 1 repartition-joins R and S on y into an
+// intermediate K; round 2 repartition-joins K with T on (x,z). The
+// intermediate K can be much larger than the output — the trade-off
+// versus the one-round HyperCube that the paper discusses. Options
+// configure the cluster; on error the partially-executed cluster is
+// still returned so callers can checkpoint and resume it.
+func CascadeTriangle(p int, inst *rel.Instance, seed uint64, opts ...mpc.Option) (*mpc.Cluster, *rel.Instance, error) {
+	c := mpc.NewCluster(p, opts...)
+	c.LoadRoundRobin(inst)
+	if err := c.RunResumable(CascadeTriangleProgram(p, seed)...); err != nil {
+		return c, nil, err
 	}
 	return c, c.Output(), nil
 }
 
-// SkewTriangleTwoRound computes the triangle query in two rounds with
+// The skew-aware two-round algorithm (SkewTriangleProgram /
+// SkewTriangleTwoRound) computes the triangle query in two rounds with
 // heavy-hitter handling. Light y-values travel through a HyperCube
 // grid and are finished in round 1. For heavy y-values b the residual
 // query R(a,b), S(b,c), T(c,a) is acyclic in (a,c), so instead of a
@@ -85,11 +93,10 @@ func CascadeTriangle(p int, inst *rel.Instance, seed uint64) (*mpc.Cluster, *rel
 // (hashing on c) — load O(m/p) per heavy round instead of the m/√p a
 // single-round cartesian strategy needs.
 //
-// heavy is the set of y-values to treat as heavy hitters (e.g. from
-// workload.HeavyHitters with threshold m/p^{1/3}).
-func SkewTriangleTwoRound(p int, inst *rel.Instance, heavy rel.ValueSet, seed uint64, grid mpc.Router) (*mpc.Cluster, *rel.Instance, error) {
-	c := mpc.NewCluster(p)
-	c.LoadRoundRobin(inst)
+// SkewTriangleProgram builds the two skew-aware rounds as pure data
+// (a function of p, the heavy-hitter set, seed, and the grid router
+// only), so executions are resumable.
+func SkewTriangleProgram(p int, heavy rel.ValueSet, seed uint64, grid mpc.Router) []mpc.Round {
 	q := triangleCQ()
 
 	isHeavyR := func(f rel.Fact) bool { return f.Rel == "R" && heavy.Contains(f.Tuple[1]) }
@@ -177,8 +184,19 @@ func SkewTriangleTwoRound(p int, inst *rel.Instance, heavy rel.ValueSet, seed ui
 			return out
 		},
 	}
-	if err := c.Run(round1, round2); err != nil {
-		return nil, nil, err
+	return []mpc.Round{round1, round2}
+}
+
+// SkewTriangleTwoRound runs SkewTriangleProgram on a fresh cluster.
+// heavy is the set of y-values to treat as heavy hitters (e.g. from
+// workload.HeavyHitters with threshold m/p^{1/3}). Options configure
+// the cluster; on error the partially-executed cluster is still
+// returned so callers can checkpoint and resume it.
+func SkewTriangleTwoRound(p int, inst *rel.Instance, heavy rel.ValueSet, seed uint64, grid mpc.Router, opts ...mpc.Option) (*mpc.Cluster, *rel.Instance, error) {
+	c := mpc.NewCluster(p, opts...)
+	c.LoadRoundRobin(inst)
+	if err := c.RunResumable(SkewTriangleProgram(p, heavy, seed, grid)...); err != nil {
+		return c, nil, err
 	}
 	return c, c.Output(), nil
 }

@@ -6,9 +6,10 @@
 // distributed evaluation equals the sequential result) and
 // coordination-free consistency (every fair run of a transducer
 // network converges to the same output) — are *determinism* theorems.
-// An implementation can silently forfeit them through three classic Go
-// hazards: unsorted map iteration feeding output, unseeded global
-// randomness, and unsynchronized goroutine fan-out. The analyzers in
+// An implementation can silently forfeit them through a handful of
+// classic Go hazards: unsorted map iteration feeding output, unseeded
+// global randomness, unsynchronized goroutine fan-out, and wall-clock
+// reads or sleeps standing in for the virtual clock. The analyzers in
 // this package mechanically forbid those hazards.
 //
 // The package is written against the standard library only (go/ast,
@@ -19,7 +20,8 @@
 // or the line directly above it:
 //
 //	//lint:ignore <analyzer-name> reason
-//	//lint:sorted reason            (alias for ignoring mapiter-determinism)
+//	//lint:allow <analyzer-name> reason  (alias for lint:ignore)
+//	//lint:sorted reason                 (alias for ignoring mapiter-determinism)
 package lint
 
 import (
@@ -116,6 +118,7 @@ func Analyzers() []*Analyzer {
 		GoroutineAnalyzer,
 		LockAnalyzer,
 		ErrDiscardAnalyzer,
+		WallclockAnalyzer,
 	}
 }
 
@@ -208,8 +211,9 @@ func suppressions(fset *token.FileSet, pkg *Package) suppressionSet {
 				text = strings.TrimSpace(text)
 				var names []string
 				switch {
-				case strings.HasPrefix(text, "lint:ignore"):
-					fields := strings.Fields(strings.TrimPrefix(text, "lint:ignore"))
+				case strings.HasPrefix(text, "lint:ignore"), strings.HasPrefix(text, "lint:allow"):
+					rest := strings.TrimPrefix(strings.TrimPrefix(text, "lint:ignore"), "lint:allow")
+					fields := strings.Fields(rest)
 					if len(fields) == 0 {
 						names = []string{"*"}
 					} else {

@@ -1,0 +1,50 @@
+// Package wallclock exercises the wallclock-free analyzer: library
+// code may not read the wall clock or block on wall time.
+package wallclock
+
+import "time"
+
+// Timestamp reads the wall clock: flagged.
+func Timestamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Pause blocks on wall time: flagged.
+func Pause() {
+	time.Sleep(10 * time.Millisecond)
+}
+
+// Timeout builds a wall-time timeout channel: flagged.
+func Timeout() <-chan time.Time {
+	return time.After(time.Second)
+}
+
+// Elapsed reads the wall clock via Since: flagged.
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0)
+}
+
+// Countdown reads the wall clock via Until: flagged.
+func Countdown(deadline time.Time) time.Duration {
+	return time.Until(deadline)
+}
+
+// Ticker blocks on wall time: flagged.
+func Ticker() *time.Ticker {
+	return time.NewTicker(time.Second)
+}
+
+// Stopwatch is an annotated measurement-layer clock read: clean.
+func Stopwatch() time.Time {
+	return time.Now() //lint:allow wallclock-free measurement-layer stopwatch
+}
+
+// FromParts is a pure function of its arguments: clean.
+func FromParts(sec, nsec int64) time.Time {
+	return time.Unix(sec, nsec)
+}
+
+// Span takes both endpoints as inputs: clean.
+func Span(t0, t1 time.Time) time.Duration {
+	return t1.Sub(t0)
+}

@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// WallclockAnalyzer forbids wall-clock access in library code: no
+// time.Now / time.Since / time.Until reads, and no time.Sleep /
+// time.After / time.Tick / time.NewTimer / time.NewTicker /
+// time.AfterFunc delays or timeouts.
+//
+// Determinism is a repo invariant, and wall time is its quietest
+// enemy: a sleep-based timeout turns scheduling jitter into behavior,
+// and a timestamp turns the clock into an input nobody seeded. Delays
+// and timeouts in the engine must go through an injectable virtual
+// clock instead — the transducer runtime's step counter and the MPC
+// fault-tolerance layer's virtual ticks (mpc.RoundStats.
+// VirtualMakespan, retry backoff) are the sanctioned patterns: both
+// make time an explicit, replayable part of the execution.
+//
+// Binaries (package main, anything under a cmd/ segment) and tests
+// are exempt: process-level timing at the top of a program is policy,
+// not evaluation. The measurement layer's stopwatch is the one
+// legitimate library use and carries //lint:allow wallclock-free
+// annotations where it reads the clock.
+var WallclockAnalyzer = &Analyzer{
+	Name: "wallclock-free",
+	Doc:  "library code must not read the wall clock or sleep; use the virtual clock",
+	Run:  runWallclock,
+}
+
+// wallclockFuncs are the package-level time functions that read or
+// wait on the wall clock. Pure constructors and conversions
+// (time.Date, time.Unix, time.ParseDuration, ...) are functions of
+// their arguments and stay allowed.
+var wallclockFuncs = map[string]string{
+	"Now":       "reads the wall clock",
+	"Since":     "reads the wall clock",
+	"Until":     "reads the wall clock",
+	"Sleep":     "blocks on wall time",
+	"After":     "blocks on wall time",
+	"Tick":      "blocks on wall time",
+	"NewTimer":  "blocks on wall time",
+	"NewTicker": "blocks on wall time",
+	"AfterFunc": "blocks on wall time",
+}
+
+func runWallclock(pass *Pass) {
+	// Same exemption as error-discard: binaries may time things;
+	// library code may not.
+	if exemptFromErrDiscard(pass.Pkg) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			path, name, ok := pkgFunc(pass.Pkg.Info, call)
+			if !ok || path != "time" {
+				return true
+			}
+			if why, bad := wallclockFuncs[name]; bad {
+				pass.Reportf(call.Pos(), "time.%s %s in library code; delays and timeouts must go through the injectable virtual clock (or annotate a measurement-layer stopwatch with //lint:allow wallclock-free)", name, why)
+			}
+			return true
+		})
+	}
+}

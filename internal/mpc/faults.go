@@ -1,0 +1,276 @@
+package mpc
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Deterministic fault injection for the synchronous engine. A
+// FaultPlan is a pure function of (round, server) / (round, link): it
+// names, ahead of time, which computations crash, which network
+// transfers are dropped or duplicated, and which servers straggle.
+// Faults cost time on a virtual clock (see retryCompletion) — never
+// wall time, which mpclint's wallclock-free analyzer bans from
+// library code — so a faulty execution is exactly as reproducible as
+// a fault-free one.
+//
+// Fault semantics, fixed here and relied on by recovery.go:
+//
+//   - Crash(r, s) = n: server s's computation in logical round r fails
+//     n times before succeeding. Each failure discards the attempt's
+//     state; recovery re-executes from the round's checkpointed input.
+//   - Drop(r, src, dst) = n: the transfer src→dst in round r is lost n
+//     times before a retransmission gets through. Drops address
+//     network links, so they apply only to src ≠ dst transfers that
+//     actually carry facts — self-delivery (including Keep facts)
+//     never traverses the network.
+//   - Dup(r, src, dst) = n: the transfer src→dst arrives n extra
+//     times. Deliveries are idempotent set unions, so duplicates cost
+//     replica communication but cannot change the merged inbox.
+//   - Straggle(r, s) = d: server s's computation in round r takes d
+//     extra virtual ticks. Stragglers don't fail — they are slow —
+//     so past the speculation threshold a backup copy of the
+//     partition races the primary (see recovery.go).
+type FaultPlan struct {
+	crash    map[serverKey]int
+	drop     map[linkKey]int
+	dup      map[linkKey]int
+	straggle map[serverKey]int
+}
+
+type serverKey struct{ round, server int }
+
+type linkKey struct{ round, src, dst int }
+
+// NewFaultPlan returns an empty plan (injects nothing).
+func NewFaultPlan() *FaultPlan {
+	return &FaultPlan{
+		crash:    map[serverKey]int{},
+		drop:     map[linkKey]int{},
+		dup:      map[linkKey]int{},
+		straggle: map[serverKey]int{},
+	}
+}
+
+// AddCrash makes server s's computation in round r fail n times.
+func (p *FaultPlan) AddCrash(r, s, n int) *FaultPlan {
+	p.crash[serverKey{r, s}] += n
+	return p
+}
+
+// AddDrop makes the transfer src→dst in round r be lost n times.
+func (p *FaultPlan) AddDrop(r, src, dst, n int) *FaultPlan {
+	p.drop[linkKey{r, src, dst}] += n
+	return p
+}
+
+// AddDup makes the transfer src→dst in round r arrive n extra times.
+func (p *FaultPlan) AddDup(r, src, dst, n int) *FaultPlan {
+	p.dup[linkKey{r, src, dst}] += n
+	return p
+}
+
+// AddStraggle delays server s's computation in round r by d virtual
+// ticks.
+func (p *FaultPlan) AddStraggle(r, s, d int) *FaultPlan {
+	p.straggle[serverKey{r, s}] += d
+	return p
+}
+
+// Empty reports whether the plan injects any fault at all.
+func (p *FaultPlan) Empty() bool {
+	if p == nil {
+		return true
+	}
+	return len(p.crash) == 0 && len(p.drop) == 0 && len(p.dup) == 0 && len(p.straggle) == 0
+}
+
+// String summarizes the plan's fault counts.
+func (p *FaultPlan) String() string {
+	if p.Empty() {
+		return "fault plan: none"
+	}
+	return fmt.Sprintf("fault plan: crashes=%d drops=%d dups=%d stragglers=%d",
+		len(p.crash), len(p.drop), len(p.dup), len(p.straggle))
+}
+
+// Nil-safe accessors: a nil plan injects nothing, so the recovery
+// path can be written without nil checks.
+
+func (p *FaultPlan) crashes(r, s int) int {
+	if p == nil {
+		return 0
+	}
+	return p.crash[serverKey{r, s}]
+}
+
+func (p *FaultPlan) drops(r, src, dst int) int {
+	if p == nil {
+		return 0
+	}
+	return p.drop[linkKey{r, src, dst}]
+}
+
+func (p *FaultPlan) dups(r, src, dst int) int {
+	if p == nil {
+		return 0
+	}
+	return p.dup[linkKey{r, src, dst}]
+}
+
+func (p *FaultPlan) straggles(r, s int) int {
+	if p == nil {
+		return 0
+	}
+	return p.straggle[serverKey{r, s}]
+}
+
+// FaultProfile parameterizes RandomFaultPlan: per-(round, server) and
+// per-(round, link) fault probabilities plus severity bounds.
+type FaultProfile struct {
+	CrashRate    float64 // P[server's compute crashes in a round]
+	DropRate     float64 // P[a carrying link's transfer is dropped in a round]
+	DupRate      float64 // P[a carrying link's transfer is duplicated in a round]
+	StraggleRate float64 // P[a server straggles in a round]
+	MaxRepeat    int     // max crash/drop repetitions per fault site (≥1)
+	MaxStraggle  int     // max straggler delay in virtual ticks (≥1)
+}
+
+// DefaultFaultProfile mixes every fault type at rates that make
+// multi-fault rounds common on small clusters while staying within
+// the default retry budget (MaxRepeat ≤ DefaultRetryBudget).
+func DefaultFaultProfile() FaultProfile {
+	return FaultProfile{
+		CrashRate:    0.15,
+		DropRate:     0.08,
+		DupRate:      0.08,
+		StraggleRate: 0.20,
+		MaxRepeat:    2,
+		MaxStraggle:  4,
+	}
+}
+
+// RandomFaultPlan draws a plan for a rounds × p execution from the
+// profile. The draw is a pure function of the seed: fault sites are
+// visited in a fixed order (rounds ascending; within a round servers
+// ascending, then links in (src, dst) ascending order) and every site
+// consumes the same number of random variates whether or not it
+// faults, so plans are stable under seed reuse.
+func RandomFaultPlan(seed int64, rounds, p int, prof FaultProfile) *FaultPlan {
+	rng := rand.New(rand.NewSource(seed))
+	if prof.MaxRepeat < 1 {
+		prof.MaxRepeat = 1
+	}
+	if prof.MaxStraggle < 1 {
+		prof.MaxStraggle = 1
+	}
+	plan := NewFaultPlan()
+	for r := 0; r < rounds; r++ {
+		for s := 0; s < p; s++ {
+			if rng.Float64() < prof.CrashRate {
+				plan.AddCrash(r, s, 1+rng.Intn(prof.MaxRepeat))
+			}
+			if rng.Float64() < prof.StraggleRate {
+				plan.AddStraggle(r, s, 1+rng.Intn(prof.MaxStraggle))
+			}
+		}
+		for src := 0; src < p; src++ {
+			for dst := 0; dst < p; dst++ {
+				if src == dst {
+					continue
+				}
+				if rng.Float64() < prof.DropRate {
+					plan.AddDrop(r, src, dst, 1+rng.Intn(prof.MaxRepeat))
+				}
+				if rng.Float64() < prof.DupRate {
+					plan.AddDup(r, src, dst, 1+rng.Intn(prof.MaxRepeat))
+				}
+			}
+		}
+	}
+	return plan
+}
+
+// NamedFaultPlan labels a plan for matrix experiments and reports.
+type NamedFaultPlan struct {
+	Name string
+	Plan *FaultPlan
+}
+
+// StandardFaultMatrix is the seeded fault matrix the fault-transparency
+// invariant is checked against: nine plans covering each fault type in
+// isolation, pairwise mixes, the default and a heavier random mix, and
+// one handcrafted adversary that hits round 0 (the round whose loss
+// discards the most downstream work) with a crash and a drop at once.
+// Sub-seeds are fixed offsets of the caller's seed so the matrix is
+// reproducible as a unit.
+func StandardFaultMatrix(seed int64, rounds, p int) []NamedFaultPlan {
+	only := func(f FaultProfile, keep string) FaultProfile {
+		g := FaultProfile{MaxRepeat: f.MaxRepeat, MaxStraggle: f.MaxStraggle}
+		switch keep {
+		case "crash":
+			g.CrashRate = 0.35
+		case "drop":
+			g.DropRate = 0.25
+		case "dup":
+			g.DupRate = 0.25
+		case "straggle":
+			g.StraggleRate = 0.45
+		}
+		return g
+	}
+	def := DefaultFaultProfile()
+	heavy := FaultProfile{CrashRate: 0.30, DropRate: 0.15, DupRate: 0.15, StraggleRate: 0.35, MaxRepeat: 3, MaxStraggle: 6}
+	adversary := NewFaultPlan().
+		AddCrash(0, 0, 2).
+		AddDrop(0, p-1, 0, 2).
+		AddStraggle(0, p/2, 5)
+	matrix := []NamedFaultPlan{
+		{"crash-only", RandomFaultPlan(seed+1, rounds, p, only(def, "crash"))},
+		{"drop-only", RandomFaultPlan(seed+2, rounds, p, only(def, "drop"))},
+		{"dup-only", RandomFaultPlan(seed+3, rounds, p, only(def, "dup"))},
+		{"straggle-only", RandomFaultPlan(seed+4, rounds, p, only(def, "straggle"))},
+		{"crash+drop", RandomFaultPlan(seed+5, rounds, p, FaultProfile{CrashRate: 0.2, DropRate: 0.2, MaxRepeat: 2, MaxStraggle: 1})},
+		{"dup+straggle", RandomFaultPlan(seed+6, rounds, p, FaultProfile{DupRate: 0.2, StraggleRate: 0.3, MaxRepeat: 2, MaxStraggle: 4})},
+		{"mixed-default", RandomFaultPlan(seed+7, rounds, p, def)},
+		{"mixed-heavy", RandomFaultPlan(seed+8, rounds, p, heavy)},
+		{"adversary-round0", adversary},
+	}
+	return matrix
+}
+
+// carryingLinks lists the src ≠ dst links of a routed round that carry
+// at least one fact, in ascending (src, dst) order — the sites drop
+// and duplication faults can hit. With one shard per source (the
+// fault-tolerant path routes at chunk 1), shards[src].sent[dst] is
+// exactly the src→dst transfer size.
+func carryingLinks(shards []commShard) []linkKey {
+	var links []linkKey
+	for src := range shards {
+		for dst, n := range shards[src].sent {
+			if src != dst && n > 0 {
+				links = append(links, linkKey{src: src, dst: dst})
+			}
+		}
+	}
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].src != links[j].src {
+			return links[i].src < links[j].src
+		}
+		return links[i].dst < links[j].dst
+	})
+	return links
+}
+
+// retryCompletion is the virtual-clock completion tick of an operation
+// that fails `failures` times and then succeeds, where the fault-free
+// operation costs `cost` ticks. Attempt k (0-based) launches after
+// the previous attempt's failure is detected — one tick after its
+// launch — plus an exponential backoff of 2^(k-1) ticks, so the final
+// launch happens at tick failures + (2^failures - 1) and completion is
+// that plus cost. With failures = 0 this degenerates to cost: the
+// fault-free round completes at tick 1 per phase.
+func retryCompletion(failures, cost int) int {
+	return failures + (1 << failures) - 1 + cost
+}

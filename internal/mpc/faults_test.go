@@ -1,0 +1,428 @@
+package mpc
+
+import (
+	"strings"
+	"testing"
+
+	"mpclogic/internal/rel"
+)
+
+// sendTo routes every fact to the fixed destination.
+func sendTo(dst int) Router {
+	return RouterFunc(func(rel.Fact) []int { return []int{dst} })
+}
+
+func TestRetryCompletion(t *testing.T) {
+	// Attempt k launches one tick after the previous failure plus
+	// 2^(k-1) backoff; completion adds the operation cost.
+	cases := []struct{ failures, cost, want int }{
+		{0, 1, 1}, // fault-free
+		{1, 1, 3}, // fail@1, relaunch@2 (backoff 1), done@3... launch0@0 fail detected@1 +backoff 2^0=1 → launch@2, done@3
+		{2, 1, 6},
+		{3, 1, 11},
+		{0, 4, 4},
+		{2, 3, 8},
+	}
+	for _, tc := range cases {
+		if got := retryCompletion(tc.failures, tc.cost); got != tc.want {
+			t.Errorf("retryCompletion(%d,%d) = %d, want %d", tc.failures, tc.cost, got, tc.want)
+		}
+	}
+}
+
+func TestRandomFaultPlanDeterministic(t *testing.T) {
+	a := RandomFaultPlan(42, 6, 8, DefaultFaultProfile())
+	b := RandomFaultPlan(42, 6, 8, DefaultFaultProfile())
+	c := RandomFaultPlan(43, 6, 8, DefaultFaultProfile())
+	if a.String() != b.String() {
+		t.Errorf("same seed, different plans: %s vs %s", a, b)
+	}
+	for r := 0; r < 6; r++ {
+		for s := 0; s < 8; s++ {
+			if a.crashes(r, s) != b.crashes(r, s) || a.straggles(r, s) != b.straggles(r, s) {
+				t.Fatalf("same seed, different fault at round %d server %d", r, s)
+			}
+			for d := 0; d < 8; d++ {
+				if a.drops(r, s, d) != b.drops(r, s, d) || a.dups(r, s, d) != b.dups(r, s, d) {
+					t.Fatalf("same seed, different link fault at round %d %d→%d", r, s, d)
+				}
+			}
+		}
+	}
+	if a.String() == c.String() && a.Empty() {
+		t.Errorf("different seeds produced identical empty plans; profile too weak for the test")
+	}
+}
+
+func TestStandardFaultMatrixShape(t *testing.T) {
+	m := StandardFaultMatrix(7, 4, 4)
+	if len(m) < 8 {
+		t.Fatalf("matrix has %d plans, want >= 8", len(m))
+	}
+	seen := map[string]bool{}
+	for _, np := range m {
+		if seen[np.Name] {
+			t.Errorf("duplicate plan name %q", np.Name)
+		}
+		seen[np.Name] = true
+	}
+	// The matrix must be reproducible as a unit.
+	m2 := StandardFaultMatrixShapeStrings(StandardFaultMatrix(7, 4, 4))
+	if got := StandardFaultMatrixShapeStrings(m); got != m2 {
+		t.Errorf("matrix not reproducible:\n%s\nvs\n%s", got, m2)
+	}
+}
+
+// StandardFaultMatrixShapeStrings flattens a matrix's plan summaries.
+func StandardFaultMatrixShapeStrings(m []NamedFaultPlan) string {
+	var b strings.Builder
+	for _, np := range m {
+		b.WriteString(np.Name + ": " + np.Plan.String() + "\n")
+	}
+	return b.String()
+}
+
+// twoServerTransfer builds a 2-server FT cluster where server 0 holds
+// one fact routed to server 1 — a single carrying link 0→1.
+func twoServerTransfer(t *testing.T, opts ...Option) (*Cluster, Round) {
+	t.Helper()
+	d := rel.NewDict()
+	c := NewCluster(2, opts...)
+	c.LoadAt(0, rel.MustInstance(d, "R(a,b)"))
+	return c, Round{Name: "xfer", Route: sendTo(1)}
+}
+
+func TestDropAccounting(t *testing.T) {
+	plan := NewFaultPlan().AddDrop(0, 0, 1, 2)
+	c, r := twoServerTransfer(t, WithFaultPlan(plan))
+	st, err := c.RunRound(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Retries != 2 || st.ReplicaComm != 2 {
+		t.Errorf("retries=%d replica=%d, want 2, 2", st.Retries, st.ReplicaComm)
+	}
+	// comm ends at retryCompletion(2,1)=6, compute adds 1 → makespan 7.
+	if st.VirtualMakespan != 7 {
+		t.Errorf("makespan=%d, want 7", st.VirtualMakespan)
+	}
+	// Logical metrics unaffected.
+	if st.MaxLoad != 1 || st.TotalComm != 1 {
+		t.Errorf("logical metrics changed: maxload=%d totalcomm=%d", st.MaxLoad, st.TotalComm)
+	}
+	if c.Server(1).Len() != 1 {
+		t.Errorf("fact not delivered after retransmissions")
+	}
+}
+
+func TestDropOnSelfLinkOrEmptyLinkIsInert(t *testing.T) {
+	// Self-links and links carrying no facts are not fault sites.
+	plan := NewFaultPlan().AddDrop(0, 0, 0, 5).AddDrop(0, 1, 0, 5)
+	c, r := twoServerTransfer(t, WithFaultPlan(plan))
+	st, err := c.RunRound(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Retries != 0 || st.ReplicaComm != 0 || st.VirtualMakespan != 2 {
+		t.Errorf("inert drops had effect: %+v", st)
+	}
+}
+
+func TestDupAccounting(t *testing.T) {
+	plan := NewFaultPlan().AddDup(0, 0, 1, 3)
+	c, r := twoServerTransfer(t, WithFaultPlan(plan))
+	st, err := c.RunRound(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ReplicaComm != 3 || st.Retries != 0 {
+		t.Errorf("replica=%d retries=%d, want 3, 0", st.ReplicaComm, st.Retries)
+	}
+	// Duplicates are absorbed: logical load still counts one delivery.
+	if st.Received[1] != 1 || c.Server(1).Len() != 1 {
+		t.Errorf("duplicate deliveries leaked into logical state: %+v", st)
+	}
+}
+
+func TestCrashRecovery(t *testing.T) {
+	plan := NewFaultPlan().AddCrash(0, 1, 2)
+	c, r := twoServerTransfer(t, WithFaultPlan(plan))
+	st, err := c.RunRound(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Retries != 2 || st.RecoveredServers != 1 {
+		t.Errorf("retries=%d recovered=%d, want 2, 1", st.Retries, st.RecoveredServers)
+	}
+	// Each re-execution refetches the 1-fact checkpoint.
+	if st.ReplicaComm != 2 {
+		t.Errorf("replica=%d, want 2", st.ReplicaComm)
+	}
+	// comm 1 + compute retryCompletion(2,1)=6 → 7.
+	if st.VirtualMakespan != 7 {
+		t.Errorf("makespan=%d, want 7", st.VirtualMakespan)
+	}
+	if c.Server(1).Len() != 1 {
+		t.Errorf("recovered server lost its partition")
+	}
+}
+
+func TestStragglerSpeculation(t *testing.T) {
+	plan := NewFaultPlan().AddStraggle(0, 1, 3)
+	c, r := twoServerTransfer(t, WithFaultPlan(plan)) // speculateAfter defaults to 2
+	st, err := c.RunRound(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SpeculativeWins != 1 {
+		t.Errorf("wins=%d, want 1", st.SpeculativeWins)
+	}
+	// Primary would end at 4; speculative copy launches at 2, ends at
+	// 3 and wins. comm 1 + compute 3 → 4.
+	if st.VirtualMakespan != 4 {
+		t.Errorf("makespan=%d, want 4", st.VirtualMakespan)
+	}
+	if st.ReplicaComm != 1 { // backup refetched the 1-fact checkpoint
+		t.Errorf("replica=%d, want 1", st.ReplicaComm)
+	}
+}
+
+func TestStragglerTieKeepsPrimary(t *testing.T) {
+	// δ=1: primary ends at 2, speculation would launch at 2 and end at
+	// 3 — not strictly earlier, so the primary (first deterministic
+	// winner) is kept and no win is recorded. The backup still cost
+	// its checkpoint fetch.
+	plan := NewFaultPlan().AddStraggle(0, 1, 1)
+	c, r := twoServerTransfer(t, WithFaultPlan(plan), WithSpeculation(1))
+	st, err := c.RunRound(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SpeculativeWins != 0 {
+		t.Errorf("wins=%d, want 0 (tie keeps primary)", st.SpeculativeWins)
+	}
+	if st.VirtualMakespan != 3 { // comm 1 + primary compute 2
+		t.Errorf("makespan=%d, want 3", st.VirtualMakespan)
+	}
+}
+
+func TestSpeculationDisabled(t *testing.T) {
+	plan := NewFaultPlan().AddStraggle(0, 1, 3)
+	c, r := twoServerTransfer(t, WithFaultPlan(plan), WithSpeculation(0))
+	st, err := c.RunRound(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SpeculativeWins != 0 || st.ReplicaComm != 0 {
+		t.Errorf("speculation fired while disabled: %+v", st)
+	}
+	if st.VirtualMakespan != 5 { // comm 1 + compute 1+3
+		t.Errorf("makespan=%d, want 5", st.VirtualMakespan)
+	}
+}
+
+func TestReplicationAccounting(t *testing.T) {
+	c, r := twoServerTransfer(t, WithCheckpoints(), WithReplication(2))
+	st, err := c.RunRound(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The checkpoint holds 1 deduped fact; 2 replicas → 2.
+	if st.ReplicaComm != 2 {
+		t.Errorf("replica=%d, want 2", st.ReplicaComm)
+	}
+}
+
+func TestFaultFreeFTPathHasZeroRecoveryCost(t *testing.T) {
+	c, r := twoServerTransfer(t, WithCheckpoints())
+	st, err := c.RunRound(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Retries != 0 || st.RecoveredServers != 0 || st.ReplicaComm != 0 || st.SpeculativeWins != 0 {
+		t.Errorf("fault-free FT round has recovery costs: %+v", st)
+	}
+	if st.VirtualMakespan != 2 { // comm 1 + compute 1
+		t.Errorf("makespan=%d, want 2", st.VirtualMakespan)
+	}
+	if !strings.Contains(st.String(), "max load 1") || strings.Contains(st.String(), "recovery") {
+		t.Errorf("fault-free String() changed: %q", st.String())
+	}
+}
+
+// TestRetryExhaustionAtomic pins the RunRound atomicity guarantee on
+// the FT path: after a good round, a round whose faults exceed the
+// retry budget must error while leaving servers and stats untouched.
+func TestRetryExhaustionAtomic(t *testing.T) {
+	for name, plan := range map[string]*FaultPlan{
+		"crash": NewFaultPlan().AddCrash(1, 0, DefaultRetryBudget+1),
+		"drop":  NewFaultPlan().AddDrop(1, 0, 1, DefaultRetryBudget+1),
+	} {
+		t.Run(name, func(t *testing.T) {
+			d := rel.NewDict()
+			c := NewCluster(2, WithFaultPlan(plan))
+			c.LoadAt(0, rel.MustInstance(d, "R(a,b)", "R(b,c)"))
+			echo := Round{Name: "echo", Route: sendTo(0)}
+			if _, err := c.RunRound(echo); err != nil {
+				t.Fatal(err)
+			}
+			before := []string{c.Server(0).String(), c.Server(1).String()}
+			trace := c.LogicalTrace()
+			_, err := c.RunRound(Round{Name: "doomed", Route: sendTo(1)})
+			if err == nil || !strings.Contains(err.Error(), "retry budget") {
+				t.Fatalf("err = %v, want retry-budget error", err)
+			}
+			// Same plan, same state → same error.
+			_, err2 := c.RunRound(Round{Name: "doomed", Route: sendTo(1)})
+			if err2 == nil || err.Error() != err2.Error() {
+				t.Errorf("error not deterministic: %v vs %v", err, err2)
+			}
+			if got := []string{c.Server(0).String(), c.Server(1).String()}; got[0] != before[0] || got[1] != before[1] {
+				t.Errorf("failed round mutated server state")
+			}
+			if c.LogicalTrace() != trace || c.Rounds() != 1 {
+				t.Errorf("failed round recorded stats")
+			}
+		})
+	}
+}
+
+// TestFaultTransparencySingleRound checks output + logical-trace
+// equality between a fault-free run and a heavily faulted run of the
+// same round.
+func TestFaultTransparencySingleRound(t *testing.T) {
+	d := rel.NewDict()
+	load := rel.MustInstance(d, "R(a,b)", "R(b,c)", "R(c,d)", "S(a,x)", "S(b,y)")
+	double := func(_ int, local *rel.Instance) *rel.Instance {
+		out := rel.NewInstance()
+		local.Each(func(f rel.Fact) bool {
+			out.Add(f)
+			out.Add(rel.Fact{Rel: f.Rel + "2", Tuple: f.Tuple})
+			return true
+		})
+		return out
+	}
+	r := Round{Name: "spread", Route: HashOn(3, []int{0}, 99), Compute: double}
+
+	base := NewCluster(3)
+	base.LoadRoundRobin(load)
+	if _, err := base.RunRound(r); err != nil {
+		t.Fatal(err)
+	}
+
+	plan := NewFaultPlan().AddCrash(0, 1, 2).AddDrop(0, 0, 1, 1).AddDup(0, 1, 0, 2).AddStraggle(0, 2, 4)
+	faulty := NewCluster(3, WithFaultPlan(plan))
+	faulty.LoadRoundRobin(load)
+	st, err := faulty.RunRound(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := faulty.Output().String(), base.Output().String(); got != want {
+		t.Errorf("output diverged under faults:\n got %s\nwant %s", got, want)
+	}
+	if got, want := faulty.LogicalTrace(), base.LogicalTrace(); got != want {
+		t.Errorf("logical trace diverged:\n got %q\nwant %q", got, want)
+	}
+	if st.Retries == 0 || st.RecoveredServers == 0 {
+		t.Errorf("faults did not fire: %+v", st)
+	}
+}
+
+// TestCheckpointImmuneToComputeMutation: the round-input checkpoint
+// is snapshotted before computation, so a Compute that mutates its
+// input in place cannot corrupt what recovery re-executes from — the
+// recovered run must still match the fault-free run exactly.
+func TestCheckpointImmuneToComputeMutation(t *testing.T) {
+	d := rel.NewDict()
+	marker := rel.MustInstance(d, "M(m,m)").Facts()[0]
+	mutate := func(_ int, local *rel.Instance) *rel.Instance {
+		local.Add(marker) // mutates the received input in place
+		return local
+	}
+	r := Round{Name: "mut", Compute: mutate, Keep: func(rel.Fact) bool { return true }}
+
+	base := NewCluster(1)
+	base.LoadAt(0, rel.MustInstance(d, "R(a,b)"))
+	if _, err := base.RunRound(r); err != nil {
+		t.Fatal(err)
+	}
+
+	plan := NewFaultPlan().AddCrash(0, 0, 2)
+	faulty := NewCluster(1, WithFaultPlan(plan))
+	faulty.LoadAt(0, rel.MustInstance(d, "R(a,b)"))
+	st, err := faulty.RunRound(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RecoveredServers != 1 {
+		t.Fatalf("crash did not fire: %+v", st)
+	}
+	if got, want := faulty.Output().String(), base.Output().String(); got != want {
+		t.Errorf("recovered output %s, want %s", got, want)
+	}
+}
+
+func TestCheckpointRestoreResumes(t *testing.T) {
+	d := rel.NewDict()
+	prog := []Round{
+		{Name: "r0", Route: sendTo(1)},
+		{Name: "r1", Route: sendTo(0)},
+		{Name: "r2", Route: Broadcast(2)},
+	}
+	run := func(c *Cluster, upTo int) {
+		t.Helper()
+		for _, r := range prog[:upTo] {
+			if _, err := c.RunRound(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	full := NewCluster(2, WithCheckpoints())
+	full.LoadAt(0, rel.MustInstance(d, "R(a,b)", "S(c,d)"))
+	run(full, 3)
+
+	partial := NewCluster(2, WithCheckpoints())
+	partial.LoadAt(0, rel.MustInstance(d, "R(a,b)", "S(c,d)"))
+	run(partial, 2)
+	ck := partial.Checkpoint()
+	if ck == nil || ck.Rounds() != 2 {
+		t.Fatalf("checkpoint covers %v rounds, want 2", ck)
+	}
+	// Mutate the original after checkpointing: must not leak.
+	partial.Server(0).Add(rel.Fact{Rel: "JUNK", Tuple: rel.MustInstance(d, "J(q,q)").Facts()[0].Tuple})
+
+	resumed := Restore(ck)
+	if err := resumed.RunResumable(prog...); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := resumed.Output().String(), full.Output().String(); got != want {
+		t.Errorf("resumed output %s, want %s", got, want)
+	}
+	if got, want := resumed.LogicalTrace(), full.LogicalTrace(); got != want {
+		t.Errorf("resumed trace %q, want %q", got, want)
+	}
+}
+
+func TestRunResumableRejectsMismatchedHistory(t *testing.T) {
+	d := rel.NewDict()
+	c := NewCluster(2)
+	c.LoadAt(0, rel.MustInstance(d, "R(a,b)"))
+	if err := c.Run(Round{Name: "alpha", Route: sendTo(1)}); err != nil {
+		t.Fatal(err)
+	}
+	err := c.RunResumable(Round{Name: "beta", Route: sendTo(0)})
+	if err == nil || !strings.Contains(err.Error(), "cannot resume") {
+		t.Errorf("err = %v, want resume mismatch", err)
+	}
+	err = c.RunResumable()
+	if err == nil || !strings.Contains(err.Error(), "has executed") {
+		t.Errorf("err = %v, want too-short program error", err)
+	}
+	// Matching prefix resumes cleanly and is a no-op when complete.
+	if err := c.RunResumable(Round{Name: "alpha", Route: sendTo(1)}); err != nil {
+		t.Errorf("resume of completed program failed: %v", err)
+	}
+	if c.Rounds() != 1 {
+		t.Errorf("no-op resume re-ran rounds: %d", c.Rounds())
+	}
+}

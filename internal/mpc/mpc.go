@@ -11,11 +11,25 @@
 // servers, which theory bounds by m/p^{1/τ*} for one-round algorithms
 // on skew-free data. Local computation is unbounded in the model, so
 // the simulator runs it natively (and concurrently).
+//
+// The model assumes servers that never fail; real MPP engines do not
+// get that luxury. A cluster can therefore be configured with a
+// fault-tolerance layer (see faults.go and recovery.go): a seeded
+// FaultPlan injects server crashes, dropped or duplicated transfers,
+// and straggler delays on a deterministic virtual clock, and the
+// engine recovers via checkpointed re-execution. The headline
+// invariant is fault transparency — the query output and the logical
+// round metrics (Received, MaxLoad, TotalComm) of a recovered run are
+// byte-identical to the fault-free run, while the recovery costs are
+// accounted separately (Retries, RecoveredServers, ReplicaComm,
+// SpeculativeWins). With no fault-tolerance Option installed, rounds
+// execute on the original zero-overhead path.
 package mpc
 
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 
 	"mpclogic/internal/rel"
@@ -40,7 +54,9 @@ func (r RouterFunc) Route(f rel.Fact) []int { return r(f) }
 
 // Compute is a local computation phase: it maps a server's received
 // data to the server's new local data. It must not retain or mutate
-// the input instance's relations beyond the returned instance.
+// the input instance's relations beyond the returned instance, and it
+// must be a pure function of (server, local) — the recovery layer
+// relies on re-execution producing identical results.
 type Compute func(server int, local *rel.Instance) *rel.Instance
 
 // Round couples a communication phase with a computation phase.
@@ -55,17 +71,45 @@ type Round struct {
 	Keep    func(rel.Fact) bool
 }
 
-// RoundStats records the cost of one executed round.
+// RoundStats records the cost of one executed round, split into two
+// layers. The logical metrics (Received, MaxLoad, TotalComm) describe
+// the round the algorithm asked for and are invariant under any
+// recovered fault plan — they are the quantities the MPC load bounds
+// constrain. The recovery metrics (Retries, RecoveredServers,
+// ReplicaComm, SpeculativeWins, VirtualMakespan) describe what fault
+// tolerance cost on top; they are all zero on the fault-free path.
 type RoundStats struct {
 	Name      string
 	Received  []int // facts received per server (load)
 	MaxLoad   int   // max over Received
 	TotalComm int   // total facts sent = Σ Received
+
+	// Recovery accounting (zero unless a fault-tolerance Option is
+	// installed and faults actually fired; see recovery.go).
+	Retries          int // re-sent transfers + re-executed computations
+	RecoveredServers int // servers whose partition was re-executed after a crash
+	ReplicaComm      int // non-logical facts on the wire: retransmissions, duplicates, checkpoint traffic
+	SpeculativeWins  int // straggler partitions finished first by a speculative copy
+	VirtualMakespan  int // completion tick of the round on the virtual clock
 }
 
-// String renders the stats compactly.
+// String renders the stats compactly. Recovery metrics appear only
+// when any of them is nonzero, so fault-free output is unchanged.
 func (s RoundStats) String() string {
-	return fmt.Sprintf("round %s: max load %d, total communication %d", s.Name, s.MaxLoad, s.TotalComm)
+	base := fmt.Sprintf("round %s: max load %d, total communication %d", s.Name, s.MaxLoad, s.TotalComm)
+	if s.Retries != 0 || s.RecoveredServers != 0 || s.ReplicaComm != 0 || s.SpeculativeWins != 0 {
+		base += fmt.Sprintf(" [recovery: retries %d, recovered %d, replica comm %d, speculative wins %d, makespan %d]",
+			s.Retries, s.RecoveredServers, s.ReplicaComm, s.SpeculativeWins, s.VirtualMakespan)
+	}
+	return base
+}
+
+// LogicalString renders only the logical, fault-invariant metrics of
+// the round. Two executions of the same program whose LogicalString
+// traces differ violate fault transparency.
+func (s RoundStats) LogicalString() string {
+	return fmt.Sprintf("round %s: received %v, max load %d, total communication %d",
+		s.Name, s.Received, s.MaxLoad, s.TotalComm)
 }
 
 // Cluster is a simulated MPC deployment.
@@ -73,16 +117,24 @@ type Cluster struct {
 	p       int
 	servers []*rel.Instance
 	stats   []RoundStats
+	ft      *ftState // nil: fault tolerance off, zero-overhead path
 }
 
+// Option configures a cluster at construction (see faults.go for the
+// fault-tolerance options).
+type Option func(*Cluster)
+
 // NewCluster returns a cluster of p servers with empty local data.
-func NewCluster(p int) *Cluster {
+func NewCluster(p int, opts ...Option) *Cluster {
 	if p <= 0 {
-		panic("mpc: cluster needs at least one server")
+		panic(fmt.Sprintf("mpc: cluster needs at least one server (got p=%d)", p))
 	}
 	c := &Cluster{p: p, servers: make([]*rel.Instance, p)}
 	for i := range c.servers {
 		c.servers[i] = rel.NewInstance()
+	}
+	for _, opt := range opts {
+		opt(c)
 	}
 	return c
 }
@@ -91,7 +143,12 @@ func NewCluster(p int) *Cluster {
 func (c *Cluster) P() int { return c.p }
 
 // Server returns server i's current local instance (live reference).
-func (c *Cluster) Server(i int) *rel.Instance { return c.servers[i] }
+func (c *Cluster) Server(i int) *rel.Instance {
+	if i < 0 || i >= c.p {
+		panic(fmt.Sprintf("mpc: Server(%d) on a %d-server cluster", i, c.p))
+	}
+	return c.servers[i]
+}
 
 // Stats returns the per-round statistics recorded so far.
 func (c *Cluster) Stats() []RoundStats { return c.stats }
@@ -128,6 +185,18 @@ func (c *Cluster) TotalComm() int {
 // Rounds returns how many rounds have been executed.
 func (c *Cluster) Rounds() int { return len(c.stats) }
 
+// LogicalTrace renders the logical metrics of every executed round,
+// one per line — the byte string the fault-transparency invariant
+// compares across fault plans.
+func (c *Cluster) LogicalTrace() string {
+	var b strings.Builder
+	for _, s := range c.stats {
+		b.WriteString(s.LogicalString())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
 // LoadRoundRobin installs the initial partition of the input: each
 // server receives ~1/p of the data, mirroring the model's assumption
 // that the input starts out evenly spread with no particular scheme.
@@ -142,8 +211,12 @@ func (c *Cluster) LoadRoundRobin(i *rel.Instance) {
 }
 
 // LoadAt places facts at an explicit server (for adversarial initial
-// placements in tests).
+// placements in tests). A server outside [0, P()) panics
+// deterministically instead of corrupting a neighbouring slot.
 func (c *Cluster) LoadAt(server int, i *rel.Instance) {
+	if server < 0 || server >= c.p {
+		panic(fmt.Sprintf("mpc: LoadAt(%d) on a %d-server cluster", server, c.p))
+	}
 	c.servers[server].AddAll(i)
 }
 
@@ -154,6 +227,9 @@ func (c *Cluster) LoadAt(server int, i *rel.Instance) {
 // Bounding the number of shards by the worker count (not p) keeps the
 // outbox count at workers×p instead of p², which matters at large p
 // where most (source, destination) pairs carry only a few facts.
+// (The fault-tolerant path deliberately routes one shard per source —
+// p shards — because fault plans address individual network links;
+// see recovery.go.)
 type commShard struct {
 	outs []*rel.Instance // outs[dst]: facts bound for dst; nil if none
 	sent []int           // routed deliveries per destination (Keep facts uncounted)
@@ -255,22 +331,18 @@ func probeBadRoute(r Round, f rel.Fact, p int) (dst int, bad bool) {
 	return 0, false
 }
 
-// RunRound executes one communication + computation round and records
-// its statistics.
-func (c *Cluster) RunRound(r Round) (RoundStats, error) {
-	// Communication phase, step 1: fan out over disjoint ascending
-	// source ranges, one per worker. Each goroutine writes only
-	// shards[w] for its own w, so the fan-out is race-free by
-	// index-disjointness, and each shard's content depends only on its
-	// range's data — not on scheduling. The merged inboxes and counts
-	// below are unions and sums over all sources, so they are also
-	// independent of the worker count.
-	workers := runtime.GOMAXPROCS(0)
-	if workers > c.p {
-		workers = c.p
-	}
-	chunk := (c.p + workers - 1) / workers
-	workers = (c.p + chunk - 1) / chunk
+// routePhase fans the communication phase out over disjoint ascending
+// source ranges of the given chunk size, one goroutine per shard. Each
+// goroutine writes only shards[w] for its own w, so the fan-out is
+// race-free by index-disjointness, and each shard's content depends
+// only on its range's data — not on scheduling. Shard granularity is
+// invisible downstream: the merged inboxes and counts are unions and
+// sums over all sources, so they are independent of the chunk size.
+// Worker order is source order, so the first erring shard carries the
+// lowest erring source and repeated failing runs surface the same
+// error.
+func (c *Cluster) routePhase(r Round, chunk int) ([]commShard, error) {
+	workers := (c.p + chunk - 1) / chunk
 	shards := make([]commShard, workers)
 	var routeWG sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -286,20 +358,30 @@ func (c *Cluster) RunRound(r Round) (RoundStats, error) {
 		}(w, lo, hi)
 	}
 	routeWG.Wait()
-	// Worker order is source order, so the first erring shard carries
-	// the lowest erring source and repeated failing runs surface the
-	// same error.
 	for w := range shards {
 		if shards[w].err != nil {
-			return RoundStats{}, shards[w].err
+			return nil, shards[w].err
 		}
 	}
+	return shards, nil
+}
 
-	// Step 2: merge shards into per-destination inboxes, one goroutine
-	// per destination, each visiting sources in ascending order. Every
-	// worker writes only its own index of inboxes/received/mergeErrs,
-	// and the (dst, src) merge order is fixed, so the resulting inboxes
-	// and load accounting are byte-identical to a sequential phase.
+// defaultChunk sizes the source ranges of the fault-free path so the
+// shard count is bounded by GOMAXPROCS.
+func (c *Cluster) defaultChunk() int {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > c.p {
+		workers = c.p
+	}
+	return (c.p + workers - 1) / workers
+}
+
+// mergePhase merges shards into per-destination inboxes, one goroutine
+// per destination, each visiting sources in ascending order. Every
+// worker writes only its own index of inboxes/received/mergeErrs,
+// and the (dst, src) merge order is fixed, so the resulting inboxes
+// and load accounting are byte-identical to a sequential phase.
+func (c *Cluster) mergePhase(r Round, shards []commShard) ([]*rel.Instance, []int, error) {
 	inboxes := make([]*rel.Instance, c.p)
 	received := make([]int, c.p)
 	mergeErrs := make([]error, c.p)
@@ -342,15 +424,20 @@ func (c *Cluster) RunRound(r Round) (RoundStats, error) {
 	mergeWG.Wait()
 	for _, err := range mergeErrs {
 		if err != nil {
-			return RoundStats{}, err
+			return nil, nil, err
 		}
 	}
+	return inboxes, received, nil
+}
 
-	// Computation phase: local and embarrassingly parallel. Each
-	// worker writes only its own index of next/workerErrs, so the
-	// fan-out is race-free by index-disjointness, and a panicking
-	// Compute surfaces as this round's error instead of killing the
-	// process (or worse, being silently lost).
+// computePhase runs the computation phase: local and embarrassingly
+// parallel. Each worker writes only its own index of next/workerErrs,
+// so the fan-out is race-free by index-disjointness, and a panicking
+// Compute surfaces as this round's error instead of killing the
+// process (or worse, being silently lost). The error of the lowest
+// panicking server is reported, so repeated failing runs surface the
+// same error.
+func (c *Cluster) computePhase(r Round, inputs []*rel.Instance) ([]*rel.Instance, error) {
 	compute := r.Compute
 	if compute == nil {
 		compute = func(_ int, local *rel.Instance) *rel.Instance { return local }
@@ -367,24 +454,60 @@ func (c *Cluster) RunRound(r Round) (RoundStats, error) {
 					workerErrs[i] = fmt.Errorf("mpc: server %d compute phase panicked in round %q: %v", i, r.Name, rec)
 				}
 			}()
-			next[i] = compute(i, inboxes[i])
+			next[i] = compute(i, inputs[i])
 		}(i)
 	}
 	wg.Wait()
-	// Report the lowest panicking server so repeated failing runs
-	// surface the same error.
 	for _, err := range workerErrs {
 		if err != nil {
-			return RoundStats{}, err
+			return nil, err
 		}
 	}
 	for i, inst := range next {
 		if inst == nil {
-			inst = rel.NewInstance()
+			next[i] = rel.NewInstance()
 		}
-		c.servers[i] = inst
 	}
+	return next, nil
+}
 
+// commit atomically installs a completed round: the servers' new
+// instances and the round's stats become visible together, and the
+// post-round checkpoint (fault-tolerant clusters only) is refreshed.
+// No failure path reaches commit, which is what makes RunRound atomic.
+func (c *Cluster) commit(next []*rel.Instance, stats RoundStats) {
+	copy(c.servers, next)
+	c.stats = append(c.stats, stats)
+	if c.ft != nil {
+		c.ft.refreshCheckpoint(c)
+	}
+}
+
+// RunRound executes one communication + computation round and records
+// its statistics.
+//
+// RunRound is atomic on failure: if it returns a non-nil error — a
+// routing error, a panicking Router/Keep/Compute, or an exhausted
+// recovery retry budget — every server's instance and the stats slice
+// are exactly as they were before the call. Callers may therefore
+// retry a failed round (or resume a failed multi-round program, see
+// RunResumable) without repairing cluster state first.
+func (c *Cluster) RunRound(r Round) (RoundStats, error) {
+	if c.ft != nil {
+		return c.runRoundFT(r)
+	}
+	shards, err := c.routePhase(r, c.defaultChunk())
+	if err != nil {
+		return RoundStats{}, err
+	}
+	inboxes, received, err := c.mergePhase(r, shards)
+	if err != nil {
+		return RoundStats{}, err
+	}
+	next, err := c.computePhase(r, inboxes)
+	if err != nil {
+		return RoundStats{}, err
+	}
 	stats := RoundStats{Name: r.Name, Received: received}
 	for _, n := range received {
 		stats.TotalComm += n
@@ -392,7 +515,7 @@ func (c *Cluster) RunRound(r Round) (RoundStats, error) {
 			stats.MaxLoad = n
 		}
 	}
-	c.stats = append(c.stats, stats)
+	c.commit(next, stats)
 	return stats, nil
 }
 
@@ -406,6 +529,28 @@ func (c *Cluster) Run(rounds ...Round) error {
 	return nil
 }
 
+// RunResumable executes rounds as the cluster's complete logical
+// program, resuming after a failure instead of restarting: the prefix
+// already recorded in Stats() is skipped (RunRound's atomicity
+// guarantees the cluster holds exactly the state after the last
+// completed round), and execution continues with the first
+// outstanding round. Skipped entries must match the recorded history
+// by name — a mismatch means the cluster is mid-way through a
+// different program and is an error, not silent corruption.
+func (c *Cluster) RunResumable(rounds ...Round) error {
+	done := len(c.stats)
+	if done > len(rounds) {
+		return fmt.Errorf("mpc: cluster has executed %d rounds but the program has only %d", done, len(rounds))
+	}
+	for i := 0; i < done; i++ {
+		if c.stats[i].Name != rounds[i].Name {
+			return fmt.Errorf("mpc: cannot resume: executed round %d is %q but the program expects %q",
+				i, c.stats[i].Name, rounds[i].Name)
+		}
+	}
+	return c.Run(rounds[done:]...)
+}
+
 // Output returns the union of all servers' local data — the model's
 // convention that the output must be present in the union of the
 // servers.
@@ -417,8 +562,13 @@ func (c *Cluster) Output() *rel.Instance {
 	return out
 }
 
-// Broadcast routes every fact to all p servers.
+// Broadcast routes every fact to all p servers. p must be positive;
+// using a router built for a larger cluster than the one executing the
+// round surfaces as RunRound's deterministic out-of-range error.
 func Broadcast(p int) Router {
+	if p <= 0 {
+		panic(fmt.Sprintf("mpc: Broadcast needs at least one server (got p=%d)", p))
+	}
 	all := make([]int, p)
 	for i := range all {
 		all[i] = i
@@ -439,8 +589,13 @@ func ByRelation(routes map[string]Router) Router {
 
 // HashOn routes a fact to the single server determined by hashing the
 // given attribute positions (Example 3.1(1a)'s h(·)). Seed decouples
-// hash functions across rounds.
+// hash functions across rounds. p must be positive; a p larger than
+// the executing cluster's surfaces as RunRound's deterministic
+// out-of-range error.
 func HashOn(p int, cols []int, seed uint64) Router {
+	if p <= 0 {
+		panic(fmt.Sprintf("mpc: HashOn needs at least one server (got p=%d)", p))
+	}
 	return RouterFunc(func(f rel.Fact) []int {
 		t := f.Tuple.Project(cols)
 		return []int{int((t.Hash() ^ seed) % uint64(p))}

@@ -1,0 +1,335 @@
+package mpc
+
+import (
+	"fmt"
+
+	"mpclogic/internal/policy"
+	"mpclogic/internal/rel"
+)
+
+// Checkpointed recovery for the synchronous engine.
+//
+// The execution model: a fault-tolerant round routes exactly the
+// facts a fault-free round would (drops delay transfers, they do not
+// change what is eventually delivered; duplicates are absorbed by the
+// idempotent inbox union), then checkpoints every server's merged
+// round input before any computation starts. The computation phase is
+// a pure function of (server, input) — Compute's documented contract
+// — so a crashed server's partition is recovered by re-executing it
+// from the checkpoint on a recovery worker, and a straggling
+// partition can be raced by a speculative copy of the same
+// re-execution. Both repairs reproduce the primary's output exactly,
+// which is the whole determinism argument: recovery changes WHEN a
+// round finishes (virtual ticks, tracked in VirtualMakespan) and HOW
+// MUCH extra traffic it costs (ReplicaComm), but never WHAT the round
+// computes. The logical metrics — Received, MaxLoad, TotalComm — are
+// computed from the same merged inboxes on both paths, so they are
+// fault-invariant by construction, and the fault-transparency tests
+// pin that byte-for-byte.
+//
+// All delays live on a virtual clock measured in abstract ticks
+// (retryCompletion in faults.go); nothing in this file touches wall
+// time.
+
+// Defaults for the fault-tolerance knobs.
+const (
+	// DefaultRetryBudget bounds how often a single fault site (one
+	// transfer, or one server's computation in one round) may fail
+	// before the round gives up with a deterministic error.
+	DefaultRetryBudget = 3
+	// DefaultSpeculateAfter is the virtual tick after which a still-
+	// running computation is considered straggling and a speculative
+	// copy is launched. A fault-free computation costs 1 tick, so the
+	// default only triggers on injected stragglers.
+	DefaultSpeculateAfter = 2
+)
+
+// ftState is a cluster's fault-tolerance configuration and its
+// rolling post-round checkpoint.
+type ftState struct {
+	plan           *FaultPlan // nil: recover-capable but no injected faults
+	retryBudget    int
+	speculateAfter int // 0 disables speculation
+	replicas       int // peers each round checkpoint is replicated to
+
+	// Rolling checkpoint of the last committed round: the servers'
+	// instances and the stats recorded so far, snapshotted into a
+	// StableStore so later mutation can't corrupt what recovery
+	// reloads. Nil until the first round commits.
+	ckpt      *policy.StableStore
+	ckptStats []RoundStats
+}
+
+func newFTState() *ftState {
+	return &ftState{retryBudget: DefaultRetryBudget, speculateAfter: DefaultSpeculateAfter}
+}
+
+func (c *Cluster) ensureFT() *ftState {
+	if c.ft == nil {
+		c.ft = newFTState()
+	}
+	return c.ft
+}
+
+// refreshCheckpoint snapshots the cluster's committed state. Called
+// from commit, so the checkpoint always equals the state after the
+// last completed round.
+func (ft *ftState) refreshCheckpoint(c *Cluster) {
+	ft.ckpt = policy.NewStableStore(c.servers)
+	ft.ckptStats = cloneStats(c.stats)
+}
+
+func cloneStats(stats []RoundStats) []RoundStats {
+	out := make([]RoundStats, len(stats))
+	for i, s := range stats {
+		out[i] = s
+		out[i].Received = append([]int(nil), s.Received...)
+	}
+	return out
+}
+
+// WithFaultPlan installs a fault plan and enables the fault-tolerant
+// execution path. Plan round indices are absolute: round r of the
+// plan fires on the cluster's r-th executed round.
+func WithFaultPlan(p *FaultPlan) Option {
+	return func(c *Cluster) { c.ensureFT().plan = p }
+}
+
+// WithCheckpoints enables the fault-tolerant path (round-input
+// checkpointing, post-round cluster checkpoints for Checkpoint/
+// Restore) without injecting any faults.
+func WithCheckpoints() Option {
+	return func(c *Cluster) { c.ensureFT() }
+}
+
+// WithRetryBudget bounds per-site failures before a round errors out.
+func WithRetryBudget(n int) Option {
+	if n < 0 {
+		panic(fmt.Sprintf("mpc: negative retry budget %d", n))
+	}
+	return func(c *Cluster) { c.ensureFT().retryBudget = n }
+}
+
+// WithSpeculation sets the straggler threshold in virtual ticks; a
+// computation still running after that many ticks gets a speculative
+// backup copy. 0 disables speculation.
+func WithSpeculation(afterTicks int) Option {
+	if afterTicks < 0 {
+		panic(fmt.Sprintf("mpc: negative speculation threshold %d", afterTicks))
+	}
+	return func(c *Cluster) { c.ensureFT().speculateAfter = afterTicks }
+}
+
+// WithReplication replicates each round's input checkpoint to k peer
+// servers (accounted in ReplicaComm). The checkpoint itself is always
+// persisted via policy.StableStore regardless of k.
+func WithReplication(k int) Option {
+	if k < 0 {
+		panic(fmt.Sprintf("mpc: negative replication factor %d", k))
+	}
+	return func(c *Cluster) { c.ensureFT().replicas = k }
+}
+
+// SetFaultPlan installs (or replaces, or with nil removes) the fault
+// plan on an already-constructed cluster, enabling the fault-tolerant
+// path if it wasn't already.
+func (c *Cluster) SetFaultPlan(p *FaultPlan) { c.ensureFT().plan = p }
+
+// FaultTolerant reports whether the fault-tolerant execution path is
+// enabled.
+func (c *Cluster) FaultTolerant() bool { return c.ft != nil }
+
+// RecoveryStats aggregates the recovery metrics over rounds.
+type RecoveryStats struct {
+	Retries          int
+	RecoveredServers int
+	ReplicaComm      int
+	SpeculativeWins  int
+}
+
+// RecoveryTotals sums the recovery metrics over all executed rounds.
+func (c *Cluster) RecoveryTotals() RecoveryStats {
+	var t RecoveryStats
+	for _, s := range c.stats {
+		t.Retries += s.Retries
+		t.RecoveredServers += s.RecoveredServers
+		t.ReplicaComm += s.ReplicaComm
+		t.SpeculativeWins += s.SpeculativeWins
+	}
+	return t
+}
+
+// runRoundFT is RunRound on the fault-tolerant path. It differs from
+// the fault-free path in three ways: the communication phase routes
+// one shard per source (chunk 1), because fault plans address
+// individual src→dst links and per-source shards make the transfer
+// sizes exact; the merged round inputs are checkpointed before
+// computation; and the fault plan's crashes/drops/dups/stragglers are
+// charged to the recovery metrics on a virtual clock. It shares
+// RunRound's atomicity guarantee: every error return precedes commit.
+func (c *Cluster) runRoundFT(r Round) (RoundStats, error) {
+	ft := c.ft
+	round := len(c.stats) // absolute round index, matches plan indexing
+
+	shards, err := c.routePhase(r, 1)
+	if err != nil {
+		return RoundStats{}, err
+	}
+
+	stats := RoundStats{Name: r.Name}
+
+	// Delivery simulation: drops delay a transfer (retransmissions
+	// cost ReplicaComm and virtual time), dups add wire traffic the
+	// idempotent merge discards. Only src ≠ dst links that actually
+	// carry facts are fault sites — self-delivery, including Keep
+	// facts, never traverses the network. The communication phase
+	// ends when the slowest transfer lands.
+	commEnd := 1
+	for _, lk := range carryingLinks(shards) {
+		n := shards[lk.src].sent[lk.dst]
+		if d := ft.plan.drops(round, lk.src, lk.dst); d > 0 {
+			if d > ft.retryBudget {
+				return RoundStats{}, fmt.Errorf(
+					"mpc: transfer %d→%d in round %q (round %d) dropped %d times, exceeding the retry budget %d",
+					lk.src, lk.dst, r.Name, round, d, ft.retryBudget)
+			}
+			stats.Retries += d
+			stats.ReplicaComm += d * n
+			if t := retryCompletion(d, 1); t > commEnd {
+				commEnd = t
+			}
+		}
+		if k := ft.plan.dups(round, lk.src, lk.dst); k > 0 {
+			stats.ReplicaComm += k * n
+		}
+	}
+
+	// The merge is identical to the fault-free path — same shards,
+	// same (dst, src) order — so the logical inboxes and load
+	// accounting are byte-identical by construction.
+	inboxes, received, err := c.mergePhase(r, shards)
+	if err != nil {
+		return RoundStats{}, err
+	}
+	stats.Received = received
+	for _, n := range received {
+		stats.TotalComm += n
+		if n > stats.MaxLoad {
+			stats.MaxLoad = n
+		}
+	}
+
+	// Checkpoint every server's merged round input before any
+	// computation runs: this is what recovery re-executes from.
+	// StableStore snapshots at construction, so a Compute that
+	// mutates its input cannot corrupt recovery. Optional peer
+	// replication is charged per replica at the checkpoint's deduped
+	// size.
+	ckpt := policy.NewStableStore(inboxes)
+	stats.ReplicaComm += ft.replicas * ckpt.TotalFacts()
+
+	// Plan the computation phase per server on the virtual clock. A
+	// fault-free computation costs 1 tick; a straggler costs 1+δ. A
+	// crash discards the attempt and re-executes from the checkpoint
+	// with exponential backoff (retryCompletion); past the budget the
+	// round fails deterministically. A straggler past the speculation
+	// threshold gets a backup copy launched at the threshold, which
+	// wins iff it strictly beats the primary — ties keep the primary,
+	// the "first deterministic winner". Either repair recomputes the
+	// same pure function on the same checkpointed input, so which copy
+	// wins is unobservable in the output.
+	inputs := make([]*rel.Instance, c.p)
+	computeEnd := 0
+	for s := 0; s < c.p; s++ {
+		cost := 1 + ft.plan.straggles(round, s)
+		crashes := ft.plan.crashes(round, s)
+		end := cost
+		input := inboxes[s]
+		switch {
+		case crashes > ft.retryBudget:
+			return RoundStats{}, fmt.Errorf(
+				"mpc: server %d crashed %d times in round %q (round %d), exceeding the retry budget %d",
+				s, crashes, r.Name, round, ft.retryBudget)
+		case crashes > 0:
+			end = retryCompletion(crashes, cost)
+			stats.Retries += crashes
+			stats.RecoveredServers++
+			// Each re-execution refetches the server's checkpointed
+			// input from the store.
+			stats.ReplicaComm += crashes * inboxes[s].Len()
+			input = ckpt.Reload(policy.Node(s))
+		default:
+			if ft.speculateAfter > 0 && end > ft.speculateAfter {
+				// Speculative copy: launched at the threshold, costs
+				// one fault-free tick, and refetches the checkpoint.
+				spec := ft.speculateAfter + 1
+				stats.ReplicaComm += inboxes[s].Len()
+				if spec < end {
+					stats.SpeculativeWins++
+					end = spec
+					input = ckpt.Reload(policy.Node(s))
+				}
+			}
+		}
+		if end > computeEnd {
+			computeEnd = end
+		}
+		inputs[s] = input
+	}
+	stats.VirtualMakespan = commEnd + computeEnd
+
+	next, err := c.computePhase(r, inputs)
+	if err != nil {
+		return RoundStats{}, err
+	}
+	c.commit(next, stats)
+	return stats, nil
+}
+
+// Checkpoint is a durable snapshot of a cluster after its last
+// completed round: the servers' instances (in a StableStore, so later
+// cluster mutation cannot leak in) plus the stats history needed to
+// resume a multi-round program with RunResumable.
+type Checkpoint struct {
+	store *policy.StableStore
+	stats []RoundStats
+}
+
+// Rounds returns how many completed rounds the checkpoint covers.
+func (ck *Checkpoint) Rounds() int { return len(ck.stats) }
+
+// Checkpoint returns the cluster's snapshot after its last completed
+// round, or a snapshot of the initial load if no round has run yet.
+// It returns nil when the fault-tolerant path is disabled — the
+// zero-overhead path takes no checkpoints.
+func (c *Cluster) Checkpoint() *Checkpoint {
+	if c.ft == nil {
+		return nil
+	}
+	if c.ft.ckpt == nil {
+		// No round committed yet: snapshot the initial placement on
+		// demand so a program can resume from round 0.
+		return &Checkpoint{store: policy.NewStableStore(c.servers), stats: cloneStats(c.stats)}
+	}
+	return &Checkpoint{store: c.ft.ckpt, stats: cloneStats(c.ftStatsRef())}
+}
+
+func (c *Cluster) ftStatsRef() []RoundStats { return c.ft.ckptStats }
+
+// Restore builds a fresh cluster from a checkpoint: same server
+// count, each server holding its checkpointed instance, stats history
+// intact so RunResumable skips the completed prefix. Options apply as
+// in NewCluster; the restored cluster is always fault-tolerant (it
+// must keep checkpointing to stay restorable), with a fresh default
+// configuration unless options say otherwise — in particular the old
+// fault plan is NOT carried over.
+func Restore(ck *Checkpoint, opts ...Option) *Cluster {
+	c := NewCluster(ck.store.NumNodes(), opts...)
+	c.ensureFT()
+	for i := range c.servers {
+		c.servers[i] = ck.store.Reload(policy.Node(i))
+	}
+	c.stats = cloneStats(ck.stats)
+	c.ft.refreshCheckpoint(c)
+	return c
+}

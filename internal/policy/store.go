@@ -40,6 +40,17 @@ func StoreFromPolicy(p Policy, i *rel.Instance) *StableStore {
 // NumNodes returns the number of fragments held.
 func (s *StableStore) NumNodes() int { return len(s.parts) }
 
+// TotalFacts returns the total fact count over all fragments — the
+// size of the store on the wire, which checkpoint replication charges
+// per replica.
+func (s *StableStore) TotalFacts() int {
+	n := 0
+	for _, p := range s.parts {
+		n += p.Len()
+	}
+	return n
+}
+
 // Reload returns a fresh copy of node κ's durable fragment; mutating
 // the returned instance never affects the store.
 func (s *StableStore) Reload(κ Node) *rel.Instance {
