@@ -25,7 +25,20 @@ MAX_REGRESS ?= 1.6
 # how long each fuzzer searches for NEW inputs.
 FUZZTIME ?= 5s
 
-.PHONY: all build vet test race lint faultmatrix verify fmt fuzz bench bench-json verify-perf nightly
+# Worker count for the experiment sweep (cmd/experiments -parallel).
+# 0 means GOMAXPROCS. The sweep's stdout is byte-identical for every
+# value — a tier-1 test asserts it — so this knob only trades wall
+# time.
+SWEEPPROCS ?= 0
+
+# Coverage gate: the guarded packages and the checked-in floor file.
+# `make cover` fails when a guarded package drops more than the slack
+# below its recorded floor; `make cover-baseline` locks in the current
+# measurement.
+COVER_PKGS ?= ./internal/mpc ./internal/transducer
+COVER_BASELINE ?= COVERAGE.json
+
+.PHONY: all build vet test race lint faultmatrix verify fmt fuzz bench bench-json verify-perf nightly experiments cover cover-baseline
 
 all: verify
 
@@ -51,7 +64,7 @@ race:
 # algorithms and the FAULTMPC experiment's checkpoint-resume row.
 faultmatrix:
 	$(GO) test -run 'TestFaultTransparency|TestCheckpoint|TestRunYannakakisRoundsResumesAfterFailure|TestGYMRestoreFromCheckpoint' ./internal/mpc ./internal/gym
-	$(GO) run ./cmd/experiments -run FAULTMPC-matrix
+	$(GO) run ./cmd/experiments -parallel $(SWEEPPROCS) -run FAULTMPC-matrix
 
 lint:
 	$(GO) run ./cmd/mpclint ./...
@@ -63,19 +76,40 @@ fmt:
 fuzz:
 	$(GO) test ./internal/cq -run='^$$' -fuzz='^FuzzParseCQ$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/rel -run='^$$' -fuzz='^FuzzRelation$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/sweep -run='^$$' -fuzz='^FuzzSweepMerge$$' -fuzztime=$(FUZZTIME)
 
 verify: build vet test race faultmatrix lint fuzz
 	@echo "verify: OK"
 
+# experiments regenerates every report on the sweep scheduler.
+# Redirect stdout to refresh EXPERIMENTS.md's transcript; stderr
+# carries the timing line so the transcript stays worker-count
+# independent.
+experiments:
+	$(GO) run ./cmd/experiments -parallel $(SWEEPPROCS)
+
+# cover runs the coverage gate: statement coverage of the recovery
+# stack's packages must stay within slack of the checked-in floors.
+cover:
+	$(GO) test -cover $(COVER_PKGS) > .cover_raw.txt || (cat .cover_raw.txt; rm -f .cover_raw.txt; exit 1)
+	$(GO) run ./cmd/coverfloor -baseline $(COVER_BASELINE) .cover_raw.txt
+	@rm -f .cover_raw.txt
+
+cover-baseline:
+	$(GO) test -cover $(COVER_PKGS) > .cover_raw.txt || (cat .cover_raw.txt; rm -f .cover_raw.txt; exit 1)
+	$(GO) run ./cmd/coverfloor -baseline $(COVER_BASELINE) -write .cover_raw.txt
+	@rm -f .cover_raw.txt
+
 # nightly is the scheduled deep pass (.github/workflows/nightly.yml):
 # full-size race run, longer fuzzing, the benchmark-regression gate,
-# and the complete SCHED / CHAOS / FAULTMPC experiment sweeps.
+# and the complete SCHED / CHAOS / FAULTMPC experiment sweeps on the
+# parallel scheduler.
 nightly: verify
 	$(GO) test -race ./...
 	$(MAKE) verify-perf
-	$(GO) run ./cmd/experiments -run SCHED-exhaustive
-	$(GO) run ./cmd/experiments -run CHAOS-matrix
-	$(GO) run ./cmd/experiments -run FAULTMPC-matrix
+	$(GO) run ./cmd/experiments -parallel $(SWEEPPROCS) -run SCHED-exhaustive
+	$(GO) run ./cmd/experiments -parallel $(SWEEPPROCS) -run CHAOS-matrix
+	$(GO) run ./cmd/experiments -parallel $(SWEEPPROCS) -run FAULTMPC-matrix
 	@echo "nightly: OK"
 
 bench:

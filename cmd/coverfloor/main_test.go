@@ -1,0 +1,116 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const coverOut = `ok  	mpclogic/internal/mpc	0.812s	coverage: 84.3% of statements
+ok  	mpclogic/internal/transducer	2.150s	coverage: 90.1% of statements
+?   	mpclogic/internal/workload	[no test files]
+ok  	mpclogic/internal/rel	0.101s
+`
+
+func runFloor(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb strings.Builder
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestPassesAtAndWithinSlack(t *testing.T) {
+	dir := t.TempDir()
+	cov := write(t, dir, "cover.txt", coverOut)
+	// transducer floor is 1.9 points above measured — inside the
+	// default slack of 2.0, so it must pass.
+	base := write(t, dir, "base.json",
+		`{"floors": {"mpclogic/internal/mpc": 84.3, "mpclogic/internal/transducer": 92.0}}`)
+	code, out, _ := runFloor(t, "-baseline", base, cov)
+	if code != 0 {
+		t.Fatalf("exit=%d, want 0\n%s", code, out)
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Errorf("unexpected failure:\n%s", out)
+	}
+}
+
+func TestFailsBelowFloorMinusSlack(t *testing.T) {
+	dir := t.TempDir()
+	cov := write(t, dir, "cover.txt", coverOut)
+	base := write(t, dir, "base.json",
+		`{"floors": {"mpclogic/internal/mpc": 87.0, "mpclogic/internal/transducer": 90.0}}`)
+	code, out, _ := runFloor(t, "-baseline", base, cov)
+	if code != 1 {
+		t.Fatalf("exit=%d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "FAIL mpclogic/internal/mpc") {
+		t.Errorf("mpc not flagged:\n%s", out)
+	}
+	if !strings.Contains(out, "ok   mpclogic/internal/transducer") {
+		t.Errorf("transducer wrongly flagged:\n%s", out)
+	}
+}
+
+// Deleting a guarded package's tests removes its coverage line; the
+// gate must treat that as a failure, not a vacuous pass.
+func TestFailsWhenGuardedPackageVanishes(t *testing.T) {
+	dir := t.TempDir()
+	cov := write(t, dir, "cover.txt", coverOut)
+	base := write(t, dir, "base.json", `{"floors": {"mpclogic/internal/gone": 50.0}}`)
+	code, out, _ := runFloor(t, "-baseline", base, cov)
+	if code != 1 || !strings.Contains(out, "measured (none)") {
+		t.Fatalf("exit=%d\n%s", code, out)
+	}
+}
+
+func TestWriteRegeneratesBaseline(t *testing.T) {
+	dir := t.TempDir()
+	cov := write(t, dir, "cover.txt", coverOut)
+	base := filepath.Join(dir, "base.json")
+	code, _, errOut := runFloor(t, "-baseline", base, "-write", cov)
+	if code != 0 {
+		t.Fatalf("write exit=%d: %s", code, errOut)
+	}
+	// The regenerated baseline must gate exactly the measured values.
+	code, out, _ := runFloor(t, "-baseline", base, "-slack", "0", cov)
+	if code != 0 {
+		t.Fatalf("fresh baseline fails its own measurement:\n%s", out)
+	}
+	data, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"mpclogic/internal/mpc": 84.3`) {
+		t.Errorf("baseline content wrong:\n%s", data)
+	}
+	// Packages without coverage annotations must not become floors.
+	if strings.Contains(string(data), "workload") || strings.Contains(string(data), `"mpclogic/internal/rel"`) {
+		t.Errorf("non-covered package leaked into baseline:\n%s", data)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := runFloor(t); code != 2 {
+		t.Errorf("no args: exit != 2")
+	}
+	dir := t.TempDir()
+	cov := write(t, dir, "cover.txt", coverOut)
+	if code, _, _ := runFloor(t, "-baseline", filepath.Join(dir, "missing.json"), cov); code != 2 {
+		t.Errorf("missing baseline: exit != 2")
+	}
+	empty := write(t, dir, "empty.txt", "no coverage here\n")
+	if code, _, _ := runFloor(t, "-baseline", "x", empty); code != 2 {
+		t.Errorf("input without coverage lines: exit != 2")
+	}
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// The ZZSELF experiments are synthetic single-cell experiments wired
+// to pass, error, and panic; they let these tests drive the full
+// binary path — flag parsing, sweep, rendering, exit code — in
+// milliseconds instead of re-running the real 20-second sweep.
+
+func runCmd(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb strings.Builder
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestExitZeroOnPass(t *testing.T) {
+	code, out, _ := runCmd(t, "-selftest", "-run", "ZZSELF-pass")
+	if code != 0 {
+		t.Fatalf("exit=%d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "[PASS]") || !strings.Contains(out, "1 experiments run, 0 failed") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+}
+
+// The regression this test pins down: an erroring cell must turn into
+// a failing report AND a non-zero exit code — previously an error row
+// could slip through with exit 0.
+func TestExitOneOnErrorRow(t *testing.T) {
+	code, out, _ := runCmd(t, "-selftest", "-run", "ZZSELF-error")
+	if code != 1 {
+		t.Fatalf("exit=%d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "[FAIL]") {
+		t.Errorf("error report not marked FAIL:\n%s", out)
+	}
+	if !strings.Contains(out, "cell boom: error: wired to error") {
+		t.Errorf("error row missing:\n%s", out)
+	}
+	if !strings.Contains(out, "sibling cell still ran") {
+		t.Errorf("sibling cell suppressed by the error:\n%s", out)
+	}
+	if !strings.Contains(out, "1 experiments run, 1 failed") {
+		t.Errorf("footer wrong:\n%s", out)
+	}
+}
+
+func TestExitOneOnPanicRow(t *testing.T) {
+	code, out, _ := runCmd(t, "-selftest", "-run", "ZZSELF-panic")
+	if code != 1 {
+		t.Fatalf("exit=%d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "wired to panic") {
+		t.Errorf("panic not captured as a row:\n%s", out)
+	}
+	// Determinism: the captured panic must not drag a goroutine stack
+	// (addresses, goroutine IDs) into the report bytes.
+	if strings.Contains(out, "goroutine") || strings.Contains(out, ".go:") {
+		t.Errorf("panic row leaks stack details:\n%s", out)
+	}
+}
+
+func TestExitTwoOnNoMatch(t *testing.T) {
+	code, _, errOut := runCmd(t, "-run", "definitely-not-an-experiment")
+	if code != 2 {
+		t.Fatalf("exit=%d, want 2", code)
+	}
+	if !strings.Contains(errOut, "no experiment matches") {
+		t.Errorf("missing diagnostic: %q", errOut)
+	}
+}
+
+func TestExitTwoOnBadFlag(t *testing.T) {
+	code, _, _ := runCmd(t, "-no-such-flag")
+	if code != 2 {
+		t.Fatalf("exit=%d, want 2", code)
+	}
+}
+
+func TestListPrintsFilteredIDs(t *testing.T) {
+	code, out, _ := runCmd(t, "-selftest", "-list", "-run", "ZZSELF")
+	if code != 0 {
+		t.Fatalf("exit=%d, want 0", code)
+	}
+	want := "ZZSELF-error\nZZSELF-panic\nZZSELF-pass\n"
+	if out != want {
+		t.Errorf("list output:\n%q\nwant:\n%q", out, want)
+	}
+}
+
+// Byte-identity through the real entry point, on the fast synthetic
+// subset: stdout must not depend on -parallel, including the failure
+// rows of erroring and panicking cells.
+func TestParallelOutputByteIdentical(t *testing.T) {
+	_, seq, _ := runCmd(t, "-selftest", "-run", "ZZSELF")
+	for _, workers := range []string{"2", "4", "0"} {
+		_, par, _ := runCmd(t, "-selftest", "-run", "ZZSELF", "-parallel", workers)
+		if par != seq {
+			t.Errorf("-parallel %s diverged:\n%s\nvs sequential:\n%s", workers, par, seq)
+		}
+	}
+}

@@ -15,27 +15,61 @@ import (
 // strategies of Theorems 5.3/5.8/5.12.
 
 func init() {
-	register("F2-hierarchy", expFigure2)
-	register("CALM-theorem", expCALM)
-	register("T58-policy-aware", expTheorem58)
-	register("T512-domain-guided", expTheorem512)
-	register("WM-win-move", expWinMove)
-	register("BCAST-economical", expBroadcast)
+	register(Def{
+		ID:    "F2-hierarchy",
+		Name:  "F2",
+		Title: "Figure 2: M ⊊ Mdistinct ⊊ Mdisjoint with Datalog correspondences",
+		Claim: "triangles ∈ M; open-triangle ∈ Mdistinct∖M; ¬TC ∈ Mdisjoint∖Mdistinct; QNT ∉ Mdisjoint; Datalog(≠)⊆M, SP-Datalog⊆Mdistinct, semicon-Datalog⊆Mdisjoint",
+		Cells: []Cell{
+			{Params: "semantic-classes", Run: cellFigure2Classes},
+			{Params: "datalog-fragments", Run: cellFigure2Datalog},
+		},
+	})
+	register(Def{
+		ID:    "CALM-theorem",
+		Name:  "CALM",
+		Title: "CALM theorem (Theorem 5.3): F0 = A0 = M",
+		Claim: "monotone queries run coordination-free by naive broadcast; non-monotone ones cannot",
+		Cells: []Cell{{Params: "broadcast-vs-coordinated", Run: cellCALM}},
+	})
+	register(Def{
+		ID:    "T58-policy-aware",
+		Name:  "T58",
+		Title: "Theorem 5.8: F1 = A1 = Mdistinct (policy-aware, Example 5.4)",
+		Claim: "with a queryable distribution policy, open-triangle runs correctly on every schedule and coordination-free on the ideal distribution",
+		Cells: []Cell{{Params: "open-triangle", Run: cellTheorem58}},
+	})
+	register(Def{
+		ID:    "T512-domain-guided",
+		Name:  "T512",
+		Title: "Theorem 5.12: F2 = A2 = Mdisjoint (domain-guided)",
+		Claim: "¬TC (outside Mdistinct) runs correctly on domain-guided networks, coordination-free on the ideal distribution",
+		Cells: []Cell{{Params: "ntc", Run: cellTheorem512}},
+	})
+	register(Def{
+		ID:    "WM-win-move",
+		Name:  "WM",
+		Title: "win-move is coordination-free on domain-guided networks",
+		Claim: "semi-connected programs under well-founded semantics stay domain-disjoint-monotone; win-move distributes over components",
+		Cells: []Cell{{Params: "two-components", Run: cellWinMove}},
+	})
+	register(Def{
+		ID:    "BCAST-economical",
+		Name:  "BCAST",
+		Title: "economical broadcasting (Ketsman-Neven, Section 6)",
+		Claim: "transmitting only the facts that can join reduces communication without changing the answer",
+		Cells: []Cell{{Params: "naive-vs-economical", Run: cellBroadcast}},
+	})
 }
 
 func schemaE() rel.Schema { return rel.Schema{"E": 2} }
 
 func universe3() []rel.Value { return []rel.Value{0, 1, 2} }
 
-// Figure 2: the hierarchy M ⊊ Mdistinct ⊊ Mdisjoint with verified
-// witnesses, and the Datalog fragments' syntactic placement.
-func expFigure2() (*Report, error) {
-	rep := &Report{
-		ID:    "F2",
-		Title: "Figure 2: M ⊊ Mdistinct ⊊ Mdisjoint with Datalog correspondences",
-		Claim: "triangles ∈ M; open-triangle ∈ Mdistinct∖M; ¬TC ∈ Mdisjoint∖Mdistinct; QNT ∉ Mdisjoint; Datalog(≠)⊆M, SP-Datalog⊆Mdistinct, semicon-Datalog⊆Mdisjoint",
-		Pass:  true,
-	}
+// Figure 2, semantic half: the hierarchy M ⊊ Mdistinct ⊊ Mdisjoint
+// with verified witnesses.
+func cellFigure2Classes() (*Result, error) {
+	res := newResult()
 	d := rel.NewDict()
 	tri := cq.MustParse(d, "H(x, y, z) :- E(x, y), E(y, z), E(z, x)")
 	open := cq.MustParse(d, "H(x, y, z) :- E(x, y), E(y, z), not E(z, x)")
@@ -50,7 +84,7 @@ func expFigure2() (*Report, error) {
 		{"¬TC", notTCQuery, universe3(), [3]bool{false, false, true}},
 		{"QNT", qntQuery, []rel.Value{0, 1, 2, 3}, [3]bool{false, false, false}},
 	}
-	rep.rowf("%-14s %-6s %-11s %-11s", "query", "M", "Mdistinct", "Mdisjoint")
+	res.rowf("%-14s %-6s %-11s %-11s", "query", "M", "Mdistinct", "Mdisjoint")
 	for _, c := range queries {
 		m, err := mono.IsMonotone(c.q, schemaE(), c.uni)
 		if err != nil {
@@ -64,12 +98,18 @@ func expFigure2() (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		rep.rowf("%-14s %-6v %-11v %-11v", c.name, m.Holds, dd.Holds, dj.Holds)
+		res.rowf("%-14s %-6v %-11v %-11v", c.name, m.Holds, dd.Holds, dj.Holds)
 		if m.Holds != c.want[0] || dd.Holds != c.want[1] || dj.Holds != c.want[2] {
-			rep.Pass = false
+			res.Pass = false
 		}
 	}
-	// Datalog fragments.
+	return res, nil
+}
+
+// Figure 2, syntactic half: the Datalog fragments' placement.
+func cellFigure2Datalog() (*Result, error) {
+	res := newResult()
+	d := rel.NewDict()
 	progs := []struct {
 		name, src, want string
 	}{
@@ -81,25 +121,20 @@ func expFigure2() (*Report, error) {
 	for _, c := range progs {
 		p := datalog.MustParse(d, c.src)
 		got := datalog.Classify(p).MonotonicityClass()
-		rep.rowf("program %-18s → %q", c.name, got)
+		res.rowf("program %-18s → %q", c.name, got)
 		if got != c.want {
-			rep.Pass = false
+			res.Pass = false
 		}
 	}
-	return rep, nil
+	return res, nil
 }
 
 // CALM theorem (Theorem 5.3): the monotone strategy is
 // coordination-free; the naive strategy is unsound for non-monotone
 // queries; the coordinated one needs to read messages even on the
 // ideal distribution.
-func expCALM() (*Report, error) {
-	rep := &Report{
-		ID:    "CALM",
-		Title: "CALM theorem (Theorem 5.3): F0 = A0 = M",
-		Claim: "monotone queries run coordination-free by naive broadcast; non-monotone ones cannot",
-		Pass:  true,
-	}
+func cellCALM() (*Result, error) {
+	res := newResult()
 	d := rel.NewDict()
 	triQ := cq.MustParse(d, "H(x, y, z) :- E(x, y), E(y, z), E(z, x), x != y, y != z, z != x")
 	tri := func(i *rel.Instance) *rel.Instance { return cq.Output(triQ, i) }
@@ -112,9 +147,9 @@ func expCALM() (*Report, error) {
 	n.LoadReplicated(g)
 	st := n.RunSilent()
 	okSilent := n.Output().Equal(tri(g)) && st.Delivered == 0
-	rep.rowf("monotone broadcast, silent ideal run: correct=%v delivered=%d", okSilent, st.Delivered)
+	res.rowf("monotone broadcast, silent ideal run: correct=%v delivered=%d", okSilent, st.Delivered)
 	if !okSilent {
-		rep.Pass = false
+		res.Pass = false
 	}
 	// Non-monotone with naive broadcast: some schedule is unsound.
 	closed := rel.MustInstance(d, "E(0,1)", "E(1,2)", "E(2,0)")
@@ -136,9 +171,9 @@ func expCALM() (*Report, error) {
 			unsound = true
 		}
 	}
-	rep.rowf("naive broadcast on open-triangle: unsound schedule found=%v", unsound)
+	res.rowf("naive broadcast on open-triangle: unsound schedule found=%v", unsound)
 	if !unsound {
-		rep.Pass = false
+		res.Pass = false
 	}
 	// Coordinated: correct on all schedules, but blocked when silent.
 	// Use a graph with a nonempty open-triangle answer so "no output"
@@ -148,22 +183,17 @@ func expCALM() (*Report, error) {
 	nc.LoadReplicated(openGraph)
 	nc.RunSilent()
 	blocked := !nc.Output().Equal(open(openGraph))
-	rep.rowf("coordinated protocol, silent ideal run blocked=%v (needs message reads)", blocked)
+	res.rowf("coordinated protocol, silent ideal run blocked=%v (needs message reads)", blocked)
 	if !blocked {
-		rep.Pass = false
+		res.Pass = false
 	}
-	return rep, nil
+	return res, nil
 }
 
 // Theorem 5.8: policy-aware networks compute Mdistinct queries
 // coordination-free (Example 5.4's open-triangle program).
-func expTheorem58() (*Report, error) {
-	rep := &Report{
-		ID:    "T58",
-		Title: "Theorem 5.8: F1 = A1 = Mdistinct (policy-aware, Example 5.4)",
-		Claim: "with a queryable distribution policy, open-triangle runs correctly on every schedule and coordination-free on the ideal distribution",
-		Pass:  true,
-	}
+func cellTheorem58() (*Result, error) {
+	res := newResult()
 	d := rel.NewDict()
 	openQ := cq.MustParse(d, "H(x, y, z) :- E(x, y), E(y, z), not E(z, x)")
 	open := func(i *rel.Instance) *rel.Instance { return cq.Output(openQ, i) }
@@ -185,27 +215,22 @@ func expTheorem58() (*Report, error) {
 			allOK = false
 		}
 	}
-	rep.rowf("open-triangle over hash policy, 5 schedules: all correct=%v (|Q(I)|=%d)", allOK, want.Len())
+	res.rowf("open-triangle over hash policy, 5 schedules: all correct=%v (|Q(I)|=%d)", allOK, want.Len())
 	repl := &policy.Replicate{Nodes: p}
 	n := transducer.New(p, func() transducer.Program { return &transducer.OpenTriangle{} },
 		transducer.WithSeed(1), transducer.WithPolicy(repl))
 	n.LoadReplicated(g)
 	st := n.RunSilent()
 	silentOK := n.Output().Equal(want) && st.Delivered == 0
-	rep.rowf("silent ideal run: correct=%v", silentOK)
-	rep.Pass = allOK && silentOK
-	return rep, nil
+	res.rowf("silent ideal run: correct=%v", silentOK)
+	res.Pass = allOK && silentOK
+	return res, nil
 }
 
 // Theorem 5.12: domain-guided networks compute Mdisjoint queries
 // (¬TC) coordination-free.
-func expTheorem512() (*Report, error) {
-	rep := &Report{
-		ID:    "T512",
-		Title: "Theorem 5.12: F2 = A2 = Mdisjoint (domain-guided)",
-		Claim: "¬TC (outside Mdistinct) runs correctly on domain-guided networks, coordination-free on the ideal distribution",
-		Pass:  true,
-	}
+func cellTheorem512() (*Result, error) {
+	res := newResult()
 	g := workload.ComponentsGraph(3, 3)
 	want := notTCQuery(g)
 	p := 4
@@ -227,36 +252,31 @@ func expTheorem512() (*Report, error) {
 			allOK = false
 		}
 	}
-	rep.rowf("¬TC over domain-guided policy, 5 schedules: all correct=%v (|Q(I)|=%d, ~%d msgs/run)", allOK, want.Len(), totalMsgs)
+	res.rowf("¬TC over domain-guided policy, 5 schedules: all correct=%v (|Q(I)|=%d, ~%d msgs/run)", allOK, want.Len(), totalMsgs)
 	repl := &policy.DomainGuided{Nodes: p, DefaultWidth: p}
 	n := transducer.New(p, func() transducer.Program { return &transducer.DisjointComplete{Q: notTCQuery} },
 		transducer.WithSeed(2), transducer.WithPolicy(repl))
 	n.LoadReplicated(g)
 	st := n.RunSilent()
 	silentOK := n.Output().Equal(want) && st.Delivered == 0
-	rep.rowf("silent ideal run: correct=%v", silentOK)
-	rep.Pass = allOK && silentOK
-	return rep, nil
+	res.rowf("silent ideal run: correct=%v", silentOK)
+	res.Pass = allOK && silentOK
+	return res, nil
 }
 
 // Win-move under well-founded semantics runs on domain-guided networks
 // (Zinn-Green-Ludäscher via Section 5.3).
-func expWinMove() (*Report, error) {
-	rep := &Report{
-		ID:    "WM",
-		Title: "win-move is coordination-free on domain-guided networks",
-		Claim: "semi-connected programs under well-founded semantics stay domain-disjoint-monotone; win-move distributes over components",
-		Pass:  true,
-	}
+func cellWinMove() (*Result, error) {
+	res := newResult()
 	d := rel.NewDict()
 	prog := datalog.WinMoveProgram(d)
 	winQ := func(i *rel.Instance) *rel.Instance {
 		// The transducer state stores Move facts; evaluate WF win-move.
-		res, err := datalog.WellFounded(prog, i)
+		r, err := datalog.WellFounded(prog, i)
 		if err != nil {
 			return rel.NewInstance()
 		}
-		return res.True
+		return r.True
 	}
 	// Game over two disjoint components.
 	moves := rel.MustInstance(d,
@@ -280,23 +300,18 @@ func expWinMove() (*Report, error) {
 			allOK = false
 		}
 	}
-	rep.rowf("win-move over domain-guided network, 5 schedules: all correct=%v (|Win|=%d)", allOK, want.Len())
+	res.rowf("win-move over domain-guided network, 5 schedules: all correct=%v (|Win|=%d)", allOK, want.Len())
 	// Win-move distributes over components (bounded check).
 	distOK, _ := mono.DistributesOverComponents(winQ, rel.Schema{"Move": 2}, universe3())
-	rep.rowf("distributes over components (bounded check): %v", distOK)
-	rep.Pass = allOK && distOK
-	return rep, nil
+	res.rowf("distributes over components (bounded check): %v", distOK)
+	res.Pass = allOK && distOK
+	return res, nil
 }
 
 // Ketsman-Neven economical broadcasting: ship only query-relevant
 // facts.
-func expBroadcast() (*Report, error) {
-	rep := &Report{
-		ID:    "BCAST",
-		Title: "economical broadcasting (Ketsman-Neven, Section 6)",
-		Claim: "transmitting only the facts that can join reduces communication without changing the answer",
-		Pass:  true,
-	}
+func cellBroadcast() (*Result, error) {
+	res := newResult()
 	d := rel.NewDict()
 	triQ := cq.MustParse(d, "H(x, y, z) :- E(x, y), E(y, z), E(z, x), x != y, y != z, z != x")
 	tri := func(i *rel.Instance) *rel.Instance { return cq.Output(triQ, i) }
@@ -326,10 +341,10 @@ func expBroadcast() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep.rowf("naive broadcast:      sent=%d correct=%v", stN.Sent, okN)
-	rep.rowf("economical broadcast: sent=%d correct=%v", stE.Sent, okE)
-	rep.Pass = okN && okE && stE.Sent < stN.Sent
-	return rep, nil
+	res.rowf("naive broadcast:      sent=%d correct=%v", stN.Sent, okN)
+	res.rowf("economical broadcast: sent=%d correct=%v", stE.Sent, okE)
+	res.Pass = okN && okE && stE.Sent < stN.Sent
+	return res, nil
 }
 
 // notTCQuery is Q¬TC over adom(I).

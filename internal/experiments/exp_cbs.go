@@ -13,25 +13,29 @@ import (
 // paper): HyperCube — paired with a worst-case-optimal local join —
 // performs well on join queries with large intermediate results, and
 // can perform badly on queries with small output, where semijoin-based
-// multi-round plans ship far less data.
+// multi-round plans ship far less data. The two regimes are
+// independent cells.
 
 func init() {
-	register("CBS-hypercube-vs-multiround", expCBS)
-}
-
-func expCBS() (*Report, error) {
-	rep := &Report{
-		ID:    "CBS",
+	register(Def{
+		ID:    "CBS-hypercube-vs-multiround",
+		Name:  "CBS",
 		Title: "HyperCube + worst-case-optimal join vs multi-round plans (Chu-Balazinska-Suciu)",
 		Claim: "HyperCube wins on large-intermediate queries; on small-output queries the semijoin plan ships much less data",
-		Pass:  true,
-	}
-	d := rel.NewDict()
+		Cells: []Cell{
+			{Params: "fan-triangle", Run: cellCBSFanTriangle},
+			{Params: "dangling-chain", Run: cellCBSDanglingChain},
+		},
+	})
+}
 
-	// Part 1: large intermediate, triangle on a fan instance. The
-	// cascade ships the quadratic R⋈S; HyperCube ships each relation
-	// p^{1/3} times. The worst-case-optimal local join keeps per-server
-	// work near the output.
+// Part 1: large intermediate, triangle on a fan instance. The
+// cascade ships the quadratic R⋈S; HyperCube ships each relation
+// p^{1/3} times. The worst-case-optimal local join keeps per-server
+// work near the output.
+func cellCBSFanTriangle() (*Result, error) {
+	res := newResult()
+	d := rel.NewDict()
 	tri := cq.MustParse(d, "H(x, y, z) :- R(x, y), S(y, z), T(z, x)")
 	fan := rel.NewInstance()
 	hub := rel.Value(1 << 28)
@@ -56,19 +60,19 @@ func expCBS() (*Report, error) {
 	// Pair the shuffle with the worst-case-optimal local engine.
 	round.Compute = func(_ int, local *rel.Instance) *rel.Instance {
 		out := rel.NewInstance()
-		res, err := cq.GenericJoin(tri, local)
+		r, err := cq.GenericJoin(tri, local)
 		if err != nil {
 			return out
 		}
-		out.SetRelation(res)
+		out.SetRelation(r)
 		return out
 	}
 	if err := hc.Run(round); err != nil {
 		return nil, err
 	}
 	if !hc.Output().Equal(want) {
-		rep.Pass = false
-		rep.rowf("hypercube+generic-join WRONG on fan triangle")
+		res.Pass = false
+		res.rowf("hypercube+generic-join WRONG on fan triangle")
 	}
 
 	cas, casOut, err := gym.CascadeTriangle(p, fan, 9)
@@ -76,19 +80,25 @@ func expCBS() (*Report, error) {
 		return nil, err
 	}
 	if !casOut.Filter(func(f rel.Fact) bool { return f.Rel == "H" }).Equal(want) {
-		rep.Pass = false
-		rep.rowf("cascade WRONG on fan triangle")
+		res.Pass = false
+		res.rowf("cascade WRONG on fan triangle")
 	}
-	rep.rowf("fan triangle (|R⋈S| = %d, output = %d):", n*n, want.Len())
-	rep.rowf("  hypercube+WCOJ: rounds=%d totalComm=%d", hc.Rounds(), hc.TotalComm())
-	rep.rowf("  cascade:        rounds=%d totalComm=%d (ships the fan product)", cas.Rounds(), cas.TotalComm())
+	res.rowf("fan triangle (|R⋈S| = %d, output = %d):", n*n, want.Len())
+	res.rowf("  hypercube+WCOJ: rounds=%d totalComm=%d", hc.Rounds(), hc.TotalComm())
+	res.rowf("  cascade:        rounds=%d totalComm=%d (ships the fan product)", cas.Rounds(), cas.TotalComm())
 	if hc.TotalComm() >= cas.TotalComm() {
-		rep.Pass = false
+		res.Pass = false
 	}
+	return res, nil
+}
 
-	// Part 2: small output. A 3-chain with 90% dangling tuples: the
-	// semijoin-reduced Yannakakis plan ships little; HyperCube must
-	// still replicate every tuple.
+// Part 2: small output. A 3-chain with 90% dangling tuples: the
+// semijoin-reduced Yannakakis plan ships little; HyperCube must
+// still replicate every tuple.
+func cellCBSDanglingChain() (*Result, error) {
+	res := newResult()
+	d := rel.NewDict()
+	p := 64
 	chain := cq.MustParse(d, "H(a, dd) :- R0(a, b), R1(b, c), R2(c, dd)")
 	inst, _ := workload.AcyclicChain(3, 2000, 0.9, 3)
 	wantChain := cq.Output(chain, inst)
@@ -104,22 +114,22 @@ func expCBS() (*Report, error) {
 		return nil, err
 	}
 	if !hc2.Output().Equal(wantChain) {
-		rep.Pass = false
-		rep.rowf("hypercube WRONG on chain")
+		res.Pass = false
+		res.rowf("hypercube WRONG on chain")
 	}
 	yc, yOut, err := gym.DistributedYannakakis(chain, p, inst, 9)
 	if err != nil {
 		return nil, err
 	}
 	if !yOut.Equal(wantChain) {
-		rep.Pass = false
-		rep.rowf("distributed yannakakis WRONG on chain")
+		res.Pass = false
+		res.rowf("distributed yannakakis WRONG on chain")
 	}
-	rep.rowf("dangling chain (input = %d, output = %d):", inst.Len(), wantChain.Len())
-	rep.rowf("  hypercube:  rounds=%d totalComm=%d (replicates everything)", hc2.Rounds(), hc2.TotalComm())
-	rep.rowf("  yannakakis: rounds=%d totalComm=%d (semijoins first)", yc.Rounds(), yc.TotalComm())
+	res.rowf("dangling chain (input = %d, output = %d):", inst.Len(), wantChain.Len())
+	res.rowf("  hypercube:  rounds=%d totalComm=%d (replicates everything)", hc2.Rounds(), hc2.TotalComm())
+	res.rowf("  yannakakis: rounds=%d totalComm=%d (semijoins first)", yc.Rounds(), yc.TotalComm())
 	if yc.TotalComm() >= hc2.TotalComm() {
-		rep.Pass = false
+		res.Pass = false
 	}
-	return rep, nil
+	return res, nil
 }

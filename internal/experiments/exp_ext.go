@@ -14,16 +14,17 @@ import (
 // correctness of multi-round algorithms.
 
 func init() {
-	register("EXT-section6", expExtensions)
-}
-
-func expExtensions() (*Report, error) {
-	rep := &Report{
-		ID:    "EXT",
+	register(Def{
+		ID:    "EXT-section6",
+		Name:  "EXT",
 		Title: "Section 6 extensions: tractable transfer, unions, aggregators, multi-round",
 		Claim: "the framework extends to full-query fast paths, UCQ transfer, non-union aggregators, and multi-round algorithms",
-		Pass:  true,
-	}
+		Cells: []Cell{{Params: "all-four", Run: cellExtensions}},
+	})
+}
+
+func cellExtensions() (*Result, error) {
+	res := newResult()
 	d := rel.NewDict()
 
 	// 1. Tractable full-query transfer agrees with the general path.
@@ -37,9 +38,9 @@ func expExtensions() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep.rowf("full-query fast path: triangle→join transfer = %v (general path agrees: %v)", fast, fast == slow)
+	res.rowf("full-query fast path: triangle→join transfer = %v (general path agrees: %v)", fast, fast == slow)
 	if !fast || fast != slow {
-		rep.Pass = false
+		res.Pass = false
 	}
 
 	// 2. UCQ transfer: Q3 transfers to Q1 ∪ Q2.
@@ -52,9 +53,9 @@ func expExtensions() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep.rowf("UCQ transfer Q3 → Q1 ∪ Q2: %v", okU)
+	res.rowf("UCQ transfer Q3 → Q1 ∪ Q2: %v", okU)
 	if !okU {
-		rep.Pass = false
+		res.Pass = false
 	}
 
 	// 3. Aggregators: union under a partition is correct for the
@@ -70,9 +71,9 @@ func expExtensions() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep.rowf("aggregators over a hash partition: union correct=%v, intersection correct=%v", okUnion, okInter)
+	res.rowf("aggregators over a hash partition: union correct=%v, intersection correct=%v", okUnion, okInter)
 	if !okUnion || okInter {
-		rep.Pass = false
+		res.Pass = false
 	}
 
 	// 4. Multi-round correctness: the two-round shipped join is
@@ -99,9 +100,9 @@ func expExtensions() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep.rowf("multi-round checker: 2-round shipped join correct on all bounded instances = %v", okMR)
+	res.rowf("multi-round checker: 2-round shipped join correct on all bounded instances = %v", okMR)
 	if !okMR {
-		rep.Pass = false
+		res.Pass = false
 	}
-	return rep, nil
+	return res, nil
 }

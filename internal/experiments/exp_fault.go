@@ -17,57 +17,79 @@ import (
 // recovery, retransmission, and straggler speculation may change when
 // a round finishes and how much replica traffic it costs, but never
 // what it computes or the logical load metrics the theory bounds.
+// Each algorithm's 9-plan matrix is an independent cell, as is the
+// checkpoint-resume demonstration.
 
 func init() {
-	register("FAULTMPC-matrix", expFaultMPC)
-}
-
-func expFaultMPC() (*Report, error) {
-	rep := &Report{
-		ID:    "FAULTMPC",
+	register(Def{
+		ID:    "FAULTMPC-matrix",
+		Name:  "FAULTMPC",
 		Title: "fault-tolerant MPC rounds (checkpointed recovery, retransmission, straggler speculation)",
 		Claim: "under every fault plan in the seeded matrix, output and logical maxload/totalcomm/rounds are byte-identical to the fault-free run; recovery costs surface only in the recovery metrics",
-		Pass:  true,
-	}
+		Cells: []Cell{
+			{Params: "hypercube-triangle", Run: cellFaultMatrix("hypercube-triangle")},
+			{Params: "gym-triangle", Run: cellFaultMatrix("gym-triangle")},
+			{Params: "skew-two-round", Run: cellFaultMatrix("skew-two-round")},
+			{Params: "checkpoint-resume", Run: cellFaultResume},
+		},
+	})
+}
+
+// faultAlgo builds one of the multi-round algorithms under test,
+// rebuilt per cell from the deterministic workload generators.
+type faultAlgo struct {
+	name string
+	p    int
+	run  func(opts ...mpc.Option) (*mpc.Cluster, *rel.Instance, error)
+}
+
+func newFaultAlgo(name string) (*faultAlgo, error) {
 	d := rel.NewDict()
 	triQ := cq.MustParse(d, "H(x, y, z) :- R(x, y), S(y, z), T(z, x)")
 	m := 1500
 	triInst := workload.TriangleSkewFree(m)
-	skewInst := workload.TriangleSkewed(m, 0.3)
-	heavy := rel.NewValueSet(workload.HeavyHitters(skewInst, "R", 1, m/10)...)
-
-	hcGrid, err := hypercube.NewOptimalGrid(triQ, 27, 11)
-	if err != nil {
-		return nil, err
-	}
-	skewGrid, err := hypercube.NewOptimalGrid(triQ, 27, 17)
-	if err != nil {
-		return nil, err
-	}
-
-	algos := []struct {
-		name string
-		p    int
-		run  func(opts ...mpc.Option) (*mpc.Cluster, *rel.Instance, error)
-	}{
-		{"hypercube-triangle", hcGrid.P(), func(opts ...mpc.Option) (*mpc.Cluster, *rel.Instance, error) {
+	switch name {
+	case "hypercube-triangle":
+		hcGrid, err := hypercube.NewOptimalGrid(triQ, 27, 11)
+		if err != nil {
+			return nil, err
+		}
+		return &faultAlgo{name: name, p: hcGrid.P(), run: func(opts ...mpc.Option) (*mpc.Cluster, *rel.Instance, error) {
 			c := mpc.NewCluster(hcGrid.P(), opts...)
 			c.LoadRoundRobin(triInst)
 			if err := c.Run(hypercube.HyperCubeRound(hcGrid)); err != nil {
 				return c, nil, err
 			}
 			return c, c.Output(), nil
-		}},
-		{"gym-triangle", 16, func(opts ...mpc.Option) (*mpc.Cluster, *rel.Instance, error) {
+		}}, nil
+	case "gym-triangle":
+		return &faultAlgo{name: name, p: 16, run: func(opts ...mpc.Option) (*mpc.Cluster, *rel.Instance, error) {
 			c, out, _, err := gym.GYM(triQ, 16, triInst, 5, opts...)
 			return c, out, err
-		}},
-		{"skew-two-round", 27, func(opts ...mpc.Option) (*mpc.Cluster, *rel.Instance, error) {
+		}}, nil
+	case "skew-two-round":
+		skewInst := workload.TriangleSkewed(m, 0.3)
+		heavy := rel.NewValueSet(workload.HeavyHitters(skewInst, "R", 1, m/10)...)
+		skewGrid, err := hypercube.NewOptimalGrid(triQ, 27, 17)
+		if err != nil {
+			return nil, err
+		}
+		return &faultAlgo{name: name, p: 27, run: func(opts ...mpc.Option) (*mpc.Cluster, *rel.Instance, error) {
 			return gym.SkewTriangleTwoRound(27, skewInst, heavy, 17, skewGrid, opts...)
-		}},
+		}}, nil
 	}
+	return nil, fmt.Errorf("unknown fault algorithm %q", name)
+}
 
-	for _, a := range algos {
+// cellFaultMatrix runs one algorithm under every plan of the seeded
+// fault matrix and checks transparency against its fault-free run.
+func cellFaultMatrix(name string) func() (*Result, error) {
+	return func() (*Result, error) {
+		res := newResult()
+		a, err := newFaultAlgo(name)
+		if err != nil {
+			return nil, err
+		}
 		base, baseOut, err := a.run()
 		if err != nil {
 			return nil, err
@@ -89,19 +111,26 @@ func expFaultMPC() (*Report, error) {
 			agg.ReplicaComm += r.ReplicaComm
 			agg.SpeculativeWins += r.SpeculativeWins
 		}
-		rep.rowf("%-18s p=%-3d rounds=%d maxload=%d totalcomm=%d plans=%d transparent=%v  Σ(retries=%d recovered=%d replica=%d specwins=%d)",
+		res.rowf("%-18s p=%-3d rounds=%d maxload=%d totalcomm=%d plans=%d transparent=%v  Σ(retries=%d recovered=%d replica=%d specwins=%d)",
 			a.name, a.p, base.Rounds(), base.MaxLoad(), base.TotalComm(), len(matrix), transparent,
 			agg.Retries, agg.RecoveredServers, agg.ReplicaComm, agg.SpeculativeWins)
 		// Transparency must hold AND must not be vacuous: the matrix
 		// has to have actually crashed servers and retried transfers.
-		rep.Pass = rep.Pass && transparent && agg.Retries > 0 && agg.RecoveredServers > 0
+		res.Pass = res.Pass && transparent && agg.Retries > 0 && agg.RecoveredServers > 0
+		return res, nil
 	}
+}
 
-	// Resume demonstration: a GYM run killed mid-Yannakakis (a crash
-	// beyond the retry budget) is restored from its round-granular
-	// checkpoint and resumed via the rebuilt program, reproducing the
-	// fault-free output and logical trace without re-running the
-	// completed prefix.
+// Resume demonstration: a GYM run killed mid-Yannakakis (a crash
+// beyond the retry budget) is restored from its round-granular
+// checkpoint and resumed via the rebuilt program, reproducing the
+// fault-free output and logical trace without re-running the
+// completed prefix.
+func cellFaultResume() (*Result, error) {
+	res := newResult()
+	d := rel.NewDict()
+	triQ := cq.MustParse(d, "H(x, y, z) :- R(x, y), S(y, z), T(z, x)")
+	triInst := workload.TriangleSkewFree(1500)
 	prog, _, err := gym.GYMProgram(triQ, 16, 5)
 	if err != nil {
 		return nil, err
@@ -113,9 +142,9 @@ func expFaultMPC() (*Report, error) {
 	kill := mpc.NewFaultPlan().AddCrash(4, 0, mpc.DefaultRetryBudget+1)
 	crashed, _, _, err := gym.GYM(triQ, 16, triInst, 5, mpc.WithFaultPlan(kill))
 	if err == nil {
-		rep.Pass = false
-		rep.rowf("resume: budget-exceeding crash did NOT fail the run")
-		return rep, nil
+		res.Pass = false
+		res.rowf("resume: budget-exceeding crash did NOT fail the run")
+		return res, nil
 	}
 	ck := crashed.Checkpoint()
 	restored := mpc.Restore(ck)
@@ -124,8 +153,8 @@ func expFaultMPC() (*Report, error) {
 	}
 	resumeOK := restored.Output().String() == want.String() &&
 		restored.LogicalTrace() == free.LogicalTrace()
-	rep.rowf("resume: GYM killed at round %d/%d (retry budget exhausted), restored from checkpoint, re-ran %d rounds → output+trace identical=%v",
+	res.rowf("resume: GYM killed at round %d/%d (retry budget exhausted), restored from checkpoint, re-ran %d rounds → output+trace identical=%v",
 		ck.Rounds(), len(prog), len(prog)-ck.Rounds(), resumeOK)
-	rep.Pass = rep.Pass && resumeOK
-	return rep, nil
+	res.Pass = res.Pass && resumeOK
+	return res, nil
 }

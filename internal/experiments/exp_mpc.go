@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"math"
 
 	"mpclogic/internal/cq"
@@ -14,17 +15,116 @@ import (
 
 // Experiments for the synchronous half of the paper (Section 3):
 // single-round load shapes, HyperCube's τ*-driven bound, skew, and the
-// multi-round algorithms.
+// multi-round algorithms. The parameter sweeps (per-m, per-p rows) are
+// declared as independent cells so the sweep scheduler can fan them
+// out; each cell rebuilds its own inputs from the deterministic
+// workload generators.
 
 func init() {
-	register("E31a-repartition", expRepartition)
-	register("E31b-grouping", expGrouping)
-	register("E31c-cascade", expCascade)
-	register("E32-hypercube", expHyperCube)
-	register("SHARES-exponents", expShares)
-	register("SKEW-rounds", expSkewRounds)
-	register("GYM-intermediates", expGYM)
-	register("MR-transitive-closure", expMapReduceTC)
+	register(Def{
+		ID:    "E31a-repartition",
+		Name:  "E31a",
+		Title: "repartition join load (Example 3.1(1a))",
+		Claim: "max load O(m/p) without skew; not resilient to skew (→ Θ(m))",
+		Pre:   []string{fmt.Sprintf("%-8s %-10s %-12s %-10s %-12s", "m", "skew-free", "2m/p ref", "skewed50", "m ref")},
+		Cells: []Cell{
+			cellRepartition(4000),
+			cellRepartition(8000),
+			cellRepartition(16000),
+		},
+	})
+	register(Def{
+		ID:    "E31b-grouping",
+		Name:  "E31b",
+		Title: "grouping join load (Example 3.1(1b), Ullman's drug interaction)",
+		Claim: "max load O(m/√p) independent of skew",
+		Pre:   []string{fmt.Sprintf("%-8s %-10s %-10s %-12s", "m", "skew-free", "skewed50", "2m/√p ref")},
+		Cells: []Cell{
+			cellGrouping(4000),
+			cellGrouping(8000),
+			cellGrouping(16000),
+		},
+	})
+	register(Def{
+		ID:    "E31c-cascade",
+		Name:  "E31c",
+		Title: "two-round cascaded triangle vs one-round HyperCube (Example 3.1(2))",
+		Claim: "the cascade needs 2 rounds and ships the intermediate K = R⋈S; HyperCube does one round",
+		Cells: []Cell{{Params: "m=5000,p=64", Run: cellCascade}},
+	})
+	register(Def{
+		ID:    "E32-hypercube",
+		Name:  "E32",
+		Title: "HyperCube triangle load (Example 3.2, Beame-Koutris-Suciu)",
+		Claim: "max load O(m/p^{2/3}) on skew-free data; τ* = 3/2",
+		Pre:   []string{fmt.Sprintf("%-6s %-10s %-14s %-8s", "p", "maxLoad", "3m/p^{2/3}", "ratio")},
+		Cells: []Cell{
+			cellHyperCube(8),
+			cellHyperCube(27),
+			cellHyperCube(64),
+			cellHyperCube(125),
+		},
+	})
+	register(Def{
+		ID:    "SHARES-exponents",
+		Name:  "SHARES",
+		Title: "optimal share exponents vs fractional edge packing",
+		Claim: "the share LP optimum t equals 1/τ*; triangle shares are p^{1/3} each",
+		Pre:   []string{fmt.Sprintf("%-55s %-6s %-8s", "query", "τ*", "t=1/τ*")},
+		Cells: []Cell{
+			cellShareExponent("H(x, y, z) :- R(x, y), S(y, z), T(z, x)"),
+			cellShareExponent("H(x, y, z) :- R(x, y), S(y, z)"),
+			cellShareExponent("H(x, y, z, w) :- R(x, y), S(y, z), T(z, w), U(w, x)"),
+			cellShareExponent("H(x, a, b, c) :- R(x, a), S(x, b), T(x, c)"),
+			{Params: "integer-shares-p=64", Run: cellIntegerShares},
+		},
+	})
+	register(Def{
+		ID:    "SKEW-rounds",
+		Name:  "SKEW",
+		Title: "skewed triangle: one round vs two rounds (Section 3.2)",
+		Claim: "one-round load is provably ≥ m/√p under skew; two rounds recover the skew-free exponent",
+		Pre:   []string{fmt.Sprintf("%-6s %-14s %-14s %-12s %-12s", "p", "1-round load", "2-round load", "m/√p", "3m/p^{2/3}")},
+		Cells: []Cell{
+			cellSkewRounds(64),
+			cellSkewRounds(256),
+		},
+	})
+	register(Def{
+		ID:    "GYM-intermediates",
+		Name:  "GYM",
+		Title: "Yannakakis vs cascade intermediates; GYM rounds (Section 3.2)",
+		Claim: "semijoin reduction keeps intermediates at output scale; cascades can blow up; GYM pays rounds for that",
+		Cells: []Cell{{Params: "hub+triangle", Run: cellGYM}},
+	})
+	register(Def{
+		ID:    "MR-transitive-closure",
+		Name:  "MR",
+		Title: "transitive closure in MapReduce (Afrati-Ullman, Section 3.2)",
+		Claim: "MapReduce programs are MPC algorithms; nonlinear doubling needs O(log n) jobs vs Θ(n) for the linear plan",
+		Cells: []Cell{{Params: "n=64", Run: cellMapReduceTC}},
+	})
+	register(Def{
+		ID:    "TRADEOFF-replication",
+		Name:  "TRADEOFF",
+		Title: "replication rate vs reducer size (Das Sarma et al., Section 3.1)",
+		Claim: "halving the reducer size (load) costs a higher replication rate; for the triangle the rate is p^{1/3}",
+		// Monotonicity across the p ladder is the claim itself, so this
+		// stays one cell rather than one per p.
+		Cells: []Cell{{Params: "p=8,64,512", Run: cellReplicationTradeoff}},
+	})
+	register(Def{
+		ID:    "MATCHING-multiround",
+		Name:  "MATCHING",
+		Title: "tree-like queries on matching databases (Section 3.2, multi-round bounds)",
+		Claim: "on matching databases, multi-round (Yannakakis-style) evaluation of tree-like queries runs at load O(m/p) per round",
+		Pre:   []string{fmt.Sprintf("%-6s %-12s %-12s", "p", "max load", "3m/p ref")},
+		Cells: []Cell{
+			cellMatching(8),
+			cellMatching(32),
+			cellMatching(128),
+		},
+	})
 }
 
 func loadOnly(r mpc.Round) mpc.Round {
@@ -42,19 +142,13 @@ func runLoad(p int, inst *rel.Instance, r mpc.Round) (int, error) {
 }
 
 // Example 3.1(1a): repartition join load — m/p without skew, Θ(m)
-// with a heavy hitter.
-func expRepartition() (*Report, error) {
-	rep := &Report{
-		ID:    "E31a",
-		Title: "repartition join load (Example 3.1(1a))",
-		Claim: "max load O(m/p) without skew; not resilient to skew (→ Θ(m))",
-		Pass:  true,
-	}
-	d := rel.NewDict()
-	q := cq.MustParse(d, "H(x, y, z) :- R(x, y), S(y, z)")
-	p := 16
-	rep.rowf("%-8s %-10s %-12s %-10s %-12s", "m", "skew-free", "2m/p ref", "skewed50", "m ref")
-	for _, m := range []int{4000, 8000, 16000} {
+// with a heavy hitter. One cell per input size m.
+func cellRepartition(m int) Cell {
+	return Cell{Params: fmt.Sprintf("m=%d", m), Run: func() (*Result, error) {
+		res := newResult()
+		d := rel.NewDict()
+		q := cq.MustParse(d, "H(x, y, z) :- R(x, y), S(y, z)")
+		p := 16
 		r, err := hypercube.RepartitionJoin(q, p, 7)
 		if err != nil {
 			return nil, err
@@ -67,28 +161,23 @@ func expRepartition() (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		rep.rowf("%-8d %-10d %-12d %-10d %-12d", m, free, 2*m/p, skewed, m)
+		res.rowf("%-8d %-10d %-12d %-10d %-12d", m, free, 2*m/p, skewed, m)
 		if free > 2*(2*m/p) || skewed < m {
-			rep.Pass = false
+			res.Pass = false
 		}
-	}
-	return rep, nil
+		return res, nil
+	}}
 }
 
-// Example 3.1(1b): grouping join load — m/√p regardless of skew.
-func expGrouping() (*Report, error) {
-	rep := &Report{
-		ID:    "E31b",
-		Title: "grouping join load (Example 3.1(1b), Ullman's drug interaction)",
-		Claim: "max load O(m/√p) independent of skew",
-		Pass:  true,
-	}
-	d := rel.NewDict()
-	q := cq.MustParse(d, "H(x, y, z) :- R(x, y), S(y, z)")
-	p := 16
-	ref := func(m int) int { return 2 * m / int(math.Sqrt(float64(p))) }
-	rep.rowf("%-8s %-10s %-10s %-12s", "m", "skew-free", "skewed50", "2m/√p ref")
-	for _, m := range []int{4000, 8000, 16000} {
+// Example 3.1(1b): grouping join load — m/√p regardless of skew. One
+// cell per input size m.
+func cellGrouping(m int) Cell {
+	return Cell{Params: fmt.Sprintf("m=%d", m), Run: func() (*Result, error) {
+		res := newResult()
+		d := rel.NewDict()
+		q := cq.MustParse(d, "H(x, y, z) :- R(x, y), S(y, z)")
+		p := 16
+		ref := 2 * m / int(math.Sqrt(float64(p)))
 		r, err := hypercube.GroupingJoin(q, p, 7)
 		if err != nil {
 			return nil, err
@@ -101,24 +190,19 @@ func expGrouping() (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		rep.rowf("%-8d %-10d %-10d %-12d", m, free, skewed, ref(m))
+		res.rowf("%-8d %-10d %-10d %-12d", m, free, skewed, ref)
 		// Both regimes within 1.5× of the reference: skew-independent.
-		if float64(free) > 1.5*float64(ref(m)) || float64(skewed) > 1.5*float64(ref(m)) {
-			rep.Pass = false
+		if float64(free) > 1.5*float64(ref) || float64(skewed) > 1.5*float64(ref) {
+			res.Pass = false
 		}
-	}
-	return rep, nil
+		return res, nil
+	}}
 }
 
 // Example 3.1(2): two-round cascaded triangle — correct, but ships the
 // intermediate join result, unlike the one-round HyperCube.
-func expCascade() (*Report, error) {
-	rep := &Report{
-		ID:    "E31c",
-		Title: "two-round cascaded triangle vs one-round HyperCube (Example 3.1(2))",
-		Claim: "the cascade needs 2 rounds and ships the intermediate K = R⋈S; HyperCube does one round",
-		Pass:  true,
-	}
+func cellCascade() (*Result, error) {
+	res := newResult()
 	d := rel.NewDict()
 	q := cq.MustParse(d, "H(x, y, z) :- R(x, y), S(y, z), T(z, x)")
 	m, p := 5000, 64
@@ -130,8 +214,8 @@ func expCascade() (*Report, error) {
 		return nil, err
 	}
 	if !out.Filter(func(f rel.Fact) bool { return f.Rel == "H" }).Equal(want) {
-		rep.Pass = false
-		rep.rowf("cascade output WRONG")
+		res.Pass = false
+		res.rowf("cascade output WRONG")
 	}
 	g, err := hypercube.NewOptimalGrid(q, p, 3)
 	if err != nil {
@@ -143,32 +227,26 @@ func expCascade() (*Report, error) {
 		return nil, err
 	}
 	if !hc.Output().Equal(want) {
-		rep.Pass = false
-		rep.rowf("hypercube output WRONG")
+		res.Pass = false
+		res.rowf("hypercube output WRONG")
 	}
-	rep.rowf("cascade:   rounds=%d totalComm=%d maxLoad=%d", cc.Rounds(), cc.TotalComm(), cc.MaxLoad())
-	rep.rowf("hypercube: rounds=%d totalComm=%d maxLoad=%d", hc.Rounds(), hc.TotalComm(), hc.MaxLoad())
+	res.rowf("cascade:   rounds=%d totalComm=%d maxLoad=%d", cc.Rounds(), cc.TotalComm(), cc.MaxLoad())
+	res.rowf("hypercube: rounds=%d totalComm=%d maxLoad=%d", hc.Rounds(), hc.TotalComm(), hc.MaxLoad())
 	if cc.Rounds() != 2 || hc.Rounds() != 1 {
-		rep.Pass = false
+		res.Pass = false
 	}
-	return rep, nil
+	return res, nil
 }
 
 // Example 3.2 / BKS: HyperCube triangle load tracks 3m/p^{2/3} on
-// skew-free data as p grows.
-func expHyperCube() (*Report, error) {
-	rep := &Report{
-		ID:    "E32",
-		Title: "HyperCube triangle load (Example 3.2, Beame-Koutris-Suciu)",
-		Claim: "max load O(m/p^{2/3}) on skew-free data; τ* = 3/2",
-		Pass:  true,
-	}
-	d := rel.NewDict()
-	q := cq.MustParse(d, "H(x, y, z) :- R(x, y), S(y, z), T(z, x)")
-	m := 8000
-	inst := workload.TriangleSkewFree(m)
-	rep.rowf("%-6s %-10s %-14s %-8s", "p", "maxLoad", "3m/p^{2/3}", "ratio")
-	for _, p := range []int{8, 27, 64, 125} {
+// skew-free data as p grows. One cell per server count p.
+func cellHyperCube(p int) Cell {
+	return Cell{Params: fmt.Sprintf("p=%d", p), Run: func() (*Result, error) {
+		res := newResult()
+		d := rel.NewDict()
+		q := cq.MustParse(d, "H(x, y, z) :- R(x, y), S(y, z), T(z, x)")
+		m := 8000
+		inst := workload.TriangleSkewFree(m)
 		g, err := hypercube.NewOptimalGrid(q, p, 11)
 		if err != nil {
 			return nil, err
@@ -179,31 +257,20 @@ func expHyperCube() (*Report, error) {
 		}
 		ref := 3 * float64(m) / math.Pow(float64(p), 2.0/3.0)
 		ratio := float64(load) / ref
-		rep.rowf("%-6d %-10d %-14.0f %-8.2f", p, load, ref, ratio)
+		res.rowf("%-6d %-10d %-14.0f %-8.2f", p, load, ref, ratio)
 		if ratio > 2.0 || ratio < 0.3 {
-			rep.Pass = false
+			res.Pass = false
 		}
-	}
-	return rep, nil
+		return res, nil
+	}}
 }
 
-// Shares exponents for a query zoo match 1/τ* (LP duality).
-func expShares() (*Report, error) {
-	rep := &Report{
-		ID:    "SHARES",
-		Title: "optimal share exponents vs fractional edge packing",
-		Claim: "the share LP optimum t equals 1/τ*; triangle shares are p^{1/3} each",
-		Pass:  true,
-	}
-	d := rel.NewDict()
-	zoo := []string{
-		"H(x, y, z) :- R(x, y), S(y, z), T(z, x)",
-		"H(x, y, z) :- R(x, y), S(y, z)",
-		"H(x, y, z, w) :- R(x, y), S(y, z), T(z, w), U(w, x)",
-		"H(x, a, b, c) :- R(x, a), S(x, b), T(x, c)",
-	}
-	rep.rowf("%-55s %-6s %-8s", "query", "τ*", "t=1/τ*")
-	for _, src := range zoo {
+// Shares exponents for a query zoo match 1/τ* (LP duality). One cell
+// per query.
+func cellShareExponent(src string) Cell {
+	return Cell{Params: src, Run: func() (*Result, error) {
+		res := newResult()
+		d := rel.NewDict()
 		q := cq.MustParse(d, src)
 		pack, err := cq.FractionalEdgePacking(q)
 		if err != nil {
@@ -213,40 +280,40 @@ func expShares() (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		rep.rowf("%-55s %-6.2f %-8.3f", src, pack.Value, tval)
+		res.rowf("%-55s %-6.2f %-8.3f", src, pack.Value, tval)
 		if math.Abs(tval-1/pack.Value) > 1e-6 {
-			rep.Pass = false
+			res.Pass = false
 		}
-	}
-	shares, _, err := hypercube.OptimalShares(cq.MustParse(d, zoo[0]), 64)
+		return res, nil
+	}}
+}
+
+func cellIntegerShares() (*Result, error) {
+	res := newResult()
+	d := rel.NewDict()
+	shares, _, err := hypercube.OptimalShares(cq.MustParse(d, "H(x, y, z) :- R(x, y), S(y, z), T(z, x)"), 64)
 	if err != nil {
 		return nil, err
 	}
-	rep.rowf("triangle integer shares at p=64: %v", shares)
+	res.rowf("triangle integer shares at p=64: %v", shares)
 	for _, s := range shares {
 		if s != 4 {
-			rep.Pass = false
+			res.Pass = false
 		}
 	}
-	return rep, nil
+	return res, nil
 }
 
 // Section 3.2: under skew one round is stuck at ~m/√p while two rounds
-// recover a lower load.
-func expSkewRounds() (*Report, error) {
-	rep := &Report{
-		ID:    "SKEW",
-		Title: "skewed triangle: one round vs two rounds (Section 3.2)",
-		Claim: "one-round load is provably ≥ m/√p under skew; two rounds recover the skew-free exponent",
-		Pass:  true,
-	}
-	d := rel.NewDict()
-	q := cq.MustParse(d, "H(x, y, z) :- R(x, y), S(y, z), T(z, x)")
-	m := 20000
-	inst := workload.TriangleSkewed(m, 0.5)
-	heavy := rel.NewValueSet(workload.HeavyHitters(inst, "R", 1, m/16)...)
-	rep.rowf("%-6s %-14s %-14s %-12s %-12s", "p", "1-round load", "2-round load", "m/√p", "3m/p^{2/3}")
-	for _, p := range []int{64, 256} {
+// recover a lower load. One cell per server count p.
+func cellSkewRounds(p int) Cell {
+	return Cell{Params: fmt.Sprintf("p=%d", p), Run: func() (*Result, error) {
+		res := newResult()
+		d := rel.NewDict()
+		q := cq.MustParse(d, "H(x, y, z) :- R(x, y), S(y, z), T(z, x)")
+		m := 20000
+		inst := workload.TriangleSkewed(m, 0.5)
+		heavy := rel.NewValueSet(workload.HeavyHitters(inst, "R", 1, m/16)...)
 		g, err := hypercube.NewOptimalGrid(q, p, 5)
 		if err != nil {
 			return nil, err
@@ -262,23 +329,18 @@ func expSkewRounds() (*Report, error) {
 		two := c2.MaxLoad()
 		sq := float64(m) / math.Sqrt(float64(p))
 		cube := 3 * float64(m) / math.Pow(float64(p), 2.0/3.0)
-		rep.rowf("%-6d %-14d %-14d %-12.0f %-12.0f", p, one, two, sq, cube)
+		res.rowf("%-6d %-14d %-14d %-12.0f %-12.0f", p, one, two, sq, cube)
 		if two >= one {
-			rep.Pass = false
+			res.Pass = false
 		}
-	}
-	return rep, nil
+		return res, nil
+	}}
 }
 
 // GYM / Yannakakis: intermediates bounded, cascade blows up;
 // distributed Yannakakis trades rounds for communication.
-func expGYM() (*Report, error) {
-	rep := &Report{
-		ID:    "GYM",
-		Title: "Yannakakis vs cascade intermediates; GYM rounds (Section 3.2)",
-		Claim: "semijoin reduction keeps intermediates at output scale; cascades can blow up; GYM pays rounds for that",
-		Pass:  true,
-	}
+func cellGYM() (*Result, error) {
+	res := newResult()
 	d := rel.NewDict()
 	q := cq.MustParse(d, "H(a, dd) :- R0(a, b), R1(b, c), R2(c, dd)")
 	// Hub data: big fan product, small final output.
@@ -299,11 +361,11 @@ func expGYM() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep.rowf("output size:            %d", outY.Len())
-	rep.rowf("yannakakis max interm.: %d", stY.MaxIntermediate)
-	rep.rowf("cascade max interm.:    %d", stC.MaxIntermediate)
+	res.rowf("output size:            %d", outY.Len())
+	res.rowf("yannakakis max interm.: %d", stY.MaxIntermediate)
+	res.rowf("cascade max interm.:    %d", stC.MaxIntermediate)
 	if stY.MaxIntermediate > 2*outY.Len() || stC.MaxIntermediate < 10*stY.MaxIntermediate {
-		rep.Pass = false
+		res.Pass = false
 	}
 	c, got, err := gym.DistributedYannakakis(q, 8, inst, 3)
 	if err != nil {
@@ -311,10 +373,10 @@ func expGYM() (*Report, error) {
 	}
 	want := cq.Output(q, inst)
 	if !got.Equal(want) {
-		rep.Pass = false
-		rep.rowf("distributed yannakakis WRONG")
+		res.Pass = false
+		res.rowf("distributed yannakakis WRONG")
 	}
-	rep.rowf("distributed yannakakis: rounds=%d totalComm=%d", c.Rounds(), c.TotalComm())
+	res.rowf("distributed yannakakis: rounds=%d totalComm=%d", c.Rounds(), c.TotalComm())
 	tri := cq.MustParse(d, "H(x, y, z) :- R(x, y), S(y, z), T(z, x)")
 	triInst := workload.TriangleSkewFree(500)
 	cg, gotTri, dec, err := gym.GYM(tri, 16, triInst, 5)
@@ -322,22 +384,17 @@ func expGYM() (*Report, error) {
 		return nil, err
 	}
 	if !gotTri.Equal(cq.Output(tri, triInst)) {
-		rep.Pass = false
-		rep.rowf("GYM triangle WRONG")
+		res.Pass = false
+		res.rowf("GYM triangle WRONG")
 	}
-	rep.rowf("GYM triangle: bags=%d width=%d rounds=%d totalComm=%d",
+	res.rowf("GYM triangle: bags=%d width=%d rounds=%d totalComm=%d",
 		len(dec.Bags), dec.Width(), cg.Rounds(), cg.TotalComm())
-	return rep, nil
+	return res, nil
 }
 
 // MapReduce transitive closure: linear vs doubling round counts.
-func expMapReduceTC() (*Report, error) {
-	rep := &Report{
-		ID:    "MR",
-		Title: "transitive closure in MapReduce (Afrati-Ullman, Section 3.2)",
-		Claim: "MapReduce programs are MPC algorithms; nonlinear doubling needs O(log n) jobs vs Θ(n) for the linear plan",
-		Pass:  true,
-	}
+func cellMapReduceTC() (*Result, error) {
+	res := newResult()
 	n := 64
 	g := workload.PathGraph(n)
 	lin, err := mapreduce.TransitiveClosure(8, g, "E", false)
@@ -349,39 +406,30 @@ func expMapReduceTC() (*Report, error) {
 		return nil, err
 	}
 	if !lin.Closure.Equal(dbl.Closure) {
-		rep.Pass = false
-		rep.rowf("closures DIFFER")
+		res.Pass = false
+		res.rowf("closures DIFFER")
 	}
-	rep.rowf("path length n=%d, closure size=%d", n, lin.Closure.Len())
-	rep.rowf("linear plan:   %d jobs", lin.Rounds)
-	rep.rowf("doubling plan: %d jobs (⌈log₂ n⌉+1 = %d)", dbl.Rounds, int(math.Ceil(math.Log2(float64(n))))+1)
+	res.rowf("path length n=%d, closure size=%d", n, lin.Closure.Len())
+	res.rowf("linear plan:   %d jobs", lin.Rounds)
+	res.rowf("doubling plan: %d jobs (⌈log₂ n⌉+1 = %d)", dbl.Rounds, int(math.Ceil(math.Log2(float64(n))))+1)
 	if dbl.Rounds >= lin.Rounds || dbl.Rounds > int(math.Ceil(math.Log2(float64(n))))+2 {
-		rep.Pass = false
+		res.Pass = false
 	}
-	return rep, nil
+	return res, nil
 }
 
 // Das Sarma-Afrati-Salihoglu-Ullman [27]: there is a trade-off between
 // the replication rate and the reducer size — shrinking the per-server
 // load forces more total communication. For the triangle with shares
 // p^{1/3}, the replication rate is p^{1/3}.
-func init() {
-	register("TRADEOFF-replication", expReplicationTradeoff)
-}
-
-func expReplicationTradeoff() (*Report, error) {
-	rep := &Report{
-		ID:    "TRADEOFF",
-		Title: "replication rate vs reducer size (Das Sarma et al., Section 3.1)",
-		Claim: "halving the reducer size (load) costs a higher replication rate; for the triangle the rate is p^{1/3}",
-		Pass:  true,
-	}
+func cellReplicationTradeoff() (*Result, error) {
+	res := newResult()
 	d := rel.NewDict()
 	q := cq.MustParse(d, "H(x, y, z) :- R(x, y), S(y, z), T(z, x)")
 	m := 8000
 	inst := workload.TriangleSkewFree(m)
 	input := inst.Len()
-	rep.rowf("%-6s %-12s %-14s %-10s", "p", "reducer size", "replication", "p^{1/3}")
+	res.rowf("%-6s %-12s %-14s %-10s", "p", "reducer size", "replication", "p^{1/3}")
 	prevLoad, prevRate := 1<<30, 0.0
 	for _, p := range []int{8, 64, 512} {
 		g, err := hypercube.NewOptimalGrid(q, p, 11)
@@ -396,54 +444,44 @@ func expReplicationTradeoff() (*Report, error) {
 			return nil, err
 		}
 		rate := float64(c.TotalComm()) / float64(input)
-		rep.rowf("%-6d %-12d %-14.2f %-10.2f", p, c.MaxLoad(), rate, math.Cbrt(float64(p)))
+		res.rowf("%-6d %-12d %-14.2f %-10.2f", p, c.MaxLoad(), rate, math.Cbrt(float64(p)))
 		if c.MaxLoad() >= prevLoad || rate <= prevRate {
-			rep.Pass = false // the trade-off must be monotone both ways
+			res.Pass = false // the trade-off must be monotone both ways
 		}
 		if rate > 1.2*math.Cbrt(float64(p)) {
-			rep.Pass = false
+			res.Pass = false
 		}
 		prevLoad, prevRate = c.MaxLoad(), rate
 	}
-	return rep, nil
+	return res, nil
 }
 
 // Beame-Koutris-Suciu's multi-round bounds: tree-like conjunctive
 // queries on matching databases (every value occurs at most once per
 // relation) are computable with load O(m/p) in a number of rounds
 // governed by the join-tree depth — the near-matching upper bound the
-// paper quotes at the end of Section 3.2.
-func init() {
-	register("MATCHING-multiround", expMatchingMultiround)
-}
-
-func expMatchingMultiround() (*Report, error) {
-	rep := &Report{
-		ID:    "MATCHING",
-		Title: "tree-like queries on matching databases (Section 3.2, multi-round bounds)",
-		Claim: "on matching databases, multi-round (Yannakakis-style) evaluation of tree-like queries runs at load O(m/p) per round",
-		Pass:  true,
-	}
-	d := rel.NewDict()
-	q := cq.MustParse(d, "H(a, dd) :- R0(a, b), R1(b, c), R2(c, dd)")
-	m := 12000
-	inst, _ := workload.AcyclicChain(3, m, 0, 1) // matching database: 1:1 everywhere
-	rep.rowf("%-6s %-12s %-12s", "p", "max load", "3m/p ref")
-	for _, p := range []int{8, 32, 128} {
+// paper quotes at the end of Section 3.2. One cell per server count p.
+func cellMatching(p int) Cell {
+	return Cell{Params: fmt.Sprintf("p=%d", p), Run: func() (*Result, error) {
+		res := newResult()
+		d := rel.NewDict()
+		q := cq.MustParse(d, "H(a, dd) :- R0(a, b), R1(b, c), R2(c, dd)")
+		m := 12000
+		inst, _ := workload.AcyclicChain(3, m, 0, 1) // matching database: 1:1 everywhere
 		c, out, err := gym.DistributedYannakakis(q, p, inst, 5)
 		if err != nil {
 			return nil, err
 		}
 		if out.Len() != m {
-			rep.Pass = false
-			rep.rowf("WRONG output size %d at p=%d", out.Len(), p)
+			res.Pass = false
+			res.rowf("WRONG output size %d at p=%d", out.Len(), p)
 		}
 		ref := 3 * m / p
-		rep.rowf("%-6d %-12d %-12d", p, c.MaxLoad(), ref)
+		res.rowf("%-6d %-12d %-12d", p, c.MaxLoad(), ref)
 		// Within a small constant of m/p per relation shipped per round.
 		if float64(c.MaxLoad()) > 2.0*float64(ref) {
-			rep.Pass = false
+			res.Pass = false
 		}
-	}
-	return rep, nil
+		return res, nil
+	}}
 }

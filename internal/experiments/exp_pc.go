@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"time"
 
 	"mpclogic/internal/cq"
 	"mpclogic/internal/pc"
@@ -14,22 +13,52 @@ import (
 // complexity shadows of Theorems 4.8/4.9/4.14.
 
 func init() {
-	register("F1-transfer-vs-containment", expFigure1)
-	register("E41-distributed-eval", expExample41)
-	register("E43-pc0-vs-pc1", expExample43)
-	register("T48-pc-complexity", expPCComplexity)
-	register("CQNEG-soundness-completeness", expCQNeg)
+	register(Def{
+		ID:    "F1-transfer-vs-containment",
+		Name:  "F1",
+		Title: "Figure 1: parallel-correctness transfer vs containment (Example 4.11)",
+		Claim: "transfer and containment are orthogonal: all four (transfer, containment) combinations occur",
+		Pre:   []string{fmt.Sprintf("%-10s %-16s %-14s", "pair", "pc-transfer", "containment")},
+		Cells: []Cell{{Params: "q1..q4", Run: cellFigure1}},
+	})
+	register(Def{
+		ID:    "E41-distributed-eval",
+		Name:  "E41",
+		Title: "Example 4.1: one-round distributed evaluation [Q,P](I)",
+		Claim: "under P1 the result equals Qe(Ie) = {H(a,a), H(a,c)} (the paper's {H(a,b)} is a typo for {H(a,a)}); under P2 it is empty",
+		Cells: []Cell{{Params: "p1+p2", Run: cellExample41}},
+	})
+	register(Def{
+		ID:    "E43-pc0-vs-pc1",
+		Name:  "E43",
+		Title: "Example 4.3: PC0 insufficient, PC1 characterizes (Prop. 4.6)",
+		Claim: "the 2-node policy separating R(a,b) and R(b,a) violates PC0 yet Q is parallel-correct",
+		Cells: []Cell{{Params: "split-policy", Run: cellExample43}},
+	})
+	register(Def{
+		ID:    "T48-pc-complexity",
+		Name:  "T48",
+		Title: "parallel-correctness decision cost (Theorem 4.8: Πᵖ₂-complete)",
+		Claim: "decision cost grows exponentially with universe size and query arity",
+		Pre:   []string{fmt.Sprintf("%-12s %-12s %-18s %-14s", "|universe|", "candidates", "minimal checked", "facts tested")},
+		Cells: []Cell{{Params: "n=2,4,8", Run: cellPCComplexity}},
+	})
+	register(Def{
+		ID:    "CQNEG-soundness-completeness",
+		Name:  "CQNEG",
+		Title: "CQ¬ parallel-correctness = soundness ∧ completeness (Theorem 4.9)",
+		Claim: "for non-monotone queries, distribution can create spurious facts (unsoundness) or lose facts (incompleteness)",
+		Cells: []Cell{
+			{Params: "policies", Run: cellCQNegPolicies},
+			{Params: "containment", Run: cellCQNegContainment},
+		},
+	})
 }
 
 // Figure 1: the 4×4 transfer and containment matrices over Q1–Q4 of
 // Example 4.11 are orthogonal.
-func expFigure1() (*Report, error) {
-	rep := &Report{
-		ID:    "F1",
-		Title: "Figure 1: parallel-correctness transfer vs containment (Example 4.11)",
-		Claim: "transfer and containment are orthogonal: all four (transfer, containment) combinations occur",
-		Pass:  true,
-	}
+func cellFigure1() (*Result, error) {
+	res := newResult()
 	d := rel.NewDict()
 	qs := []*cq.CQ{
 		cq.MustParse(d, "H() :- S(x), R(x, x), T(x)"),
@@ -38,7 +67,6 @@ func expFigure1() (*Report, error) {
 		cq.MustParse(d, "H() :- R(x, y), T(y)"),
 	}
 	names := []string{"Q1", "Q2", "Q3", "Q4"}
-	rep.rowf("%-10s %-16s %-14s", "pair", "pc-transfer", "containment")
 	combos := map[[2]bool]bool{}
 	for i, qi := range qs {
 		for j, qj := range qs {
@@ -53,24 +81,19 @@ func expFigure1() (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
-			rep.rowf("%s→%s      %-16v %-14v", names[i], names[j], tr, cn)
+			res.rowf("%s→%s      %-16v %-14v", names[i], names[j], tr, cn)
 			combos[[2]bool{tr, cn}] = true
 		}
 	}
 	if len(combos) != 4 {
-		rep.Pass = false
+		res.Pass = false
 	}
-	return rep, nil
+	return res, nil
 }
 
 // Example 4.1: the distributed one-round evaluation under P1 and P2.
-func expExample41() (*Report, error) {
-	rep := &Report{
-		ID:    "E41",
-		Title: "Example 4.1: one-round distributed evaluation [Q,P](I)",
-		Claim: "under P1 the result equals Qe(Ie) = {H(a,a), H(a,c)} (the paper's {H(a,b)} is a typo for {H(a,a)}); under P2 it is empty",
-		Pass:  true,
-	}
+func cellExample41() (*Result, error) {
+	res := newResult()
 	d := rel.NewDict()
 	qe := cq.MustParse(d, "H(x1, x3) :- R(x1, x2), R(x2, x3), S(x3, x1)")
 	ie := rel.MustInstance(d, "R(a,b)", "R(b,a)", "R(b,c)", "S(a,a)", "S(c,a)")
@@ -98,24 +121,19 @@ func expExample41() (*Report, error) {
 	full := cq.Output(qe, ie)
 	under1 := pc.DistributedEval(qe, p1, ie)
 	under2 := pc.DistributedEval(qe, p2, ie)
-	rep.rowf("Qe(Ie)      = %s", full.StringWith(d))
-	rep.rowf("[Qe,P1](Ie) = %s", under1.StringWith(d))
-	rep.rowf("[Qe,P2](Ie) = %s", under2.StringWith(d))
+	res.rowf("Qe(Ie)      = %s", full.StringWith(d))
+	res.rowf("[Qe,P1](Ie) = %s", under1.StringWith(d))
+	res.rowf("[Qe,P2](Ie) = %s", under2.StringWith(d))
 	if !under1.Equal(full) || under2.Len() != 0 {
-		rep.Pass = false
+		res.Pass = false
 	}
-	return rep, nil
+	return res, nil
 }
 
 // Example 4.3: (PC0) fails, (PC1) holds, and the query is
 // parallel-correct (Proposition 4.6 in action).
-func expExample43() (*Report, error) {
-	rep := &Report{
-		ID:    "E43",
-		Title: "Example 4.3: PC0 insufficient, PC1 characterizes (Prop. 4.6)",
-		Claim: "the 2-node policy separating R(a,b) and R(b,a) violates PC0 yet Q is parallel-correct",
-		Pass:  true,
-	}
+func cellExample43() (*Result, error) {
+	res := newResult()
 	d := rel.NewDict()
 	q := cq.MustParse(d, "H(x, z) :- R(x, y), R(y, z), R(x, x)")
 	ab := rel.MustFact(d, "R(a,b)")
@@ -138,27 +156,26 @@ func expExample43() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep.rowf("PC0 (strong saturation): %v  (witness: %v)", strong, w0)
-	rep.rowf("PC1 (saturation):        %v", sat)
+	res.rowf("PC0 (strong saturation): %v  (witness: %v)", strong, w0)
+	res.rowf("PC1 (saturation):        %v", sat)
 	if strong || !sat {
-		rep.Pass = false
+		res.Pass = false
 	}
-	return rep, nil
+	return res, nil
 }
 
 // Theorem 4.8's complexity shadow: the exact PC decision scales
 // exponentially in query/universe size (the problem is Πᵖ₂-complete).
-func expPCComplexity() (*Report, error) {
-	rep := &Report{
-		ID:    "T48",
-		Title: "parallel-correctness decision cost (Theorem 4.8: Πᵖ₂-complete)",
-		Claim: "decision time grows exponentially with universe size and query arity",
-		Pass:  true,
-	}
+// Cost is measured in deterministic work units — candidate valuations
+// (|U|^|vars|), minimal valuations actually checked, and required
+// facts tested against the policy — so the emitted rows are a pure
+// function of the inputs rather than wall-clock samples.
+func cellPCComplexity() (*Result, error) {
+	res := newResult()
 	d := rel.NewDict()
 	q := cq.MustParse(d, "H(x, z) :- R(x, y), R(y, z), R(x, x)")
-	rep.rowf("%-12s %-14s", "|universe|", "decision time")
-	var times []time.Duration
+	nvars := len(q.Vars())
+	var minimal []int
 	for _, n := range []int{2, 4, 8} {
 		u := make([]rel.Value, n)
 		for i := range u {
@@ -167,9 +184,6 @@ func expPCComplexity() (*Report, error) {
 		// Replication saturates every query, so the decision must scan
 		// every minimal valuation — the full Πᵖ₂-shaped search.
 		pol := &policy.Replicate{Nodes: 2}
-		// Establish the verdict before the timed region: the emitted
-		// result must be a pure function of the inputs, with the clock
-		// confined to the duration measurement below.
 		ok, _, err := pc.Saturates(q, pol, u)
 		if err != nil {
 			return nil, err
@@ -177,34 +191,41 @@ func expPCComplexity() (*Report, error) {
 		if !ok {
 			return nil, fmt.Errorf("replication failed to saturate")
 		}
-		const reps = 5
-		el, err := timed(reps, func() error {
-			_, _, err := pc.Saturates(q, pol, u)
-			return err
+		// Replay the same search shape the decision procedure walks,
+		// counting its work: every minimal valuation must be visited
+		// and its required facts tested for a meeting node.
+		candidates := 1
+		for i := 0; i < nvars; i++ {
+			candidates *= n
+		}
+		checked, tested := 0, 0
+		err = cq.EachMinimalValuation(q, u, func(v cq.Valuation) bool {
+			checked++
+			facts := v.RequiredFacts(q)
+			tested += len(facts)
+			if !policy.MeetsAtSomeNode(pol, facts) {
+				return false
+			}
+			return true
 		})
 		if err != nil {
 			return nil, err
 		}
-		times = append(times, el)
-		rep.rowf("%-12d %-14s", n, el.Round(time.Microsecond))
+		minimal = append(minimal, checked)
+		res.rowf("%-12d %-12d %-18d %-14d", n, candidates, checked, tested)
 	}
-	// Exponential growth: quadrupling the universe must cost far more
-	// than 4×.
-	if times[2] < 8*times[0] {
-		rep.Pass = false
+	// Exponential growth: quadrupling the universe must multiply the
+	// number of minimal valuations the decision scans far beyond 4×.
+	if minimal[2] < 8*minimal[0] {
+		res.Pass = false
 	}
-	return rep, nil
+	return res, nil
 }
 
 // Theorem 4.9 territory: CQ¬ correctness splits into soundness and
 // completeness, each independently violable.
-func expCQNeg() (*Report, error) {
-	rep := &Report{
-		ID:    "CQNEG",
-		Title: "CQ¬ parallel-correctness = soundness ∧ completeness (Theorem 4.9)",
-		Claim: "for non-monotone queries, distribution can create spurious facts (unsoundness) or lose facts (incompleteness)",
-		Pass:  true,
-	}
+func cellCQNegPolicies() (*Result, error) {
+	res := newResult()
 	d := rel.NewDict()
 	q := cq.MustParse(d, "H(x) :- R(x), not S(x)")
 	loseS := &policy.Func{Nodes: 2, Resp: func(_ policy.Node, f rel.Fact) bool { return f.Rel == "R" }}
@@ -223,13 +244,20 @@ func expCQNeg() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep.rowf("policy 'drop S':   %v  (S invisible → spurious H)", r1)
-	rep.rowf("policy 'drop R':   %v  (R lost → missing H)", r2)
-	rep.rowf("full replication:  %v", r3)
+	res.rowf("policy 'drop S':   %v  (S invisible → spurious H)", r1)
+	res.rowf("policy 'drop R':   %v  (R lost → missing H)", r2)
+	res.rowf("full replication:  %v", r3)
 	if r1.Sound || !r2.Sound || r2.Complete || !r3.Correct() {
-		rep.Pass = false
+		res.Pass = false
 	}
-	// Containment for CQ¬ via bounded counterexample search.
+	return res, nil
+}
+
+// Containment for CQ¬ via bounded counterexample search.
+func cellCQNegContainment() (*Result, error) {
+	res := newResult()
+	d := rel.NewDict()
+	q := cq.MustParse(d, "H(x) :- R(x), not S(x)")
 	qp := cq.MustParse(d, "H(x) :- R(x)")
 	ok1, _, err := cq.ContainedNegBounded(q, qp, 2)
 	if err != nil {
@@ -239,9 +267,9 @@ func expCQNeg() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep.rowf("R∧¬S ⊆ R: %v;  R ⊆ R∧¬S: %v (witness %v)", ok1, ok2, wit)
+	res.rowf("R∧¬S ⊆ R: %v;  R ⊆ R∧¬S: %v (witness %v)", ok1, ok2, wit)
 	if !ok1 || ok2 {
-		rep.Pass = false
+		res.Pass = false
 	}
-	return rep, nil
+	return res, nil
 }

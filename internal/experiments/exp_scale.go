@@ -16,17 +16,31 @@ import (
 // (Alvaro et al.).
 
 func init() {
-	register("SCALE-independence", expScale)
-	register("BLAZES-coordination-analysis", expBlazes)
-}
-
-func expScale() (*Report, error) {
-	rep := &Report{
-		ID:    "SCALE",
+	register(Def{
+		ID:    "SCALE-independence",
+		Name:  "SCALE",
 		Title: "scale independence (Fan-Geerts-Libkin, Section 6)",
 		Claim: "a boundedly evaluable query touches a data-size-independent number of facts, fixed by query structure and access constraints",
-		Pass:  true,
-	}
+		Cells: []Cell{{Params: "follows-2hop", Run: cellScale}},
+	})
+	register(Def{
+		ID:    "BLAZES-coordination-analysis",
+		Name:  "BLAZES",
+		Title: "coordination analysis (Blazes; Alvaro et al., Section 6)",
+		Claim: "program analysis finds where coordination is overused: only negated-IDB consumption needs a barrier; monotone strata stream",
+		Cells: []Cell{{Params: "four-programs", Run: cellBlazes}},
+	})
+	register(Def{
+		ID:    "STREAM-finite-memory",
+		Name:  "STREAM",
+		Title: "distributed streaming with finite memory (Neven et al., Section 3.2)",
+		Claim: "register-automaton reducers over key groups express the semijoin algebra with memory independent of the data size",
+		Cells: []Cell{{Params: "semijoin", Run: cellStream}},
+	})
+}
+
+func cellScale() (*Result, error) {
+	res := newResult()
 	d := rel.NewDict()
 	q := cq.MustParse(d, "H(y, z) :- Follows(0, y), Follows(y, z)")
 	maxOut := 4
@@ -35,8 +49,8 @@ func expScale() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep.rowf("plan bound: %d facts (4 + 4²·... independent of |D|)", plan.Bound)
-	rep.rowf("%-10s %-10s %-10s", "|D|", "fetched", "bound")
+	res.rowf("plan bound: %d facts (4 + 4²·... independent of |D|)", plan.Bound)
+	res.rowf("%-10s %-10s %-10s", "|D|", "fetched", "bound")
 	for _, n := range []int{2000, 8000, 32000} {
 		r := rand.New(rand.NewSource(7))
 		inst := rel.NewInstance()
@@ -51,31 +65,26 @@ func expScale() (*Report, error) {
 			return nil, err
 		}
 		if !got.Equal(cq.Evaluate(q, inst)) {
-			rep.Pass = false
-			rep.rowf("WRONG result at |D|=%d", inst.Len())
+			res.Pass = false
+			res.rowf("WRONG result at |D|=%d", inst.Len())
 		}
-		rep.rowf("%-10d %-10d %-10d", inst.Len(), fetched, plan.Bound)
+		res.rowf("%-10d %-10d %-10d", inst.Len(), fetched, plan.Bound)
 		if fetched > plan.Bound {
-			rep.Pass = false
+			res.Pass = false
 		}
 	}
 	// An unbounded query is detected.
 	if _, err := scale.Analyze(cq.MustParse(d, "H(x, y) :- Follows(x, y)"), cons); err == nil {
-		rep.Pass = false
-		rep.rowf("unbounded query accepted")
+		res.Pass = false
+		res.rowf("unbounded query accepted")
 	} else {
-		rep.rowf("unbounded query correctly rejected: no constant entry point")
+		res.rowf("unbounded query correctly rejected: no constant entry point")
 	}
-	return rep, nil
+	return res, nil
 }
 
-func expBlazes() (*Report, error) {
-	rep := &Report{
-		ID:    "BLAZES",
-		Title: "coordination analysis (Blazes; Alvaro et al., Section 6)",
-		Claim: "program analysis finds where coordination is overused: only negated-IDB consumption needs a barrier; monotone strata stream",
-		Pass:  true,
-	}
+func cellBlazes() (*Result, error) {
+	res := newResult()
 	d := rel.NewDict()
 	progs := []struct {
 		name, src string
@@ -86,38 +95,29 @@ func expBlazes() (*Report, error) {
 		{"¬TC (Example 5.13)", "TC(x, y) :- E(x, y)\nTC(x, y) :- TC(x, z), TC(z, y)\nOUT(x, y) :- ADom(x), ADom(y), not TC(x, y)", 1},
 		{"double negation", "A(x) :- E(x, y)\nB(x) :- ADom(x), not A(x)\nC(x) :- ADom(x), not B(x)", 2},
 	}
-	rep.rowf("%-22s %-10s %-10s %-8s", "program", "barriers", "naive", "saved")
+	res.rowf("%-22s %-10s %-10s %-8s", "program", "barriers", "naive", "saved")
 	for _, c := range progs {
 		p := datalog.MustParse(d, c.src)
 		r, err := datalog.AnalyzeCoordination(p)
 		if err != nil {
 			return nil, err
 		}
-		rep.rowf("%-22s %-10d %-10d %-8d", c.name, len(r.Barriers), r.NaiveBarriers, r.Saved())
+		res.rowf("%-22s %-10d %-10d %-8d", c.name, len(r.Barriers), r.NaiveBarriers, r.Saved())
 		if len(r.Barriers) != c.barriers {
-			rep.Pass = false
+			res.Pass = false
 		}
 	}
-	return rep, nil
+	return res, nil
 }
 
-func init() {
-	register("STREAM-finite-memory", expStream)
-}
-
-func expStream() (*Report, error) {
-	rep := &Report{
-		ID:    "STREAM",
-		Title: "distributed streaming with finite memory (Neven et al., Section 3.2)",
-		Claim: "register-automaton reducers over key groups express the semijoin algebra with memory independent of the data size",
-		Pass:  true,
-	}
+func cellStream() (*Result, error) {
+	res := newResult()
 	n := &stream.Network{
 		Machines:  4,
 		Key:       stream.KeyOn(map[string][]int{"R": {1}, "S": {0}}),
 		Automaton: stream.SemiJoin("R", "S"),
 	}
-	rep.rowf("%-10s %-14s %-16s", "m", "largest group", "memory/group")
+	res.rowf("%-10s %-14s %-16s", "m", "largest group", "memory/group")
 	for _, m := range []int{1000, 10000, 100000} {
 		inst := workload.JoinSkewed(m, 0.5)
 		out, st, err := n.Run(inst.Facts())
@@ -126,13 +126,13 @@ func expStream() (*Report, error) {
 		}
 		want := rel.SemiJoin(inst.Relation("R"), inst.Relation("S"), []int{1}, []int{0})
 		if !out.Relation("R").Equal(want) {
-			rep.Pass = false
-			rep.rowf("WRONG semijoin at m=%d", m)
+			res.Pass = false
+			res.rowf("WRONG semijoin at m=%d", m)
 		}
-		rep.rowf("%-10d %-14d %-16d", m, st.LargestGroup, st.MemoryPerGroup)
+		res.rowf("%-10d %-14d %-16d", m, st.LargestGroup, st.MemoryPerGroup)
 		if st.MemoryPerGroup != 1 {
-			rep.Pass = false
+			res.Pass = false
 		}
 	}
-	return rep, nil
+	return res, nil
 }

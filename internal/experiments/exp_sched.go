@@ -16,33 +16,43 @@ import (
 // arbitrary delay and duplication. SCHED discharges the quantifier
 // exhaustively on small networks; CHAOS samples it adversarially on
 // larger ones, with fault injection the explorer deliberately
-// excludes.
+// excludes. Both are matrices of independent runs, so they split into
+// cells: each exploration target and each CHAOS strategy is its own
+// sweep job.
 
 func init() {
-	register("SCHED-exhaustive", expExhaustiveSchedules)
-	register("CHAOS-matrix", expChaosMatrix)
-}
-
-// expExhaustiveSchedules enumerates every delivery order (modulo the
-// explorer's sound reductions) and checks the quiescent outputs:
-// Example 5.4's open-triangle program and the domain-guided ¬TC
-// strategy must be schedule-deterministic and correct; naive broadcast
-// of a non-monotone query must be wrong on every schedule, in
-// schedule-dependent ways. The ¬TC instance here is deliberately
-// larger than the unit tests': ~46k distinct global states, a scale
-// that belongs in the experiment budget rather than `go test`.
-func expExhaustiveSchedules() (*Report, error) {
-	rep := &Report{
-		ID:    "SCHED",
+	register(Def{
+		ID:    "SCHED-exhaustive",
+		Name:  "SCHED",
 		Title: "exhaustive schedule exploration (Theorems 5.8/5.12, Example 5.1(2))",
 		Claim: "policy-aware and domain-guided strategies compute Q on every schedule; naive broadcast of a non-monotone query is wrong on every schedule",
-		Pass:  true,
-	}
+		Cells: []Cell{
+			{Params: "open-triangle-p2+p3", Run: cellSchedOpenTriangle},
+			{Params: "ntc-46k-states", Run: cellSchedNTC},
+			{Params: "naive-broadcast", Run: cellSchedNaiveBroadcast},
+		},
+	})
+	register(Def{
+		ID:    "CHAOS-matrix",
+		Name:  "CHAOS",
+		Title: "scheduler × fault matrix (arbitrary delay, duplication, crash-restart)",
+		Claim: "every Section 5 strategy computes Q under every scheduler with duplication and crash-restart enabled",
+		Cells: []Cell{
+			{Params: "monotone-broadcast", Run: cellChaosStrategy("monotone-broadcast")},
+			{Params: "coordinated", Run: cellChaosStrategy("coordinated")},
+			{Params: "open-triangle-aware", Run: cellChaosStrategy("open-triangle-aware")},
+			{Params: "disjoint-complete", Run: cellChaosStrategy("disjoint-complete")},
+		},
+	})
+}
+
+// Example 5.4: open triangle over a hash policy, p = 2 and 3, every
+// delivery order enumerated (modulo the explorer's sound reductions).
+func cellSchedOpenTriangle() (*Result, error) {
+	res := newResult()
 	d := rel.NewDict()
 	openQ := cq.MustParse(d, "H(x, y, z) :- E(x, y), E(y, z), not E(z, x)")
 	open := func(i *rel.Instance) *rel.Instance { return cq.Output(openQ, i) }
-
-	// Example 5.4: open triangle over a hash policy, p = 2 and 3.
 	g := rel.MustInstance(d, "E(1,2)", "E(2,3)", "E(3,1)", "E(2,4)")
 	for _, p := range []int{2, 3} {
 		pol := &policy.Hash{Nodes: p}
@@ -51,18 +61,25 @@ func expExhaustiveSchedules() (*Report, error) {
 		if err := n.LoadPolicy(g, pol); err != nil {
 			return nil, err
 		}
-		res, err := transducer.Explore(n, 2_000_000)
+		r, err := transducer.Explore(n, 2_000_000)
 		if err != nil {
 			return nil, err
 		}
-		ok := res.Deterministic() && res.Outputs[0] == open(g).String()
-		rep.rowf("open-triangle p=%d: states=%d transitions=%d quiescent=%d memo=%d sleep=%d correct-on-all=%v",
-			p, res.States, res.Transitions, res.Quiescent, res.MemoHits, res.SleepPrunes, ok)
-		rep.Pass = rep.Pass && ok
+		ok := r.Deterministic() && r.Outputs[0] == open(g).String()
+		res.rowf("open-triangle p=%d: states=%d transitions=%d quiescent=%d memo=%d sleep=%d correct-on-all=%v",
+			p, r.States, r.Transitions, r.Quiescent, r.MemoHits, r.SleepPrunes, ok)
+		res.Pass = res.Pass && ok
 	}
+	return res, nil
+}
 
-	// ¬TC over the domain-guided policy, p=3 with three singleton
-	// components: the 46k-state exploration.
+// ¬TC over the domain-guided policy, p=3 with three singleton
+// components: the 46k-state exploration, deliberately larger than the
+// unit tests' — a scale that belongs in the experiment budget rather
+// than `go test`.
+func cellSchedNTC() (*Result, error) {
+	res := newResult()
+	d := rel.NewDict()
 	g2 := rel.MustInstance(d, "E(0,0)", "E(1,1)", "E(2,2)")
 	pol := &policy.DomainGuided{Nodes: 3, DefaultWidth: 1}
 	n := transducer.New(3, func() transducer.Program { return &transducer.DisjointComplete{Q: notTCQuery} },
@@ -70,18 +87,25 @@ func expExhaustiveSchedules() (*Report, error) {
 	if err := n.LoadPolicy(g2, pol); err != nil {
 		return nil, err
 	}
-	res, err := transducer.Explore(n, 2_000_000)
+	r, err := transducer.Explore(n, 2_000_000)
 	if err != nil {
 		return nil, err
 	}
-	ok := res.Deterministic() && res.Outputs[0] == notTCQuery(g2).String()
-	rep.rowf("¬TC domain-guided p=3: states=%d transitions=%d quiescent=%d memo=%d sleep=%d correct-on-all=%v",
-		res.States, res.Transitions, res.Quiescent, res.MemoHits, res.SleepPrunes, ok)
-	rep.Pass = rep.Pass && ok
+	ok := r.Deterministic() && r.Outputs[0] == notTCQuery(g2).String()
+	res.rowf("¬TC domain-guided p=3: states=%d transitions=%d quiescent=%d memo=%d sleep=%d correct-on-all=%v",
+		r.States, r.Transitions, r.Quiescent, r.MemoHits, r.SleepPrunes, ok)
+	res.Pass = res.Pass && ok
+	return res, nil
+}
 
-	// Example 5.1(2): naive broadcast of the open-triangle query on a
-	// closed triangle split one edge per node — wrong on EVERY
-	// schedule, and which wrong answer depends on the schedule.
+// Example 5.1(2): naive broadcast of the open-triangle query on a
+// closed triangle split one edge per node — wrong on EVERY schedule,
+// and which wrong answer depends on the schedule.
+func cellSchedNaiveBroadcast() (*Result, error) {
+	res := newResult()
+	d := rel.NewDict()
+	openQ := cq.MustParse(d, "H(x, y, z) :- E(x, y), E(y, z), not E(z, x)")
+	open := func(i *rel.Instance) *rel.Instance { return cq.Output(openQ, i) }
 	nb := transducer.New(3, func() transducer.Program { return &transducer.MonotoneBroadcast{Q: open} })
 	parts := []*rel.Instance{
 		rel.MustInstance(d, "E(0,1)"),
@@ -102,73 +126,76 @@ func expExhaustiveSchedules() (*Report, error) {
 		}
 	}
 	witnessOK := allWrong && !wres.Deterministic()
-	rep.rowf("naive broadcast witness: states=%d quiescent=%d distinct-wrong-outputs=%d all-schedules-wrong=%v",
+	res.rowf("naive broadcast witness: states=%d quiescent=%d distinct-wrong-outputs=%d all-schedules-wrong=%v",
 		wres.States, wres.Quiescent, len(wres.Outputs), witnessOK)
-	rep.Pass = rep.Pass && witnessOK
-	return rep, nil
+	res.Pass = res.Pass && witnessOK
+	return res, nil
 }
 
-// expChaosMatrix runs every Section 5 strategy under every scheduler
+// cellChaosStrategy runs one Section 5 strategy under every scheduler
 // in the matrix with duplication, delay bursts, and a mid-run
 // crash-restart all enabled, and verifies the centralized answer
 // survives. This is the regime the model actually promises: arbitrary
 // delay AND duplication AND nodes that lose their volatile state.
-func expChaosMatrix() (*Report, error) {
-	rep := &Report{
-		ID:    "CHAOS",
-		Title: "scheduler × fault matrix (arbitrary delay, duplication, crash-restart)",
-		Claim: "every Section 5 strategy computes Q under every scheduler with duplication and crash-restart enabled",
-		Pass:  true,
-	}
-	d := rel.NewDict()
-	triQ := cq.MustParse(d, "H(x, y, z) :- E(x, y), E(y, z), E(z, x), x != y, y != z, z != x")
-	tri := func(i *rel.Instance) *rel.Instance { return cq.Output(triQ, i) }
-	openQ := cq.MustParse(d, "H(x, y, z) :- E(x, y), E(y, z), not E(z, x)")
-	open := func(i *rel.Instance) *rel.Instance { return cq.Output(openQ, i) }
-	g := workload.RandomGraph(9, 20, 7)
-	g3 := workload.ComponentsGraph(3, 3)
-	const p = 3
+func cellChaosStrategy(name string) func() (*Result, error) {
+	return func() (*Result, error) {
+		res := newResult()
+		d := rel.NewDict()
+		triQ := cq.MustParse(d, "H(x, y, z) :- E(x, y), E(y, z), E(z, x), x != y, y != z, z != x")
+		tri := func(i *rel.Instance) *rel.Instance { return cq.Output(triQ, i) }
+		openQ := cq.MustParse(d, "H(x, y, z) :- E(x, y), E(y, z), not E(z, x)")
+		open := func(i *rel.Instance) *rel.Instance { return cq.Output(openQ, i) }
+		g := workload.RandomGraph(9, 20, 7)
+		g3 := workload.ComponentsGraph(3, 3)
+		const p = 3
 
-	strategies := []struct {
-		name string
-		want string
-		mk   func(opts []transducer.Option) (*transducer.Network, error)
-	}{
-		{"monotone-broadcast", tri(g).String(), func(opts []transducer.Option) (*transducer.Network, error) {
-			n := transducer.New(p, func() transducer.Program { return &transducer.MonotoneBroadcast{Q: tri} }, opts...)
-			return n, n.LoadParts(policy.Distribute(&policy.Hash{Nodes: p}, g))
-		}},
-		{"coordinated", open(g).String(), func(opts []transducer.Option) (*transducer.Network, error) {
-			n := transducer.New(p, func() transducer.Program { return &transducer.Coordinated{Q: open} }, opts...)
-			return n, n.LoadParts(policy.Distribute(&policy.Hash{Nodes: p}, g))
-		}},
-		{"open-triangle-aware", open(g).String(), func(opts []transducer.Option) (*transducer.Network, error) {
-			pol := &policy.Hash{Nodes: p}
-			n := transducer.New(p, func() transducer.Program { return &transducer.OpenTriangle{} },
-				append(opts, transducer.WithPolicy(pol))...)
-			return n, n.LoadPolicy(g, pol)
-		}},
-		{"disjoint-complete", notTCQuery(g3).String(), func(opts []transducer.Option) (*transducer.Network, error) {
-			pol := &policy.DomainGuided{Nodes: p, DefaultWidth: 1}
-			n := transducer.New(p, func() transducer.Program { return &transducer.DisjointComplete{Q: notTCQuery} },
-				append(opts, transducer.WithPolicy(pol))...)
-			return n, n.LoadPolicy(g3, pol)
-		}},
-	}
+		var want string
+		var mk func(opts []transducer.Option) (*transducer.Network, error)
+		switch name {
+		case "monotone-broadcast":
+			want = tri(g).String()
+			mk = func(opts []transducer.Option) (*transducer.Network, error) {
+				n := transducer.New(p, func() transducer.Program { return &transducer.MonotoneBroadcast{Q: tri} }, opts...)
+				return n, n.LoadParts(policy.Distribute(&policy.Hash{Nodes: p}, g))
+			}
+		case "coordinated":
+			want = open(g).String()
+			mk = func(opts []transducer.Option) (*transducer.Network, error) {
+				n := transducer.New(p, func() transducer.Program { return &transducer.Coordinated{Q: open} }, opts...)
+				return n, n.LoadParts(policy.Distribute(&policy.Hash{Nodes: p}, g))
+			}
+		case "open-triangle-aware":
+			want = open(g).String()
+			mk = func(opts []transducer.Option) (*transducer.Network, error) {
+				pol := &policy.Hash{Nodes: p}
+				n := transducer.New(p, func() transducer.Program { return &transducer.OpenTriangle{} },
+					append(opts, transducer.WithPolicy(pol))...)
+				return n, n.LoadPolicy(g, pol)
+			}
+		case "disjoint-complete":
+			want = notTCQuery(g3).String()
+			mk = func(opts []transducer.Option) (*transducer.Network, error) {
+				pol := &policy.DomainGuided{Nodes: p, DefaultWidth: 1}
+				n := transducer.New(p, func() transducer.Program { return &transducer.DisjointComplete{Q: notTCQuery} },
+					append(opts, transducer.WithPolicy(pol))...)
+				return n, n.LoadPolicy(g3, pol)
+			}
+		default:
+			return nil, fmt.Errorf("unknown chaos strategy %q", name)
+		}
 
-	scheds := transducer.SchedulerMatrix(p, 23)
-	names := make([]string, 0, len(scheds))
-	for name := range scheds {
-		names = append(names, name)
-	}
-	sort.Strings(names)
+		scheds := transducer.SchedulerMatrix(p, 23)
+		names := make([]string, 0, len(scheds))
+		for schedName := range scheds {
+			names = append(names, schedName)
+		}
+		sort.Strings(names)
 
-	for _, s := range strategies {
 		allOK := true
 		var agg transducer.Stats
 		for _, schedName := range names {
 			// Schedulers are stateful: rebuild the matrix per run.
-			n, err := s.mk([]transducer.Option{
+			n, err := mk([]transducer.Option{
 				transducer.WithScheduler(transducer.SchedulerMatrix(p, 23)[schedName]),
 				transducer.WithDuplication(2, 41),
 				transducer.WithDelayBursts(5, 3, 19),
@@ -179,7 +206,7 @@ func expChaosMatrix() (*Report, error) {
 			}
 			st, err := n.Run()
 			if err != nil {
-				return nil, fmt.Errorf("%s under %s: %w", s.name, schedName, err)
+				return nil, fmt.Errorf("%s under %s: %w", name, schedName, err)
 			}
 			agg.Sent += st.Sent
 			agg.Delivered += st.Delivered
@@ -187,13 +214,13 @@ func expChaosMatrix() (*Report, error) {
 			agg.Bursts += st.Bursts
 			agg.Crashes += st.Crashes
 			agg.Assists += st.Assists
-			if n.Output().String() != s.want {
+			if n.Output().String() != want {
 				allOK = false
 			}
 		}
-		rep.rowf("%-20s schedulers=%d correct=%v  Σ(sent=%d delivered=%d dup=%d bursts=%d crashes=%d assists=%d)",
-			s.name, len(names), allOK, agg.Sent, agg.Delivered, agg.Duplicated, agg.Bursts, agg.Crashes, agg.Assists)
-		rep.Pass = rep.Pass && allOK && agg.Duplicated > 0 && agg.Crashes == len(names)
+		res.rowf("%-20s schedulers=%d correct=%v  Σ(sent=%d delivered=%d dup=%d bursts=%d crashes=%d assists=%d)",
+			name, len(names), allOK, agg.Sent, agg.Delivered, agg.Duplicated, agg.Bursts, agg.Crashes, agg.Assists)
+		res.Pass = res.Pass && allOK && agg.Duplicated > 0 && agg.Crashes == len(names)
+		return res, nil
 	}
-	return rep, nil
 }

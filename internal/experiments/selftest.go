@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+)
+
+// RegisterSelfTest registers three synthetic experiments that exercise
+// the harness's failure plumbing end to end: a passing cell, an
+// erroring cell, and a panicking cell. They exist so the
+// cmd/experiments exit-code contract (and the sweep's panic capture)
+// can be driven through the real binary without waiting on a full
+// sweep; the ZZSELF prefix keeps them sorted after every real
+// experiment. Idempotent, and only called behind the -selftest flag —
+// normal runs never see them.
+func RegisterSelfTest() {
+	selfTestOnce.Do(func() {
+		register(Def{
+			ID:    "ZZSELF-pass",
+			Name:  "ZZSELF-pass",
+			Title: "harness self-test: passing cell",
+			Claim: "a passing cell yields a PASS report and exit code 0",
+			Cells: []Cell{{Params: "ok", Run: func() (*Result, error) {
+				res := newResult()
+				res.rowf("self-test cell ran")
+				return res, nil
+			}}},
+		})
+		register(Def{
+			ID:    "ZZSELF-error",
+			Name:  "ZZSELF-error",
+			Title: "harness self-test: erroring cell",
+			Claim: "an erroring cell becomes a failing row, not a crashed sweep",
+			Cells: []Cell{
+				{Params: "boom", Run: func() (*Result, error) {
+					return nil, fmt.Errorf("wired to error")
+				}},
+				{Params: "survivor", Run: func() (*Result, error) {
+					res := newResult()
+					res.rowf("sibling cell still ran")
+					return res, nil
+				}},
+			},
+		})
+		register(Def{
+			ID:    "ZZSELF-panic",
+			Name:  "ZZSELF-panic",
+			Title: "harness self-test: panicking cell",
+			Claim: "a panicking cell is captured as a failing row instead of killing the sweep",
+			Cells: []Cell{{Params: "kaboom", Run: func() (*Result, error) {
+				panic("wired to panic")
+			}}},
+		})
+	})
+}
+
+var selfTestOnce sync.Once

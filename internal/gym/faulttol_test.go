@@ -1,6 +1,8 @@
 package gym
 
 import (
+	"fmt"
+	"math/rand"
 	"testing"
 
 	"mpclogic/internal/cq"
@@ -169,6 +171,122 @@ func TestGYMRestoreFromCheckpoint(t *testing.T) {
 	}
 	if got := restored.LogicalTrace(); got != free.LogicalTrace() {
 		t.Errorf("restored logical trace diverged:\n got %q\nwant %q", got, free.LogicalTrace())
+	}
+}
+
+// randomProgram builds a deterministic multi-round program from the
+// seeded source: each round picks a routing discipline (hash shuffle
+// on random columns, broadcast, or per-relation dispatch that drops
+// unlisted relations), sometimes keeps one relation local, and
+// sometimes runs a pure join computation on top. The programs are not
+// meaningful queries — they exist to exercise every routing/keep/
+// compute combination the checkpoint layer must round-trip.
+func randomProgram(r *rand.Rand, d *rel.Dict, p, rounds int) []mpc.Round {
+	joinQ := cq.MustParse(d, "H(x, z) :- R(x, y), S(y, z)")
+	rels := []string{"R", "S", "T"}
+	prog := make([]mpc.Round, rounds)
+	for i := range prog {
+		round := mpc.Round{Name: fmt.Sprintf("rand-%d", i)}
+		switch r.Intn(3) {
+		case 0:
+			cols := [][]int{{0}, {1}, {0, 1}}[r.Intn(3)]
+			round.Route = mpc.HashOn(p, cols, r.Uint64())
+		case 1:
+			round.Route = mpc.Broadcast(p)
+		default:
+			routes := map[string]mpc.Router{}
+			for _, name := range rels {
+				if r.Intn(2) == 0 {
+					routes[name] = mpc.HashOn(p, []int{r.Intn(2)}, r.Uint64())
+				}
+			}
+			round.Route = mpc.ByRelation(routes)
+		}
+		if r.Intn(3) == 0 {
+			kept := rels[r.Intn(len(rels))]
+			round.Keep = func(f rel.Fact) bool { return f.Rel == kept }
+		}
+		if r.Intn(2) == 0 {
+			round.Compute = func(_ int, local *rel.Instance) *rel.Instance {
+				out := local.Clone()
+				out.AddAll(cq.Output(joinQ, local))
+				return out
+			}
+		}
+		prog[i] = round
+	}
+	return prog
+}
+
+func randomInstance(r *rand.Rand) *rel.Instance {
+	inst := rel.NewInstance()
+	for _, name := range []string{"R", "S", "T"} {
+		for i := 0; i < 12+r.Intn(12); i++ {
+			inst.Add(rel.NewFact(name, rel.Value(r.Intn(12)), rel.Value(r.Intn(12))))
+		}
+	}
+	return inst
+}
+
+// The property the recovery stack promises, quantified over random
+// programs instead of the three hand-built ones: for ANY multi-round
+// program, interrupting it after ANY prefix of rounds, checkpointing,
+// restoring onto a fresh cluster, and resuming yields the exact
+// output and logical trace of the uninterrupted run — even if the
+// original cluster is mutated after the checkpoint is taken (the
+// StableStore snapshot must isolate the restore from its source).
+func TestCheckpointRestoreRoundTripProperty(t *testing.T) {
+	seeds := 24
+	if testing.Short() {
+		seeds = 6
+	}
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			r := rand.New(rand.NewSource(int64(1000 + seed)))
+			d := rel.NewDict()
+			p := 2 + r.Intn(4)
+			rounds := 3 + r.Intn(4)
+			prog := randomProgram(r, d, p, rounds)
+			inst := randomInstance(r)
+
+			base := mpc.NewCluster(p, mpc.WithCheckpoints())
+			base.LoadRoundRobin(inst)
+			if err := base.Run(prog...); err != nil {
+				t.Fatal(err)
+			}
+			wantOut := base.Output().String()
+			wantTrace := base.LogicalTrace()
+
+			// Interrupt at the empty prefix, the full program, and a
+			// random interior round.
+			prefixes := []int{0, rounds, 1 + r.Intn(rounds)}
+			for _, k := range prefixes {
+				c := mpc.NewCluster(p, mpc.WithCheckpoints())
+				c.LoadRoundRobin(inst)
+				if err := c.Run(prog[:k]...); err != nil {
+					t.Fatal(err)
+				}
+				ck := c.Checkpoint()
+				if ck == nil || ck.Rounds() != k {
+					t.Fatalf("prefix %d: checkpoint covers %d rounds", k, ck.Rounds())
+				}
+				// Poison the source cluster after the snapshot: the
+				// restore below must not see this.
+				c.LoadAt(0, rel.MustInstance(d, "R(999, 999)"))
+
+				restored := mpc.Restore(ck)
+				if err := restored.RunResumable(prog...); err != nil {
+					t.Fatalf("prefix %d: resume failed: %v", k, err)
+				}
+				if got := restored.Output().String(); got != wantOut {
+					t.Errorf("prefix %d: output diverged from uninterrupted run", k)
+				}
+				if got := restored.LogicalTrace(); got != wantTrace {
+					t.Errorf("prefix %d: logical trace diverged:\n got %q\nwant %q", k, got, wantTrace)
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,93 @@
+package policy
+
+import (
+	"testing"
+
+	"mpclogic/internal/rel"
+)
+
+// TotalFacts is the wire size checkpoint replication charges per
+// replica; it must count every fragment, tolerate empty stores, and —
+// because StableStore snapshots at construction — stay frozen while
+// the source instances keep changing.
+func TestStableStoreTotalFacts(t *testing.T) {
+	if got := NewStableStore(nil).TotalFacts(); got != 0 {
+		t.Errorf("empty store TotalFacts = %d, want 0", got)
+	}
+	if got := NewStableStore([]*rel.Instance{rel.NewInstance(), rel.NewInstance()}).TotalFacts(); got != 0 {
+		t.Errorf("store of empty fragments TotalFacts = %d, want 0", got)
+	}
+
+	d := rel.NewDict()
+	parts := []*rel.Instance{
+		rel.MustInstance(d, "R(1, 2)", "R(2, 3)"),
+		rel.NewInstance(),
+		rel.MustInstance(d, "S(1)", "S(2)", "S(3)"),
+	}
+	s := NewStableStore(parts)
+	if got := s.TotalFacts(); got != 5 {
+		t.Errorf("TotalFacts = %d, want 5", got)
+	}
+
+	// Mutating a source fragment after construction must not move the
+	// stored size or contents: the store is a snapshot, not a view.
+	parts[0].Add(rel.NewFact("R", 9, 9))
+	if got := s.TotalFacts(); got != 5 {
+		t.Errorf("TotalFacts tracked source mutation: %d, want 5", got)
+	}
+	if s.Reload(0).Len() != 2 {
+		t.Errorf("reload leaked a post-snapshot fact")
+	}
+}
+
+func TestStableStoreReloadIsolation(t *testing.T) {
+	d := rel.NewDict()
+	s := NewStableStore([]*rel.Instance{rel.MustInstance(d, "R(1, 2)")})
+
+	// Mutating a reloaded copy must not affect later reloads.
+	first := s.Reload(0)
+	first.Add(rel.NewFact("R", 7, 7))
+	if got := s.Reload(0).Len(); got != 1 {
+		t.Errorf("reload observed mutation of an earlier reload: len=%d, want 1", got)
+	}
+	if s.TotalFacts() != 1 {
+		t.Errorf("TotalFacts moved after reload mutation")
+	}
+}
+
+func TestStableStoreReloadBounds(t *testing.T) {
+	s := NewStableStore([]*rel.Instance{rel.NewInstance()})
+	for _, κ := range []Node{-1, 1} {
+		κ := κ
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Reload(%d) on a 1-node store did not panic", κ)
+				}
+			}()
+			s.Reload(κ)
+		}()
+	}
+}
+
+// StoreFromPolicy must capture exactly loc-inst(κ) for every node.
+func TestStoreFromPolicyMatchesDistribute(t *testing.T) {
+	d := rel.NewDict()
+	inst := rel.MustInstance(d, "R(1, 2)", "R(2, 3)", "R(3, 4)", "S(1)", "S(4)")
+	pol := &Hash{Nodes: 3}
+	s := StoreFromPolicy(pol, inst)
+	if s.NumNodes() != 3 {
+		t.Fatalf("NumNodes = %d, want 3", s.NumNodes())
+	}
+	want := Distribute(pol, inst)
+	total := 0
+	for κ, frag := range want {
+		if !s.Reload(Node(κ)).Equal(frag) {
+			t.Errorf("node %d fragment diverges from loc-inst", κ)
+		}
+		total += frag.Len()
+	}
+	if s.TotalFacts() != total {
+		t.Errorf("TotalFacts = %d, want %d", s.TotalFacts(), total)
+	}
+}

@@ -1,0 +1,140 @@
+package sweep
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// FuzzSweepMerge throws random job DAGs — with erroring, panicking,
+// and flaky cells and backward dependency edges — at the scheduler and
+// checks the contract the experiment harness rests on:
+//
+//  1. the merged results are byte-identical between the sequential
+//     run and any parallel run,
+//  2. every job gets exactly one result, in declared order,
+//  3. failures and skips land exactly where the spec predicts them.
+//
+// Each byte of spec defines one job: the low 2 bits pick the kind
+// (ok, error, panic, flaky-then-ok) and the high bits pick an optional
+// dependency on an EARLIER job, so every generated graph is acyclic
+// and in-range by construction — validation rejections are covered by
+// unit tests, the fuzzer explores the execution space.
+func FuzzSweepMerge(f *testing.F) {
+	f.Add(uint8(2), []byte{})
+	f.Add(uint8(3), []byte{0, 1, 2, 3})
+	f.Add(uint8(8), []byte{0x00, 0x11, 0x42, 0x23, 0xf1, 0x07, 0x33, 0x9a})
+	f.Add(uint8(1), []byte{1, 1, 1, 1, 1, 1})
+	f.Add(uint8(4), []byte{2, 0x12, 0x22, 0x32, 0x42})
+
+	f.Fuzz(func(t *testing.T, workersByte uint8, spec []byte) {
+		if len(spec) > 48 {
+			spec = spec[:48]
+		}
+		workers := 2 + int(workersByte)%7
+
+		seq := runSpec(t, 1, spec)
+		par := runSpec(t, workers, spec)
+		if seq != par {
+			t.Fatalf("workers=%d diverged from sequential:\n%s\nvs\n%s", workers, par, seq)
+		}
+
+		// Recompute the expected failure/skip sets from the spec alone
+		// and check the sequential run against them.
+		results, err := Run(1, makeJobs(spec), WithRetries(1))
+		if err != nil {
+			t.Fatalf("acyclic in-range spec rejected: %v", err)
+		}
+		if len(results) != len(spec) {
+			t.Fatalf("%d jobs produced %d results", len(spec), len(results))
+		}
+		failed := make([]bool, len(spec))
+		for i, b := range spec {
+			kind := int(b) % 4
+			r := results[i]
+			if r.Name != fmt.Sprintf("job-%d", i) {
+				t.Errorf("result %d holds job %q: merge order broken", i, r.Name)
+			}
+			if dep, ok := depOf(b, i); ok && failed[dep] {
+				failed[i] = true
+				if !r.Skipped || r.Attempts != 0 || r.Err == nil {
+					t.Errorf("job %d should be skipped (dep %d failed): %+v", i, dep, r)
+				}
+				continue
+			}
+			switch kind {
+			case 1: // error: fails every attempt
+				failed[i] = true
+				if r.Err == nil || r.Skipped || r.Attempts != 2 {
+					t.Errorf("error job %d: %+v", i, r)
+				}
+			case 2: // panic: fails every attempt
+				failed[i] = true
+				if r.Err == nil || r.Skipped || !strings.Contains(r.Err.Error(), "panicked") {
+					t.Errorf("panic job %d: %+v", i, r)
+				}
+			case 3: // flaky: fails once, succeeds on the retry
+				if r.Err != nil || r.Attempts != 2 {
+					t.Errorf("flaky job %d: %+v", i, r)
+				}
+			default: // ok
+				if r.Err != nil || r.Attempts != 1 {
+					t.Errorf("ok job %d: %+v", i, r)
+				}
+			}
+		}
+	})
+}
+
+func depOf(b byte, i int) (int, bool) {
+	if i == 0 || (b>>2)%2 == 0 {
+		return 0, false
+	}
+	return int(b>>3) % i, true
+}
+
+// makeJobs decodes a spec into fresh jobs. Fresh matters: flaky jobs
+// carry a per-job attempt counter, so every Run call needs its own
+// decode or the flakiness would leak across runs.
+func makeJobs(spec []byte) []Job[string] {
+	jobs := make([]Job[string], len(spec))
+	for i, b := range spec {
+		i, b := i, b
+		j := Job[string]{Name: fmt.Sprintf("job-%d", i)}
+		if dep, ok := depOf(b, i); ok {
+			j.After = []int{dep}
+		}
+		switch int(b) % 4 {
+		case 1:
+			j.Run = func() (string, error) { return "", fmt.Errorf("boom-%d", i) }
+		case 2:
+			j.Run = func() (string, error) { panic(fmt.Sprintf("kaboom-%d", i)) }
+		case 3:
+			var tries atomic.Int64
+			j.Run = func() (string, error) {
+				if tries.Add(1) == 1 {
+					return "", fmt.Errorf("flake-%d", i)
+				}
+				return fmt.Sprintf("late-%d", i), nil
+			}
+		default:
+			j.Run = func() (string, error) { return fmt.Sprintf("ok-%d", i), nil }
+		}
+		jobs[i] = j
+	}
+	return jobs
+}
+
+func runSpec(t *testing.T, workers int, spec []byte) string {
+	t.Helper()
+	results, err := Run(workers, makeJobs(spec), WithRetries(1))
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	var b strings.Builder
+	for _, r := range results {
+		fmt.Fprintf(&b, "%s|%q|%v|%d|%v\n", r.Name, r.Value, r.Err, r.Attempts, r.Skipped)
+	}
+	return b.String()
+}
