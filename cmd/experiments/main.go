@@ -85,6 +85,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "%d experiments run, %d failed\n", len(reports), failed)
 	// Timing is measurement-only and goes to stderr so stdout stays
 	// byte-identical across worker counts.
+	//lint:allow nondet-taint wall-clock timing goes to the stderr diagnostics stream, never the byte-stable stdout report
 	fmt.Fprintf(stderr, "sweep: %d cells over %d workers in %s (Σ cell wall %s, retried %d, errored %d)\n",
 		stats.Cells, workers, elapsed.Round(time.Millisecond), stats.Wall.Round(time.Millisecond),
 		stats.Retried, stats.ErroredCells)

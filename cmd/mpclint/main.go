@@ -1,15 +1,24 @@
-// Command mpclint runs the repo's static-analysis suite: six
+// Command mpclint runs the repo's static-analysis suite: nine
 // analyzers enforcing the determinism and concurrency invariants the
-// reproduced theorems depend on (see internal/lint).
+// reproduced theorems depend on (see internal/lint), including the
+// interprocedural nondeterminism-taint analysis and the suppression
+// audit.
 //
 // Usage:
 //
-//	mpclint [-json] [-list] [-analyzers a,b] [dir | ./...]
+//	mpclint [-json | -github] [-list] [-analyzers a,b] [dir | ./...]
 //
 // The argument names the module to lint: a module root directory or a
 // ./... pattern rooted at it (the suite always analyzes the whole
 // module; per-package narrowing would let violations hide). With no
 // argument the module rooted at the current directory is linted.
+//
+// Output modes:
+//
+//	(default)  one "file:line:col: [analyzer] message" line per finding
+//	-json      a JSON array of diagnostics
+//	-github    GitHub Actions workflow commands (::error annotations),
+//	           so findings surface inline on pull-request diffs
 //
 // Exit status: 0 if clean, 1 if any diagnostic fired, 2 on usage or
 // load errors.
@@ -34,13 +43,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("mpclint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	githubOut := fs.Bool("github", false, "emit diagnostics as GitHub Actions ::error annotations")
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	names := fs.String("analyzers", "", "comma-separated analyzer names to run (default: all)")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: mpclint [-json] [-list] [-analyzers a,b] [dir | ./...]\n")
+		fmt.Fprintf(stderr, "usage: mpclint [-json | -github] [-list] [-analyzers a,b] [dir | ./...]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *jsonOut && *githubOut {
+		fmt.Fprintf(stderr, "mpclint: -json and -github are mutually exclusive\n")
 		return 2
 	}
 
@@ -90,7 +104,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	diags := lint.Run(mod, analyzers, lint.DefaultConfig())
 
-	if *jsonOut {
+	switch {
+	case *jsonOut:
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if diags == nil {
@@ -100,7 +115,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "mpclint: %v\n", err)
 			return 2
 		}
-	} else {
+	case *githubOut:
+		for _, d := range diags {
+			fmt.Fprintln(stdout, githubAnnotation(d))
+		}
+	default:
 		for _, d := range diags {
 			fmt.Fprintln(stdout, d)
 		}
@@ -112,4 +131,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// githubAnnotation renders one diagnostic as a GitHub Actions workflow
+// command, which the Actions runner turns into an inline annotation on
+// the pull-request diff. Property values are escaped per the workflow-
+// command grammar (%, CR, LF always; comma and colon in properties).
+func githubAnnotation(d lint.Diagnostic) string {
+	return fmt.Sprintf("::error file=%s,line=%d,col=%d,title=%s::%s",
+		escapeProperty(d.File), d.Line, d.Col,
+		escapeProperty("mpclint "+d.Analyzer), escapeData(d.Message))
+}
+
+func escapeData(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
+}
+
+func escapeProperty(s string) string {
+	s = escapeData(s)
+	s = strings.ReplaceAll(s, ":", "%3A")
+	s = strings.ReplaceAll(s, ",", "%2C")
+	return s
 }

@@ -62,6 +62,66 @@ func TestFixtureJSON(t *testing.T) {
 	}
 }
 
+// TestFixtureGitHub checks the CI annotation mode: every diagnostic
+// becomes one well-formed ::error workflow command.
+func TestFixtureGitHub(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-github", fixtureDir}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	var jsonOut bytes.Buffer
+	run([]string{"-json", fixtureDir}, &jsonOut, &stderr)
+	var diags []lint.Diagnostic
+	if err := json.Unmarshal(jsonOut.Bytes(), &diags); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
+	if len(lines) != len(diags) {
+		t.Fatalf("got %d annotation lines for %d diagnostics", len(lines), len(diags))
+	}
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "::error file=") {
+			t.Errorf("malformed annotation: %s", line)
+		}
+		if !strings.Contains(line, ",title=mpclint ") || !strings.Contains(line, "::") {
+			t.Errorf("annotation missing title or message separator: %s", line)
+		}
+	}
+	// The two-boundary taint witness must survive annotation escaping:
+	// the arrow chain contains no command-breaking characters.
+	if !strings.Contains(stdout.String(), "describe → label") {
+		t.Error("annotations missing the interprocedural witness chain")
+	}
+}
+
+// TestGitHubJSONExclusive pins the mode flags as mutually exclusive.
+func TestGitHubJSONExclusive(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "-github", fixtureDir}, &stdout, &stderr); code != 2 {
+		t.Errorf("-json -github: exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "mutually exclusive") {
+		t.Errorf("missing mutual-exclusion message, got %q", stderr.String())
+	}
+}
+
+// TestAnnotationEscaping covers the workflow-command escapes.
+func TestAnnotationEscaping(t *testing.T) {
+	d := lint.Diagnostic{
+		Analyzer: "demo",
+		File:     "a,b:c.go",
+		Line:     3,
+		Col:      7,
+		Message:  "50% of\nruns differ",
+	}
+	got := githubAnnotation(d)
+	want := "::error file=a%2Cb%3Ac.go,line=3,col=7,title=mpclint demo::50%25 of%0Aruns differ"
+	if got != want {
+		t.Errorf("githubAnnotation:\n got %q\nwant %q", got, want)
+	}
+}
+
 // TestRepoCleanExitZero is the acceptance check: the repository itself
 // lints clean, both for the bare root argument and the ./... pattern.
 func TestRepoCleanExitZero(t *testing.T) {

@@ -1,0 +1,220 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// This file builds the interprocedural substrate the nondet-taint
+// analyzer runs on: a static call graph over every function declared
+// in the module, condensed into strongly connected components and
+// ordered bottom-up (callees before callers), so function summaries
+// can be computed in one pass.
+//
+// Resolution is deliberately static-only. A call through an interface
+// method or a function value has no single callee, so such sites are
+// recorded as havoc points rather than edges: the taint engine treats
+// them as black boxes (see summary.go). Calls into the standard
+// library are not edges either — the taint engine models the few
+// stdlib functions it cares about (sources and sanitizers) as
+// intrinsics and passes argument taint through the rest.
+
+// funcNode is one declared function or method of the module.
+type funcNode struct {
+	obj  *types.Func
+	decl *ast.FuncDecl
+	pkg  *Package
+
+	callees []*funcNode // static in-module callees, deduplicated, in first-call order
+	havoc   int         // call sites with no statically resolvable callee
+
+	summary *summary // filled bottom-up by the taint engine
+
+	// Tarjan bookkeeping.
+	index, lowlink int
+	onStack        bool
+	scc            int
+}
+
+// callGraph is the module's call graph plus its SCC condensation.
+type callGraph struct {
+	nodes  []*funcNode // declaration order across sorted packages
+	byFunc map[*types.Func]*funcNode
+	sccs   [][]*funcNode // bottom-up: every callee's SCC precedes its caller's
+}
+
+// buildCallGraph collects every declared function with a body and
+// resolves its static call edges. Node order follows the module's
+// sorted package order and each file's declaration order, so the
+// graph — and everything derived from it — is deterministic.
+func buildCallGraph(mod *Module) *callGraph {
+	cg := &callGraph{byFunc: make(map[*types.Func]*funcNode)}
+	for _, pkg := range mod.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &funcNode{obj: obj, decl: fd, pkg: pkg, index: -1}
+				cg.nodes = append(cg.nodes, n)
+				cg.byFunc[obj] = n
+			}
+		}
+	}
+	for _, n := range cg.nodes {
+		cg.resolveEdges(n)
+	}
+	cg.condense()
+	return cg
+}
+
+// resolveEdges walks n's body — including nested function literals,
+// which execute within n's dynamic extent — and records one edge per
+// statically resolvable in-module callee.
+func (cg *callGraph) resolveEdges(n *funcNode) {
+	seen := make(map[*funcNode]bool)
+	ast.Inspect(n.decl.Body, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee, resolved := staticCallee(n.pkg.Info, call)
+		if !resolved {
+			return true // builtin or conversion: neither edge nor havoc
+		}
+		if callee == nil {
+			n.havoc++
+			return true
+		}
+		if target, ok := cg.byFunc[callee]; ok && !seen[target] {
+			seen[target] = true
+			n.callees = append(n.callees, target)
+		}
+		return true
+	})
+}
+
+// staticCallee resolves a call expression to its single callee.
+// Returns (callee, true) for a statically known function or method,
+// (nil, true) for a dynamic call (function value, interface method),
+// and (nil, false) for non-calls: builtins, conversions, calls of
+// function literals (whose bodies are analyzed inline).
+func staticCallee(info *types.Info, call *ast.CallExpr) (*types.Func, bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch obj := info.Uses[fun].(type) {
+		case *types.Func:
+			return obj, true
+		case *types.Builtin:
+			return nil, false
+		case *types.TypeName:
+			return nil, false // conversion
+		case nil:
+			return nil, false
+		default:
+			return nil, true // function-valued variable
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			fn, ok := sel.Obj().(*types.Func)
+			if !ok {
+				return nil, true // field of function type
+			}
+			if types.IsInterface(sel.Recv()) {
+				return nil, true // dynamic dispatch
+			}
+			return fn, true
+		}
+		// Qualified identifier: pkg.Func or a conversion to pkg.Type.
+		switch obj := info.Uses[fun.Sel].(type) {
+		case *types.Func:
+			return obj, true
+		case *types.TypeName:
+			return nil, false
+		case nil:
+			return nil, false
+		default:
+			return nil, true
+		}
+	case *ast.FuncLit:
+		return nil, false // body analyzed inline by the walker
+	case *ast.ArrayType, *ast.MapType, *ast.ChanType, *ast.InterfaceType, *ast.StructType, *ast.FuncType:
+		return nil, false // conversion
+	default:
+		return nil, true
+	}
+}
+
+// condense runs Tarjan's algorithm. Tarjan emits each component only
+// after every component reachable from it, so the emission order is
+// already bottom-up; we keep it as the summary-computation order.
+func (cg *callGraph) condense() {
+	next := 0
+	var stack []*funcNode
+	var strongconnect func(n *funcNode)
+	strongconnect = func(n *funcNode) {
+		n.index = next
+		n.lowlink = next
+		next++
+		stack = append(stack, n)
+		n.onStack = true
+		for _, m := range n.callees {
+			if m.index < 0 {
+				strongconnect(m)
+				if m.lowlink < n.lowlink {
+					n.lowlink = m.lowlink
+				}
+			} else if m.onStack && m.index < n.lowlink {
+				n.lowlink = m.index
+			}
+		}
+		if n.lowlink == n.index {
+			var comp []*funcNode
+			for {
+				m := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				m.onStack = false
+				m.scc = len(cg.sccs)
+				comp = append(comp, m)
+				if m == n {
+					break
+				}
+			}
+			// Members in declaration order, for deterministic analysis
+			// order within a cycle.
+			sort.Slice(comp, func(i, j int) bool { return comp[i].decl.Pos() < comp[j].decl.Pos() })
+			cg.sccs = append(cg.sccs, comp)
+		}
+	}
+	for _, n := range cg.nodes {
+		if n.index < 0 {
+			strongconnect(n)
+		}
+	}
+}
+
+// recursive reports whether n belongs to a recursive cycle: an SCC of
+// size > 1, or a direct self-loop.
+func (n *funcNode) recursive() bool {
+	for _, m := range n.callees {
+		if m == n {
+			return true
+		}
+	}
+	if n.scc < 0 {
+		return false
+	}
+	count := 0
+	for _, m := range n.callees {
+		if m.scc == n.scc && m != n {
+			count++
+		}
+	}
+	return count > 0
+}

@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FanoutJoinAnalyzer is the precondition for extracting a Transport
+// from the engine's communication phase: every goroutine spawned in an
+// engine-adjacent package must have a *provable* join or cancellation
+// path tied to that specific goroutine — not merely some join point
+// somewhere in the function, which is all goroutine-hygiene requires.
+//
+// Accepted evidence, per go statement with a function-literal body:
+//
+//  1. WaitGroup join: the closure calls wg.Done() (directly or
+//     deferred) on a WaitGroup that the spawning function Wait()s on.
+//  2. Channel join: the closure sends on a channel the spawning
+//     function provably drains (a receive, a range, or a select case
+//     receiving from it).
+//  3. Cancellation: the closure ranges over a channel the spawning
+//     function closes — the worker-pool shutdown pattern.
+//
+// A `go f(...)` spawn of a named function offers no visible evidence
+// and is always flagged: wrap it in a closure that reports completion.
+// Without one of these, a "finished" round can leave workers running,
+// which breaks the MPC model's synchronous-round semantics and makes a
+// networked transport's shutdown unverifiable.
+var FanoutJoinAnalyzer = &Analyzer{
+	Name: "fanout-join",
+	Doc:  "every goroutine in engine-adjacent packages needs a provable join or cancellation path",
+	Run:  runFanout,
+}
+
+func runFanout(pass *Pass) {
+	if !pass.Config.isFanoutScope(pass.Pkg.Types.Name()) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		funcBodies(f, func(ft *ast.FuncType, body *ast.BlockStmt) {
+			checkFanout(pass, body)
+		})
+	}
+}
+
+func checkFanout(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	var gos []*ast.GoStmt
+	walkScope(body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			gos = append(gos, g)
+		}
+		return true
+	})
+	if len(gos) == 0 {
+		return
+	}
+	ev := gatherJoinEvidence(info, body)
+	for _, g := range gos {
+		lit, ok := g.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			pass.Reportf(g.Pos(), "go statement spawns a named function, leaving no visible join evidence; wrap it in a closure that calls wg.Done or sends on a drained channel")
+			continue
+		}
+		if provenJoined(info, lit, ev) {
+			continue
+		}
+		pass.Reportf(g.Pos(), "goroutine has no provable join or cancellation path: pair wg.Add / defer wg.Done / wg.Wait, or send on a channel the spawner drains, or range over a channel the spawner closes")
+	}
+}
+
+// joinEvidence is what the spawning function's body offers: the
+// WaitGroups it waits on, the channels it drains, and the channels it
+// closes. Objects are collected over the whole body including nested
+// literals — a Wait inside a helper closure still proves the join.
+type joinEvidence struct {
+	waited  map[types.Object]bool // wg objects with a Wait() call
+	drained map[types.Object]bool // channels received from or ranged over
+	closed  map[types.Object]bool // channels passed to close()
+}
+
+func gatherJoinEvidence(info *types.Info, body *ast.BlockStmt) *joinEvidence {
+	ev := &joinEvidence{
+		waited:  make(map[types.Object]bool),
+		drained: make(map[types.Object]bool),
+		closed:  make(map[types.Object]bool),
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.CallExpr:
+			if fn := methodCallee(info, s); fn != nil && fn.Name() == "Wait" {
+				recv := fn.Type().(*types.Signature).Recv().Type()
+				if namedSyncType(recv, "WaitGroup") {
+					if sel, ok := ast.Unparen(s.Fun).(*ast.SelectorExpr); ok {
+						addChanObj(info, ev.waited, sel.X)
+					}
+				}
+			}
+			if id, ok := ast.Unparen(s.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "close" && len(s.Args) == 1 {
+					addChanObj(info, ev.closed, s.Args[0])
+				}
+			}
+		case *ast.UnaryExpr:
+			if s.Op.String() == "<-" {
+				addChanObj(info, ev.drained, s.X)
+			}
+		case *ast.RangeStmt:
+			if _, isChan := typeUnderlying(info, s.X).(*types.Chan); isChan {
+				addChanObj(info, ev.drained, s.X)
+			}
+		}
+		return true
+	})
+	return ev
+}
+
+func addChanObj(info *types.Info, set map[types.Object]bool, e ast.Expr) {
+	if base := baseIdent(e); base != nil {
+		if obj := objectOf(info, base); obj != nil {
+			set[obj] = true
+		}
+	}
+}
+
+// provenJoined checks the closure body for evidence tying this
+// goroutine to one of the function's join points.
+func provenJoined(info *types.Info, lit *ast.FuncLit, ev *joinEvidence) bool {
+	joined := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if joined {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.CallExpr:
+			if fn := methodCallee(info, s); fn != nil && fn.Name() == "Done" {
+				recv := fn.Type().(*types.Signature).Recv().Type()
+				if namedSyncType(recv, "WaitGroup") {
+					if sel, ok := ast.Unparen(s.Fun).(*ast.SelectorExpr); ok {
+						if base := baseIdent(sel.X); base != nil {
+							if obj := objectOf(info, base); obj != nil && ev.waited[obj] {
+								joined = true
+							}
+						}
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if base := baseIdent(s.Chan); base != nil {
+				if obj := objectOf(info, base); obj != nil && ev.drained[obj] {
+					joined = true
+				}
+			}
+		case *ast.RangeStmt:
+			if _, isChan := typeUnderlying(info, s.X).(*types.Chan); isChan {
+				if base := baseIdent(s.X); base != nil {
+					if obj := objectOf(info, base); obj != nil && ev.closed[obj] {
+						joined = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return joined
+}

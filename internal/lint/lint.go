@@ -48,7 +48,10 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
 }
 
-// Analyzer is one named check run over every loaded package.
+// Analyzer is one named check run over every loaded package. An
+// analyzer with a nil Run is driver-implemented (suppress-audit): it
+// participates in selection and listing but has no per-package pass of
+// its own.
 type Analyzer struct {
 	Name string // kebab-case identifier, used in output and suppressions
 	Doc  string // one-line description of the guarded invariant
@@ -59,23 +62,68 @@ type Analyzer struct {
 type Config struct {
 	// EnginePackages are package names whose evaluation results must be
 	// pure functions of their inputs: seeded-rand forbids global
-	// randomness and wall-clock reads inside them.
+	// randomness and wall-clock reads inside them, and nondet-taint
+	// treats their exported entry points' results as sinks.
 	EnginePackages []string
+
+	// SinkPackages are additional package names (beyond the engine)
+	// where nondet-taint checks sinks: the measurement and persistence
+	// layers whose emitted bytes must be run-to-run identical.
+	SinkPackages []string
+
+	// FanoutPackages are package names where fanout-join requires every
+	// goroutine to carry provable join or cancellation evidence.
+	FanoutPackages []string
 }
 
 // DefaultConfig returns the repo's configuration: the engine packages
 // are those on the evaluation path whose outputs the paper's theorems
-// constrain.
+// constrain; sinks extend to the measurement/persistence layers; the
+// fanout discipline covers everything that spawns workers.
 func DefaultConfig() Config {
 	return Config{
 		EnginePackages: []string{
 			"rel", "cq", "mpc", "hypercube", "datalog", "transducer", "gym",
+		},
+		SinkPackages: []string{
+			"experiments", "sweep", "policy", "lint", "main",
+		},
+		FanoutPackages: []string{
+			"sweep", "experiments", "lint", "main",
 		},
 	}
 }
 
 func (c Config) isEngine(pkgName string) bool {
 	for _, n := range c.EnginePackages {
+		if n == pkgName {
+			return true
+		}
+	}
+	return false
+}
+
+// isSinkScope reports whether nondet-taint should treat sinks in
+// pkgName as live: engine packages plus the configured sink packages.
+func (c Config) isSinkScope(pkgName string) bool {
+	if c.isEngine(pkgName) {
+		return true
+	}
+	for _, n := range c.SinkPackages {
+		if n == pkgName {
+			return true
+		}
+	}
+	return false
+}
+
+// isFanoutScope reports whether fanout-join applies in pkgName:
+// engine packages plus the configured fanout packages.
+func (c Config) isFanoutScope(pkgName string) bool {
+	if c.isEngine(pkgName) {
+		return true
+	}
+	for _, n := range c.FanoutPackages {
 		if n == pkgName {
 			return true
 		}
@@ -91,7 +139,8 @@ type Pass struct {
 	Config   Config
 
 	diags []Diagnostic
-	root  string // module root, for relativizing file paths
+	root  string     // module root, for relativizing file paths
+	taint *taintData // module-wide interprocedural results (nondet-taint only)
 }
 
 // Reportf records a diagnostic at pos.
@@ -119,6 +168,9 @@ func Analyzers() []*Analyzer {
 		LockAnalyzer,
 		ErrDiscardAnalyzer,
 		WallclockAnalyzer,
+		NondetTaintAnalyzer,
+		FanoutJoinAnalyzer,
+		SuppressAuditAnalyzer,
 	}
 }
 
@@ -134,17 +186,38 @@ func AnalyzerByName(name string) (*Analyzer, bool) {
 
 // Run executes the analyzers over the module's packages and returns
 // all unsuppressed diagnostics sorted by (file, line, col, analyzer).
+//
+// When nondet-taint is selected, its interprocedural phase (call graph
+// + bottom-up summaries) runs once for the whole module before the
+// per-package passes consume the results. When suppress-audit is
+// selected, each package's directives are audited after its other
+// analyzers have had the chance to use them; audit diagnostics cannot
+// themselves be suppressed.
 func Run(mod *Module, analyzers []*Analyzer, cfg Config) []Diagnostic {
+	var td *taintData
+	auditing := false
+	for _, a := range analyzers {
+		switch a.Name {
+		case NondetTaintAnalyzer.Name:
+			td = computeTaint(mod, cfg)
+		case SuppressAuditAnalyzer.Name:
+			auditing = true
+		}
+	}
 	var out []Diagnostic
 	for _, pkg := range mod.Packages {
-		sup := suppressions(mod.Fset, pkg)
+		sup := collectSuppressions(mod.Fset, pkg)
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Analyzer: a,
 				Fset:     mod.Fset,
 				Pkg:      pkg,
 				Config:   cfg,
 				root:     mod.Root,
+				taint:    td,
 			}
 			a.Run(pass)
 			for _, d := range pass.diags {
@@ -153,6 +226,17 @@ func Run(mod *Module, analyzers []*Analyzer, cfg Config) []Diagnostic {
 				}
 				out = append(out, d)
 			}
+		}
+		if auditing {
+			pass := &Pass{
+				Analyzer: SuppressAuditAnalyzer,
+				Fset:     mod.Fset,
+				Pkg:      pkg,
+				Config:   cfg,
+				root:     mod.Root,
+			}
+			auditSuppressions(pass, sup, analyzers)
+			out = append(out, pass.diags...)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -169,74 +253,6 @@ func Run(mod *Module, analyzers []*Analyzer, cfg Config) []Diagnostic {
 		return a.Analyzer < b.Analyzer
 	})
 	return out
-}
-
-// suppressionSet records which analyzer names are silenced on which
-// (file, line) pairs.
-type suppressionSet map[string]map[int]map[string]bool
-
-func (s suppressionSet) add(file string, line int, analyzer string) {
-	lines, ok := s[file]
-	if !ok {
-		lines = make(map[int]map[string]bool)
-		s[file] = lines
-	}
-	names, ok := lines[line]
-	if !ok {
-		names = make(map[string]bool)
-		lines[line] = names
-	}
-	names[analyzer] = true
-}
-
-// allows reports whether the diagnostic at (file, line) is suppressed.
-// The file here is module-relative, matching Diagnostic.File.
-func (s suppressionSet) allows(analyzer, file string, line int) bool {
-	names, ok := s[file][line]
-	if !ok {
-		return false
-	}
-	return names[analyzer] || names["*"]
-}
-
-// suppressions scans a package's comments for //lint:ignore and
-// //lint:sorted directives. A directive covers its own line and the
-// line below it, so both trailing and preceding placements work.
-func suppressions(fset *token.FileSet, pkg *Package) suppressionSet {
-	sup := make(suppressionSet)
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				text = strings.TrimSpace(text)
-				var names []string
-				switch {
-				case strings.HasPrefix(text, "lint:ignore"), strings.HasPrefix(text, "lint:allow"):
-					rest := strings.TrimPrefix(strings.TrimPrefix(text, "lint:ignore"), "lint:allow")
-					fields := strings.Fields(rest)
-					if len(fields) == 0 {
-						names = []string{"*"}
-					} else {
-						names = []string{fields[0]}
-					}
-				case strings.HasPrefix(text, "lint:sorted"):
-					names = []string{"mapiter-determinism"}
-				default:
-					continue
-				}
-				position := fset.Position(c.Pos())
-				file := position.Filename
-				if rel, err := filepath.Rel(pkg.modRoot, file); err == nil && !strings.HasPrefix(rel, "..") {
-					file = filepath.ToSlash(rel)
-				}
-				for _, n := range names {
-					sup.add(file, position.Line, n)
-					sup.add(file, position.Line+1, n)
-				}
-			}
-		}
-	}
-	return sup
 }
 
 // ---- shared type helpers used by the analyzers ----

@@ -69,11 +69,50 @@ func TestFixtureCoverage(t *testing.T) {
 		}
 	}
 
-	// The cmd/tool fixture must be exempt from error-discard.
+	// The cmd/tool fixture must be exempt from error-discard and
+	// wallclock-free (binaries may time things and discard top-level
+	// errors), but nondet-taint still applies: package main is a sink
+	// scope, and its map-order leak must be caught.
+	taintUnderCmd := false
 	for _, d := range diags {
-		if strings.HasPrefix(d.File, "cmd/") {
-			t.Errorf("diagnostic under exempt cmd/ tree: %s", d)
+		if !strings.HasPrefix(d.File, "cmd/") {
+			continue
 		}
+		switch d.Analyzer {
+		case "error-discard", "wallclock-free":
+			t.Errorf("diagnostic under exempt cmd/ tree: %s", d)
+		case "nondet-taint":
+			taintUnderCmd = true
+		}
+	}
+	if !taintUnderCmd {
+		t.Error("nondet-taint should flag the map-order leak in cmd/tool")
+	}
+
+	// The two-call-boundary flow is the tentpole: the witness chain
+	// must name both intermediate callees from the other file.
+	pinned := false
+	sanitized := false
+	for _, d := range diags {
+		if d.Analyzer != "nondet-taint" {
+			continue
+		}
+		if strings.Contains(d.Message, "via describe → label") &&
+			strings.Contains(d.Message, "taint/helpers.go:13") {
+			pinned = true
+		}
+		// ShowSorted (line 29) and CleanKeys must stay silent: the
+		// sort.Strings inside sortedKeys and the transitive sanitizes
+		// bit of sortInPlace both launder the order taint.
+		if d.File == "taint/taint.go" && (d.Line == 29 || (d.Line >= 33 && d.Line <= 41)) {
+			sanitized = true
+		}
+	}
+	if !pinned {
+		t.Error("missing two-call-boundary witness chain (describe → label) in nondet-taint output")
+	}
+	if sanitized {
+		t.Error("sanitized flows (ShowSorted / CleanKeys) must not be flagged")
 	}
 }
 
@@ -127,5 +166,21 @@ func TestConfigEngineMatching(t *testing.T) {
 	}
 	if cfg.isEngine("experiments") || cfg.isEngine("workload") {
 		t.Error("measurement-layer packages must not be on the engine list")
+	}
+	for _, name := range []string{"mpc", "experiments", "sweep", "policy", "main"} {
+		if !cfg.isSinkScope(name) {
+			t.Errorf("%s should be in nondet-taint sink scope", name)
+		}
+	}
+	if cfg.isSinkScope("workload") {
+		t.Error("workload generation is not a sink scope")
+	}
+	for _, name := range []string{"mpc", "transducer", "sweep", "main"} {
+		if !cfg.isFanoutScope(name) {
+			t.Errorf("%s should be in fanout-join scope", name)
+		}
+	}
+	if cfg.isFanoutScope("rel2") {
+		t.Error("unknown packages must not be in fanout scope")
 	}
 }

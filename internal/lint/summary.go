@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"strings"
+)
+
+// The nondet-taint abstract domain.
+//
+// A value's taint is a pair (kinds, params):
+//
+//   - kinds is the set of nondeterminism sources that may have
+//     influenced the value (or the order of its elements);
+//   - params is the set of the *enclosing function's* parameters whose
+//     taint would flow into the value — the symbolic half that turns
+//     one intraprocedural analysis into a reusable function summary.
+//
+// Each kind bit carries one witness (the source position and the call
+// chain it travelled), so a diagnostic at a sink can name the source
+// even when it lives two call boundaries away in another file.
+//
+// The lattice is finite (both components are bitsets over fixed
+// universes) and merge is set union, so every fixpoint loop in the
+// walker terminates.
+
+// kind is a bitset of nondeterminism source classes.
+type kind uint8
+
+const (
+	kindMapOrder  kind = 1 << iota // map / sync.Map.Range iteration order
+	kindSelect                     // select statement winner
+	kindGoroutine                  // goroutine completion / channel arrival order
+	kindRand                       // unseeded math/rand
+	kindClock                      // wall-clock read
+)
+
+// orderKinds are the order-only taints: the *multiset* of values is
+// deterministic, only their sequence is not, so sorting launders them.
+// Rand and clock taint poison the values themselves; no sort helps.
+const orderKinds = kindMapOrder | kindSelect | kindGoroutine
+
+func (k kind) String() string {
+	var parts []string
+	for _, e := range [...]struct {
+		bit  kind
+		name string
+	}{
+		{kindMapOrder, "map iteration order"},
+		{kindSelect, "select winner"},
+		{kindGoroutine, "goroutine completion order"},
+		{kindRand, "unseeded math/rand"},
+		{kindClock, "wall-clock read"},
+	} {
+		if k&e.bit != 0 {
+			parts = append(parts, e.name)
+		}
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, " + ")
+}
+
+// witness records where one taint kind entered and the call chain it
+// took toward the point being described.
+type witness struct {
+	kind kind
+	pos  token.Pos // source position, for "source at file:line"
+	src  string    // module-relative "file:line" of the source
+	via  []string  // callee names crossed, source-side first
+}
+
+// tval is the abstract value: taint kinds plus symbolic parameter
+// dependence. wits holds at most one witness per set kind bit.
+type tval struct {
+	kinds  kind
+	params uint64
+	wits   []*witness
+}
+
+func (t tval) isZero() bool { return t.kinds == 0 && t.params == 0 }
+
+// merge returns the join of two taints, keeping the first witness seen
+// for each kind (walk order is deterministic, so so is the witness).
+func (t tval) merge(o tval) tval {
+	out := tval{kinds: t.kinds | o.kinds, params: t.params | o.params}
+	out.wits = append(out.wits, t.wits...)
+	for _, w := range o.wits {
+		if !out.hasWitness(w.kind) {
+			out.wits = append(out.wits, w)
+		}
+	}
+	return out
+}
+
+func (t tval) hasWitness(k kind) bool {
+	for _, w := range t.wits {
+		if w.kind&k != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// dropOrder removes the order-class taints — the sort sanitizer.
+func (t tval) dropOrder() tval {
+	out := tval{kinds: t.kinds &^ orderKinds, params: t.params}
+	for _, w := range t.wits {
+		if w.kind&out.kinds != 0 {
+			out.wits = append(out.wits, w)
+		}
+	}
+	return out
+}
+
+// viaCall returns t as seen through a call to callee: witnesses gain a
+// link in their chain. Parameter bits are translated by the caller.
+func (t tval) viaCall(callee string) tval {
+	if t.kinds == 0 {
+		return t
+	}
+	out := tval{kinds: t.kinds, params: t.params}
+	for _, w := range t.wits {
+		nw := &witness{kind: w.kind, pos: w.pos, src: w.src, via: append(append([]string(nil), w.via...), callee)}
+		out.wits = append(out.wits, nw)
+	}
+	return out
+}
+
+// witnessString renders the strongest witness for diagnostics:
+// "map iteration order (source at internal/x/y.go:12, via a → b)".
+func (t tval) witnessString() string {
+	if len(t.wits) == 0 {
+		return t.kinds.String()
+	}
+	w := t.wits[0]
+	s := fmt.Sprintf("%s (source at %s", w.kind.String(), w.src)
+	if len(w.via) > 0 {
+		s += ", via " + strings.Join(w.via, " → ")
+	}
+	return s + ")"
+}
+
+// sinkFlow records that a function forwards one of its parameters into
+// a sink it contains (directly or transitively): callers passing a
+// tainted argument at that position inherit the finding.
+type sinkFlow struct {
+	param int      // parameter index (receiver is 0 when present)
+	sink  string   // sink description, e.g. `RoundStats field "Received"`
+	via   []string // callee chain from this function down to the sink
+}
+
+// summary is the interprocedural contract of one function, computed
+// bottom-up over the call graph's SCC condensation.
+type summary struct {
+	// results[i] is the taint of result i: concrete kinds generated
+	// inside the callee, plus the set of the callee's own parameters
+	// (params bits) whose taint reaches the result.
+	results []tval
+
+	// sinks lists parameters that reach a nondeterminism sink inside
+	// the function; used to report call sites that pass tainted values
+	// down into a sink.
+	sinks []sinkFlow
+
+	// sanitizes marks parameters the function provably sorts in place
+	// (passed to sort.*/slices.Sort* or to another sanitizing
+	// function), so rel.SortFacts-style helpers launder callers'
+	// arguments just like a direct sort call.
+	sanitizes uint64
+
+	// havocRecursion marks members of recursive cycles: calls within
+	// the cycle were treated as black boxes (no flows), a documented
+	// source of false negatives, never false positives.
+	havocRecursion bool
+}
+
+// relPos renders pos module-relative, "internal/mpc/mpc.go:42".
+func relPos(fset *token.FileSet, root string, pos token.Pos) string {
+	p := fset.Position(pos)
+	file := p.Filename
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = filepath.ToSlash(rel)
+	}
+	return fmt.Sprintf("%s:%d", file, p.Line)
+}

@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"go/token"
+	"path/filepath"
+	"strings"
+)
+
+// SuppressAuditAnalyzer makes the suppression comments themselves
+// subject to lint: a //lint:ignore or //lint:allow directive that
+// suppresses nothing is dead weight that silently exempts whatever
+// lands on its line next, and one naming a nonexistent analyzer never
+// worked at all. Both become diagnostics, so `make lint` fails on
+// stale suppressions the same way it fails on live hazards.
+//
+// A directive is audited only when the analyzers it names actually ran
+// (a wildcard directive requires the full default suite), so narrowed
+// `-analyzers` runs never produce false staleness. Audit diagnostics
+// cannot themselves be suppressed.
+var SuppressAuditAnalyzer = &Analyzer{
+	Name: "suppress-audit",
+	Doc:  "lint:ignore / lint:allow directives must suppress at least one diagnostic",
+	Run:  nil, // special-cased in Run: the audit needs cross-analyzer usage data
+}
+
+// directive is one parsed suppression comment.
+type directive struct {
+	file string // module-relative, matching Diagnostic.File
+	line int    // line the comment sits on (it also covers line+1)
+	pos  token.Pos
+	name string // analyzer name, or "*" for a blanket directive
+	used bool   // did it suppress at least one diagnostic this run?
+}
+
+// suppressionSet indexes a package's directives by (file, line).
+type suppressionSet struct {
+	byLine map[string]map[int][]*directive
+	all    []*directive
+}
+
+// allows reports whether a diagnostic at (file, line) is suppressed,
+// marking every matching directive as used.
+func (s *suppressionSet) allows(analyzer, file string, line int) bool {
+	ok := false
+	for _, d := range s.byLine[file][line] {
+		if d.name == analyzer || d.name == "*" {
+			d.used = true
+			ok = true
+		}
+	}
+	return ok
+}
+
+func (s *suppressionSet) add(d *directive) {
+	s.all = append(s.all, d)
+	if s.byLine == nil {
+		s.byLine = make(map[string]map[int][]*directive)
+	}
+	lines := s.byLine[d.file]
+	if lines == nil {
+		lines = make(map[int][]*directive)
+		s.byLine[d.file] = lines
+	}
+	// A directive covers its own line and the line below it, so both
+	// trailing and preceding placements work.
+	lines[d.line] = append(lines[d.line], d)
+	lines[d.line+1] = append(lines[d.line+1], d)
+}
+
+// collectSuppressions scans a package's comments for //lint:ignore,
+// //lint:allow, and //lint:sorted directives.
+func collectSuppressions(fset *token.FileSet, pkg *Package) *suppressionSet {
+	sup := &suppressionSet{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				var name string
+				switch {
+				case strings.HasPrefix(text, "lint:ignore"), strings.HasPrefix(text, "lint:allow"):
+					rest := strings.TrimPrefix(strings.TrimPrefix(text, "lint:ignore"), "lint:allow")
+					fields := strings.Fields(rest)
+					if len(fields) == 0 {
+						name = "*"
+					} else {
+						name = fields[0]
+					}
+				case strings.HasPrefix(text, "lint:sorted"):
+					name = "mapiter-determinism"
+				default:
+					continue
+				}
+				position := fset.Position(c.Pos())
+				file := position.Filename
+				if rel, err := filepath.Rel(pkg.modRoot, file); err == nil && !strings.HasPrefix(rel, "..") {
+					file = filepath.ToSlash(rel)
+				}
+				sup.add(&directive{
+					file: file,
+					line: position.Line,
+					pos:  c.Pos(),
+					name: name,
+					used: false,
+				})
+			}
+		}
+	}
+	return sup
+}
+
+// auditSuppressions runs after a package's analyzers have filtered
+// their diagnostics: every directive that could have been exercised by
+// this run but suppressed nothing — and every directive naming an
+// unknown analyzer — becomes a suppress-audit diagnostic.
+func auditSuppressions(pass *Pass, sup *suppressionSet, ran []*Analyzer) {
+	ranNames := make(map[string]bool)
+	for _, a := range ran {
+		ranNames[a.Name] = true
+	}
+	fullSuite := true
+	for _, a := range Analyzers() {
+		if a.Run == nil {
+			continue
+		}
+		if !ranNames[a.Name] {
+			fullSuite = false
+		}
+	}
+	for _, d := range sup.all {
+		if d.used {
+			continue
+		}
+		if d.name == "*" {
+			if fullSuite {
+				pass.Reportf(d.pos, "blanket suppression suppresses nothing; remove the stale directive")
+			}
+			continue
+		}
+		if _, known := AnalyzerByName(d.name); !known {
+			pass.Reportf(d.pos, "suppression names unknown analyzer %q; remove it or fix the name (see mpclint -list)", d.name)
+			continue
+		}
+		if ranNames[d.name] {
+			pass.Reportf(d.pos, "unused suppression: no %s diagnostic fires on this line; remove the stale directive", d.name)
+		}
+	}
+}

@@ -1,11 +1,26 @@
 // Command tool shows the error-discard exemption: binaries under a
-// cmd/ segment may discard errors at top level.
+// cmd/ segment may discard errors at top level. Package main is still
+// a sink scope for nondet-taint, so map order reaching stdout through
+// a helper is flagged.
 package main
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+)
 
 func mk() error { return errors.New("x") }
 
+// keysLine concatenates keys in map iteration order.
+func keysLine(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k
+	}
+	return s
+}
+
 func main() {
 	_ = mk()
+	fmt.Println(keysLine(map[string]int{"a": 1, "b": 2}))
 }

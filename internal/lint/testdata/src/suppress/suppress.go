@@ -1,0 +1,25 @@
+// Package suppress exercises the suppress-audit analyzer: directives
+// must earn their keep by suppressing at least one live diagnostic.
+package suppress
+
+// Used silences a live mapiter-determinism diagnostic: not audited.
+func Used(m map[string]int) []string {
+	var out []string
+	//lint:sorted callers treat the result as a set
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Stale sits on a line where no diagnostic fires: flagged as unused.
+func Stale(xs []string) int {
+	//lint:allow mapiter-determinism nothing fires here
+	return len(xs)
+}
+
+// Unknown names an analyzer that does not exist: flagged.
+func Unknown() int {
+	//lint:ignore no-such-analyzer mistyped analyzer name
+	return 0
+}

@@ -1,0 +1,21 @@
+// Package util is outside the engine list, so seeded-rand stays quiet
+// here and the one wallclock-free hit is suppressed at the source.
+// Only the interprocedural taint analysis can see the nondeterminism
+// travel from here to an engine entry point in another package.
+package util
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Jitter returns a value from the unseeded global source.
+func Jitter(n int) int {
+	return rand.Intn(n)
+}
+
+// Stamp reads the wall clock. The suppression silences the local
+// stopwatch complaint; nondet-taint still tracks the value to sinks.
+func Stamp() int64 {
+	return time.Now().UnixNano() //lint:allow wallclock-free fixture stopwatch, tracked by taint instead
+}
