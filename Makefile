@@ -17,6 +17,11 @@ GO ?= go
 BENCHTIME ?= 0.5s
 BENCHCOUNT ?= 3
 BENCH_BASELINE ?= BENCH_2.json
+# The incremental-maintenance benchmarks (Bench*Maintain) landed after
+# BENCH_2 froze, so they diff against their own baseline. Their
+# facts/sec series is higher-is-better: benchdiff fails when throughput
+# drops below baseline/MAX_REGRESS.
+BENCH_INCR_BASELINE ?= BENCH_7.json
 MAX_REGRESS ?= 1.6
 
 # Per-target budget for the coverage-guided fuzzing pass in `make
@@ -24,6 +29,10 @@ MAX_REGRESS ?= 1.6
 # as plain unit tests regardless of this knob; the budget only bounds
 # how long each fuzzer searches for NEW inputs.
 FUZZTIME ?= 5s
+
+# Wall-clock budget for the sustained-update soak (`make soak`). The
+# soak test runs under `make test` too, at a tiny built-in budget.
+SOAKTIME ?= 60s
 
 # Worker count for the experiment sweep (cmd/experiments -parallel).
 # 0 means GOMAXPROCS. The sweep's stdout is byte-identical for every
@@ -38,7 +47,7 @@ SWEEPPROCS ?= 0
 COVER_PKGS ?= ./internal/mpc ./internal/transducer
 COVER_BASELINE ?= COVERAGE.json
 
-.PHONY: all build vet test race lint faultmatrix verify fmt fuzz bench bench-json verify-perf nightly experiments cover cover-baseline
+.PHONY: all build vet test race lint faultmatrix verify fmt fuzz bench bench-json bench-json-incr verify-perf nightly soak experiments cover cover-baseline
 
 all: verify
 
@@ -107,10 +116,18 @@ cover-baseline:
 nightly: verify
 	$(GO) test -race ./...
 	$(MAKE) verify-perf
+	$(MAKE) soak
 	$(GO) run ./cmd/experiments -parallel $(SWEEPPROCS) -run SCHED-exhaustive
 	$(GO) run ./cmd/experiments -parallel $(SWEEPPROCS) -run CHAOS-matrix
 	$(GO) run ./cmd/experiments -parallel $(SWEEPPROCS) -run FAULTMPC-matrix
+	$(GO) run ./cmd/experiments -parallel $(SWEEPPROCS) -run INCR-maintenance
 	@echo "nightly: OK"
+
+# soak streams mixed-size update batches at a maintained view for
+# SOAKTIME, re-verifying byte-identity against from-scratch evaluation
+# after every epoch.
+soak:
+	MPC_SOAK=$(SOAKTIME) $(GO) test -run 'TestSustainedUpdateSoak' -v .
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) .
@@ -127,10 +144,24 @@ bench-json:
 	@rm -f .bench_raw.txt
 	@echo "bench-json: wrote $(BENCH_BASELINE)"
 
+# bench-json-incr regenerates the incremental-maintenance baseline
+# (facts/sec, per-batch deltacomm/rounds) from the Bench*Maintain
+# benchmarks alone.
+bench-json-incr:
+	$(GO) test -run='^$$' -bench='Maintain' -benchmem -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) . > .bench_raw.txt
+	$(GO) run ./cmd/benchjson -out $(BENCH_INCR_BASELINE) .bench_raw.txt
+	@rm -f .bench_raw.txt
+	@echo "bench-json-incr: wrote $(BENCH_INCR_BASELINE)"
+
 # verify-perf runs the benchmarks fresh and fails when any ns/op
 # regressed more than MAX_REGRESS times the checked-in baseline.
+# The fresh report diffs against both baselines: BENCH_BASELINE pins
+# the pre-incremental benchmarks (Maintain benchmarks show as
+# only-in-new there), BENCH_INCR_BASELINE pins the maintenance
+# throughput and its exact per-batch domain metrics.
 verify-perf:
 	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) . > .bench_head_raw.txt
 	$(GO) run ./cmd/benchjson -out BENCH_head.json .bench_head_raw.txt
 	@rm -f .bench_head_raw.txt
 	$(GO) run ./cmd/benchdiff -max-regress $(MAX_REGRESS) $(BENCH_BASELINE) BENCH_head.json
+	$(GO) run ./cmd/benchdiff -max-regress $(MAX_REGRESS) $(BENCH_INCR_BASELINE) BENCH_head.json

@@ -10,7 +10,11 @@
 // deterministic modulo map growth, so its factor is tight; and the
 // domain metrics (maxload, totalcomm, and any other custom b.ReportMetric
 // series) are pure functions of the input, so they must match exactly.
-// B/op and iters are not compared.
+// Metrics whose name ends in "/sec" (e.g. the ingestion benchmarks'
+// facts/sec) are throughput: they are timing-derived, so they get the
+// loose ns/op factor — but in the opposite direction, failing when the
+// new value drops below old/max-regress. B/op and iters are not
+// compared.
 //
 // Output lines are sorted by benchmark name so repeated runs over the
 // same pair of reports are byte-identical.
@@ -22,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 )
 
 type benchmark struct {
@@ -77,6 +82,12 @@ func main() {
 			bad += fmt.Sprintf("  allocs/op REGRESSION %.0f -> %.0f", oA, nA)
 			regressions++
 		}
+		for _, metric := range throughputMetrics(o) {
+			if oV, nV := o.Metrics[metric], n.Metrics[metric]; oV > 0 && nV < oV / *maxRegress {
+				bad += fmt.Sprintf("  %s REGRESSION %.0f -> %.0f", metric, oV, nV)
+				regressions++
+			}
+		}
 		for _, metric := range domainMetrics(o) {
 			if o.Metrics[metric] != n.Metrics[metric] {
 				bad += fmt.Sprintf("  %s DRIFT %g -> %g", metric, o.Metrics[metric], n.Metrics[metric])
@@ -109,7 +120,8 @@ func main() {
 
 // domainMetrics returns b's metric names that are pure functions of the
 // benchmark input — everything except the timing and allocation series
-// the Go test runner emits — sorted for stable output.
+// the Go test runner emits and the throughput series — sorted for
+// stable output.
 func domainMetrics(b benchmark) []string {
 	out := make([]string, 0, len(b.Metrics))
 	for name := range b.Metrics {
@@ -117,7 +129,25 @@ func domainMetrics(b benchmark) []string {
 		case "ns/op", "B/op", "allocs/op", "MB/s":
 			continue
 		}
+		if strings.HasSuffix(name, "/sec") {
+			continue
+		}
 		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// throughputMetrics returns b's higher-is-better metric names: custom
+// series ending in "/sec", reported by the sustained-update ingestion
+// benchmarks. They are timing-derived, so they share ns/op's loose
+// regression factor rather than the domain metrics' exact equality.
+func throughputMetrics(b benchmark) []string {
+	out := make([]string, 0, 1)
+	for name := range b.Metrics {
+		if strings.HasSuffix(name, "/sec") && name != "MB/s" {
+			out = append(out, name)
+		}
 	}
 	sort.Strings(out)
 	return out

@@ -77,10 +77,21 @@ func evalStratum(p *Program, ruleIdx []int, db *rel.Instance) error {
 	db.AddAll(delta)
 
 	// Semi-naive rounds: re-evaluate each rule once per recursive body
-	// atom, with that atom restricted to the delta.
+	// atom, with that atom restricted to the delta. The view is built
+	// once per round (db is only mutated after the round) and the Δ
+	// binding is an alias of the delta relation, not a copy — rebinding
+	// per atom costs one map write.
 	const deltaRel = "Δ"
 	for !delta.IsEmpty() {
-		next := rel.NewInstance()
+		// The round can at best multiply the frontier; seed the head
+		// relations with the previous delta's size so early rounds don't
+		// rehash their way up from nothing.
+		next := rel.NewInstanceSize(len(ruleIdx))
+		for _, ri := range ruleIdx {
+			h := p.Rules[ri].Head
+			next.EnsureRelationSize(h.Rel, len(h.Args), delta.Len())
+		}
+		view := shallowView(db)
 		for _, ri := range ruleIdx {
 			r := p.Rules[ri]
 			for bi, a := range r.Body {
@@ -91,11 +102,7 @@ func evalStratum(p *Program, ruleIdx []int, db *rel.Instance) error {
 				if dRel == nil || dRel.Len() == 0 {
 					continue
 				}
-				// View: db plus Δ bound to the delta of a.Rel.
-				view := shallowView(db)
-				dr := dRel.Clone()
-				dr.Name = deltaRel
-				view.SetRelation(dr)
+				view.SetRelationAs(deltaRel, dRel)
 				rr := rewriteAtom(r, bi, deltaRel)
 				res := cq.Evaluate(rr, view)
 				res.Each(func(t rel.Tuple) bool {

@@ -221,3 +221,36 @@ func TestSemiJoinReducesShuffle(t *testing.T) {
 			jStats[0].TotalComm, dStats[0].TotalComm)
 	}
 }
+
+// Pins the semi-naive linear plan's shipped volume on a fixed path
+// graph. Path 0→…→8 (n = 8 edges): round r ships the frontier (the
+// n−r+1 paths of length r) plus the n base edges, and the last
+// productive round is r = n−1, with round n shipping only the final
+// frontier fact plus edges and deriving nothing. TotalComm is
+// therefore Σ_{r=1..n} (n−r+1+n) = n(n+1)/2 + n² = 36 + 64 = 100 —
+// versus Σ_r (|TC_r| + n) ≈ 200 for the naive plan that re-ships the
+// whole closure every round. A regression here means the linear plan
+// stopped being semi-naive.
+func TestTransitiveClosureLinearShipsOnlyFrontier(t *testing.T) {
+	g := workload.PathGraph(8)
+	res, err := TransitiveClosure(4, g, "E", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Closure.Equal(SemiNaiveClosure(g, "E")) {
+		t.Fatalf("closure wrong")
+	}
+	if res.Closure.Len() != 36 {
+		t.Errorf("closure size = %d, want 36", res.Closure.Len())
+	}
+	if res.Rounds != 8 {
+		t.Errorf("rounds = %d, want 8", res.Rounds)
+	}
+	tot := 0
+	for _, s := range res.Stats {
+		tot += s.TotalComm
+	}
+	if tot != 100 {
+		t.Errorf("semi-naive linear TC shipped %d facts, want 100", tot)
+	}
+}

@@ -64,11 +64,60 @@ type Compute func(server int, local *rel.Instance) *rel.Instance
 // are not counted as communication (local data needs no network hop);
 // all other facts are shipped according to Route. Like Route, Keep is
 // called concurrently and must be safe for concurrent use.
+//
+// Resident names relations whose facts bypass the communication phase
+// entirely: they are neither routed, kept (copied), nor dropped — each
+// server's resident relations are carried by reference into its round
+// input, so a round's cost is independent of the resident state size.
+// A resident round's Compute typically folds shipped Δ fragments into
+// the residents (see rel.Instance.FoldDelta) and must return an
+// instance that still contains them — usually its own input, which is
+// round-private and safe to mutate. Routing facts into a relation
+// named in Resident is a deterministic error. One caveat: because
+// residents are shared with the committed state during the round, a
+// Compute that PANICS after another server's fold already mutated a
+// resident breaks RunRound's atomicity-on-failure guarantee for that
+// resident state; every engine-detected error (bad routes, exhausted
+// retry budgets) still precedes any fold and stays atomic.
+//
+// DeltaRels names the relations this round ships as Δ fragments; their
+// routed deliveries are tallied in RoundStats.DeltaComm. The (full, Δ)
+// pairing of semi-naive evaluation is expressed as a Resident entry
+// (the full copy that stays put) plus a DeltaRels entry (the fragment
+// on the wire). MaxLoad/TotalComm remain the logical metrics over all
+// shipped facts; DeltaComm is the sub-series the incremental engine
+// optimizes.
 type Round struct {
-	Name    string
-	Route   Router
-	Compute Compute
-	Keep    func(rel.Fact) bool
+	Name      string
+	Route     Router
+	Compute   Compute
+	Keep      func(rel.Fact) bool
+	Resident  []string
+	DeltaRels []string
+}
+
+// roundSets is a Round's membership view of its Resident and DeltaRels
+// declarations, precomputed once per executed round.
+type roundSets struct {
+	resident map[string]bool
+	delta    map[string]bool
+}
+
+func (r Round) sets() roundSets {
+	var s roundSets
+	if len(r.Resident) > 0 {
+		s.resident = make(map[string]bool, len(r.Resident))
+		for _, name := range r.Resident {
+			s.resident[name] = true
+		}
+	}
+	if len(r.DeltaRels) > 0 {
+		s.delta = make(map[string]bool, len(r.DeltaRels))
+		for _, name := range r.DeltaRels {
+			s.delta[name] = true
+		}
+	}
+	return s
 }
 
 // RoundStats records the cost of one executed round, split into two
@@ -83,6 +132,7 @@ type RoundStats struct {
 	Received  []int // facts received per server (load)
 	MaxLoad   int   // max over Received
 	TotalComm int   // total facts sent = Σ Received
+	DeltaComm int   // the subset of TotalComm carried by DeltaRels relations
 
 	// Recovery accounting (zero unless a fault-tolerance Option is
 	// installed and faults actually fired; see recovery.go).
@@ -97,6 +147,9 @@ type RoundStats struct {
 // when any of them is nonzero, so fault-free output is unchanged.
 func (s RoundStats) String() string {
 	base := fmt.Sprintf("round %s: max load %d, total communication %d", s.Name, s.MaxLoad, s.TotalComm)
+	if s.DeltaComm != 0 {
+		base += fmt.Sprintf(", delta communication %d", s.DeltaComm)
+	}
 	if s.Retries != 0 || s.RecoveredServers != 0 || s.ReplicaComm != 0 || s.SpeculativeWins != 0 {
 		base += fmt.Sprintf(" [recovery: retries %d, recovered %d, replica comm %d, speculative wins %d, makespan %d]",
 			s.Retries, s.RecoveredServers, s.ReplicaComm, s.SpeculativeWins, s.VirtualMakespan)
@@ -108,8 +161,16 @@ func (s RoundStats) String() string {
 // the round. Two executions of the same program whose LogicalString
 // traces differ violate fault transparency.
 func (s RoundStats) LogicalString() string {
-	return fmt.Sprintf("round %s: received %v, max load %d, total communication %d",
+	base := fmt.Sprintf("round %s: received %v, max load %d, total communication %d",
 		s.Name, s.Received, s.MaxLoad, s.TotalComm)
+	if s.DeltaComm != 0 {
+		// DeltaComm is computed from the same shards as TotalComm on
+		// both execution paths, so it is logical and fault-invariant;
+		// rendering it only when nonzero keeps pre-delta traces
+		// byte-identical.
+		base += fmt.Sprintf(", delta communication %d", s.DeltaComm)
+	}
+	return base
 }
 
 // Cluster is a simulated MPC deployment.
@@ -117,7 +178,8 @@ type Cluster struct {
 	p       int
 	servers []*rel.Instance
 	stats   []RoundStats
-	ft      *ftState // nil: fault tolerance off, zero-overhead path
+	ft      *ftState    // nil: fault tolerance off, zero-overhead path
+	delta   *deltaState // nil: no incremental program installed (see delta.go)
 }
 
 // Option configures a cluster at construction (see faults.go for the
@@ -182,6 +244,16 @@ func (c *Cluster) TotalComm() int {
 	return n
 }
 
+// DeltaCommTotal returns total Δ communication over all rounds — the
+// subset of TotalComm that delta rounds actually shipped.
+func (c *Cluster) DeltaCommTotal() int {
+	n := 0
+	for _, s := range c.stats {
+		n += s.DeltaComm
+	}
+	return n
+}
+
 // Rounds returns how many rounds have been executed.
 func (c *Cluster) Rounds() int { return len(c.stats) }
 
@@ -231,9 +303,21 @@ func (c *Cluster) LoadAt(server int, i *rel.Instance) {
 // p shards — because fault plans address individual network links;
 // see recovery.go.)
 type commShard struct {
-	outs []*rel.Instance // outs[dst]: facts bound for dst; nil if none
-	sent []int           // routed deliveries per destination (Keep facts uncounted)
-	err  error
+	outs      []*rel.Instance // outs[dst]: facts bound for dst; nil if none
+	sent      []int           // routed deliveries per destination (Keep facts uncounted)
+	deltaSent int             // routed deliveries of DeltaRels relations
+	err       error
+}
+
+// deltaSent sums the shards' Δ deliveries — the DeltaComm of the
+// round. Like the merge, it is a pure function of the shards, so the
+// fault-free and fault-tolerant paths compute identical values.
+func deltaSent(shards []commShard) int {
+	n := 0
+	for i := range shards {
+		n += shards[i].deltaSent
+	}
+	return n
 }
 
 // routeRange runs the communication phase for sources [lo, hi). It
@@ -246,7 +330,7 @@ type commShard struct {
 // confirmed range error, nothing more is delivered or counted for it —
 // the remaining facts are only probed (see probeBadRoute) to refine the
 // reported fact.
-func (c *Cluster) routeRange(lo, hi int, r Round) (sh commShard) {
+func (c *Cluster) routeRange(lo, hi int, r Round, sets roundSets) (sh commShard) {
 	sh.outs = make([]*rel.Instance, c.p)
 	sh.sent = make([]int, c.p)
 	cur := lo
@@ -267,6 +351,14 @@ func (c *Cluster) routeRange(lo, hi int, r Round) (sh commShard) {
 		badDst := -1
 		srv := c.servers[src]
 		for _, name := range srv.RelationNames() {
+			if sets.resident[name] {
+				// Resident relations never enter the communication
+				// phase: they are adopted by reference after the merge
+				// (see adoptResidents), so carrying them costs O(1) per
+				// relation instead of O(facts).
+				continue
+			}
+			isDelta := sets.delta[name]
 			rl := srv.Relation(name)
 			rl.Each(func(t rel.Tuple) bool {
 				f := rel.Fact{Rel: name, Tuple: t}
@@ -294,6 +386,9 @@ func (c *Cluster) routeRange(lo, hi int, r Round) (sh commShard) {
 						return true
 					}
 					sh.sent[dst]++
+					if isDelta {
+						sh.deltaSent++
+					}
 					deliver(dst, f)
 				}
 				return true
@@ -344,6 +439,7 @@ func probeBadRoute(r Round, f rel.Fact, p int) (dst int, bad bool) {
 func (c *Cluster) routePhase(r Round, chunk int) ([]commShard, error) {
 	workers := (c.p + chunk - 1) / chunk
 	shards := make([]commShard, workers)
+	sets := r.sets()
 	var routeWG sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
@@ -354,7 +450,7 @@ func (c *Cluster) routePhase(r Round, chunk int) ([]commShard, error) {
 		routeWG.Add(1)
 		go func(w, lo, hi int) {
 			defer routeWG.Done()
-			shards[w] = c.routeRange(lo, hi, r)
+			shards[w] = c.routeRange(lo, hi, r, sets)
 		}(w, lo, hi)
 	}
 	routeWG.Wait()
@@ -428,6 +524,32 @@ func (c *Cluster) mergePhase(r Round, shards []commShard) ([]*rel.Instance, []in
 		}
 	}
 	return inboxes, received, nil
+}
+
+// adoptResidents carries each server's Resident relations into its
+// round input by reference — the zero-copy, zero-communication channel
+// that lets a delta round's cost scale with |Δ| instead of the
+// resident state size. Inboxes are round-private, so adopting live
+// server relations is safe: the round's Compute either returns them in
+// its output (state carried forward) or drops them. Routing facts into
+// a resident relation would silently entangle shipped and resident
+// copies, so it is a deterministic error, detected before any Compute
+// runs (which keeps the failure atomic).
+func (c *Cluster) adoptResidents(r Round, sets roundSets, inboxes []*rel.Instance) error {
+	if sets.resident == nil {
+		return nil
+	}
+	for _, name := range r.Resident {
+		for i, srv := range c.servers {
+			if in := inboxes[i].Relation(name); in != nil && in.Len() > 0 {
+				return fmt.Errorf("mpc: round %q routed facts into resident relation %q on server %d", r.Name, name, i)
+			}
+			if rl := srv.Relation(name); rl != nil {
+				inboxes[i].SetRelation(rl)
+			}
+		}
+	}
+	return nil
 }
 
 // computePhase runs the computation phase: local and embarrassingly
@@ -504,11 +626,14 @@ func (c *Cluster) RunRound(r Round) (RoundStats, error) {
 	if err != nil {
 		return RoundStats{}, err
 	}
+	if err := c.adoptResidents(r, r.sets(), inboxes); err != nil {
+		return RoundStats{}, err
+	}
 	next, err := c.computePhase(r, inboxes)
 	if err != nil {
 		return RoundStats{}, err
 	}
-	stats := RoundStats{Name: r.Name, Received: received}
+	stats := RoundStats{Name: r.Name, Received: received, DeltaComm: deltaSent(shards)}
 	for _, n := range received {
 		stats.TotalComm += n
 		if n > stats.MaxLoad {

@@ -212,11 +212,20 @@ func (c *Cluster) runRoundFT(r Round) (RoundStats, error) {
 		return RoundStats{}, err
 	}
 	stats.Received = received
+	stats.DeltaComm = deltaSent(shards)
 	for _, n := range received {
 		stats.TotalComm += n
 		if n > stats.MaxLoad {
 			stats.MaxLoad = n
 		}
+	}
+
+	// Residents join the round input before the checkpoint is cut, so
+	// a recovered or speculative re-execution reloads the same (full,
+	// Δ) view the primary computed on. The reload is a StableStore
+	// clone, so repairs never alias the live resident state.
+	if err := c.adoptResidents(r, r.sets(), inboxes); err != nil {
+		return RoundStats{}, err
 	}
 
 	// Checkpoint every server's merged round input before any
@@ -293,6 +302,11 @@ func (c *Cluster) runRoundFT(r Round) (RoundStats, error) {
 type Checkpoint struct {
 	store *policy.StableStore
 	stats []RoundStats
+
+	// Delta-program counters at the time the checkpoint was cut (both
+	// zero when none is installed), letting RestoreDelta re-enter an
+	// incremental program exactly where its history left off.
+	batches, steps int
 }
 
 // Rounds returns how many completed rounds the checkpoint covers.
@@ -306,12 +320,18 @@ func (c *Cluster) Checkpoint() *Checkpoint {
 	if c.ft == nil {
 		return nil
 	}
+	ck := &Checkpoint{}
+	if c.delta != nil {
+		ck.batches, ck.steps = c.delta.batches, c.delta.steps
+	}
 	if c.ft.ckpt == nil {
 		// No round committed yet: snapshot the initial placement on
 		// demand so a program can resume from round 0.
-		return &Checkpoint{store: policy.NewStableStore(c.servers), stats: cloneStats(c.stats)}
+		ck.store, ck.stats = policy.NewStableStore(c.servers), cloneStats(c.stats)
+		return ck
 	}
-	return &Checkpoint{store: c.ft.ckpt, stats: cloneStats(c.ftStatsRef())}
+	ck.store, ck.stats = c.ft.ckpt, cloneStats(c.ftStatsRef())
+	return ck
 }
 
 func (c *Cluster) ftStatsRef() []RoundStats { return c.ft.ckptStats }

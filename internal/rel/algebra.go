@@ -88,11 +88,16 @@ func HashJoin(name string, l, r *Relation, lCols, rCols []int) *Relation {
 		panic("rel: join column count mismatch")
 	}
 	out := NewRelation(name, l.Arity+r.Arity)
-	// Build on the smaller side.
+	// Build on a side that already has a cached index on its join
+	// columns; otherwise on the smaller side. Cached indexes survive
+	// inserts (see Relation.IndexOn), so a pre-indexed resident relation
+	// answers every later delta join at O(|Δ|) instead of being
+	// re-scanned as the probe side.
 	build, probe := l, r
 	bCols, pCols := lCols, rCols
 	swapped := false
-	if r.Len() < l.Len() {
+	lIdx, rIdx := l.hasIndex(lCols), r.hasIndex(rCols)
+	if (rIdx && !lIdx) || (lIdx == rIdx && r.Len() < l.Len()) {
 		build, probe = r, l
 		bCols, pCols = rCols, lCols
 		swapped = true

@@ -61,6 +61,22 @@ func (r *Relation) index(cols []int) *joinIndex {
 	return ji
 }
 
+// hasIndex reports whether a join index on cols is already cached.
+func (r *Relation) hasIndex(cols []int) bool {
+	ji, ok := r.idx[colsKey(cols)]
+	return ok && equalCols(ji.cols, cols)
+}
+
+// IndexOn builds and caches the relation's join index on cols if it is
+// not cached already. Inserts maintain cached indexes incrementally
+// (removal and compaction drop them), so pre-indexing a long-lived
+// resident relation lets every later HashJoin against a small delta
+// probe the resident at O(|Δ|) instead of scanning it — the join-side
+// half of the delta-round cost model.
+func (r *Relation) IndexOn(cols ...int) {
+	r.index(cols)
+}
+
 // HashCols returns the partition-quality hash of t's projection onto
 // cols, equal to t.Project(cols).Hash() without allocating the
 // projected tuple.

@@ -102,6 +102,36 @@ func (i *Instance) EnsureRelationSize(name string, arity, size int) *Relation {
 // SetRelation installs (replaces) a relation wholesale.
 func (i *Instance) SetRelation(r *Relation) { i.rels[r.Name] = r }
 
+// SetRelationAs installs r under an explicit name, regardless of
+// r.Name. It exists for read-only views that bind a shared relation
+// under a role name (e.g. the semi-naive Δ binding) without cloning
+// it; evaluation reads relations by instance key, never by r.Name.
+func (i *Instance) SetRelationAs(name string, r *Relation) { i.rels[name] = r }
+
+// RemoveRelation deletes the named relation wholesale and returns it
+// (nil if absent).
+func (i *Instance) RemoveRelation(name string) *Relation {
+	r := i.rels[name]
+	delete(i.rels, name)
+	return r
+}
+
+// FoldDelta folds the relation named delta into the resident relation
+// full — creating the resident with the given arity if absent —
+// removes delta from the instance, and returns the genuinely-new
+// tuples as a relation named delta. A missing or empty delta folds as
+// empty. This is the receiver side of a delta round: the shipped Δ
+// fragment disappears into the resident full copy, and the returned
+// sub-delta seeds the next derivation step.
+func (i *Instance) FoldDelta(delta, full string, arity int) *Relation {
+	d := i.RemoveRelation(delta)
+	if d == nil || d.Len() == 0 {
+		return NewRelation(delta, arity)
+	}
+	f := i.EnsureRelationSize(full, arity, d.Len())
+	return f.AbsorbNew(d, delta)
+}
+
 // RelationNames returns the names of nonempty relations, sorted.
 func (i *Instance) RelationNames() []string {
 	out := make([]string, 0, len(i.rels))

@@ -88,6 +88,20 @@ func (r *Relation) mutated() {
 	r.idx = nil
 }
 
+// inserted records a successful insert of stored tuple i: the sorted
+// enumeration is invalid, but cached join indexes stay live — the new
+// tuple is appended to their buckets instead of rebuilding. This is
+// what keeps repeated delta joins against a growing resident relation
+// at O(|Δ|) per round: removal and compaction still drop the caches
+// (mutated / rehash), so buckets never hold dead entries.
+func (r *Relation) inserted(i int32) {
+	r.sorted = nil
+	for _, ji := range r.idx {
+		h := HashCols(r.tupleAt(i), ji.cols)
+		ji.buckets[h] = append(ji.buckets[h], i)
+	}
+}
+
 // find returns the stored index of the tuple with hash h equal to t,
 // or -1 if absent.
 func (r *Relation) find(h uint64, t Tuple) int32 {
@@ -140,7 +154,7 @@ func (r *Relation) insert(h uint64, t Tuple) bool {
 		r.slots[s] = i
 	}
 	r.live++
-	r.mutated()
+	r.inserted(i)
 	return true
 }
 
@@ -345,6 +359,33 @@ func (r *Relation) UnionWith(o *Relation) int {
 		}
 	}
 	return added
+}
+
+// AbsorbNew adds every tuple of o into r (like UnionWith) and returns
+// the genuinely new ones as a fresh relation named name. Cached hashes
+// of o are reused and both r and the result are pre-sized, so folding
+// a small delta into a large resident relation costs O(|o|), not
+// O(|r|) — the operation behind delta rounds' receiver-side fold.
+// A nil or empty o returns an empty relation of r's arity.
+func (r *Relation) AbsorbNew(o *Relation, name string) *Relation {
+	if o == nil || o.live == 0 {
+		return NewRelation(name, r.Arity)
+	}
+	if r.Arity != o.Arity {
+		panic("rel: arity mismatch absorbing into " + r.Name)
+	}
+	out := NewRelationSize(name, r.Arity, o.live)
+	r.grow(r.live + o.live)
+	for i := range o.hashes {
+		if o.dead[i] {
+			continue
+		}
+		t := o.tupleAt(int32(i))
+		if r.insert(o.hashes[i], t) {
+			out.insert(o.hashes[i], t)
+		}
+	}
+	return out
 }
 
 // Equal reports whether r and o contain exactly the same tuples.
