@@ -47,7 +47,7 @@ SWEEPPROCS ?= 0
 COVER_PKGS ?= ./internal/mpc ./internal/transducer
 COVER_BASELINE ?= COVERAGE.json
 
-.PHONY: all build vet test race lint faultmatrix verify fmt fuzz bench bench-json bench-json-incr verify-perf nightly soak experiments cover cover-baseline
+.PHONY: all build vet test race lint faultmatrix transport netsweep verify fmt fuzz bench bench-json bench-json-incr verify-perf nightly soak experiments cover cover-baseline
 
 all: verify
 
@@ -75,6 +75,36 @@ faultmatrix:
 	$(GO) test -run 'TestFaultTransparency|TestCheckpoint|TestRunYannakakisRoundsResumesAfterFailure|TestGYMRestoreFromCheckpoint' ./internal/mpc ./internal/gym
 	$(GO) run ./cmd/experiments -parallel $(SWEEPPROCS) -run FAULTMPC-matrix
 
+# transport pins the PR-8 transport-equivalence gate by name: the
+# conformance suite on both the Local and TCP transports, the program
+# matrix over real sockets (byte-identical output, state, and logical
+# trace), the chaos-over-TCP fault matrix, the multi-process runtime
+# against the simulator, and the kill-recovery e2e on the real binary.
+transport:
+	$(GO) test -run 'TestLocalConformance|TestTCPConformance' ./internal/mpc/transportconf
+	$(GO) test -run 'TestTransportEquivalence|TestChaosOverTCP' ./internal/gym
+	$(GO) test -run 'TestDistributedMatchesLocal' ./internal/mpcnet
+	$(GO) test -run 'TestE2E' ./cmd/mpcrun
+
+# netsweep drives the installed binary end to end, wider than the push
+# gate: every distributed program at p ∈ {2,4,8} must print the same
+# report bytes over local and tcp, and a SIGKILL-recovery run must be
+# indistinguishable from the undisturbed reference.
+netsweep:
+	$(GO) build -o .mpcrun_sweep ./cmd/mpcrun
+	set -e; for prog in tc cascade hypercube yannakakis gym; do \
+	  for p in 2 4 8; do \
+	    ./.mpcrun_sweep -transport local -program $$prog -p $$p -m 24 -seed 7 > .net_local.txt; \
+	    ./.mpcrun_sweep -transport tcp   -program $$prog -p $$p -m 24 -seed 7 > .net_tcp.txt; \
+	    diff .net_local.txt .net_tcp.txt || { echo "netsweep: $$prog p=$$p diverged"; exit 1; }; \
+	  done; \
+	done
+	./.mpcrun_sweep -transport local -program tc -p 4 -m 24 -seed 7 > .net_local.txt
+	./.mpcrun_sweep -transport tcp -program tc -p 4 -m 24 -seed 7 -fail-worker 1 -fail-round 1 > .net_kill.txt
+	diff .net_local.txt .net_kill.txt || { echo "netsweep: kill-recovery run diverged"; exit 1; }
+	@rm -f .mpcrun_sweep .net_local.txt .net_tcp.txt .net_kill.txt
+	@echo "netsweep: OK"
+
 lint:
 	$(GO) run ./cmd/mpclint ./...
 
@@ -85,9 +115,10 @@ fmt:
 fuzz:
 	$(GO) test ./internal/cq -run='^$$' -fuzz='^FuzzParseCQ$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/rel -run='^$$' -fuzz='^FuzzRelation$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/rel -run='^$$' -fuzz='^FuzzFragmentWire$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/sweep -run='^$$' -fuzz='^FuzzSweepMerge$$' -fuzztime=$(FUZZTIME)
 
-verify: build vet test race faultmatrix lint fuzz
+verify: build vet test race faultmatrix transport lint fuzz
 	@echo "verify: OK"
 
 # experiments regenerates every report on the sweep scheduler.
@@ -115,6 +146,7 @@ cover-baseline:
 # parallel scheduler.
 nightly: verify
 	$(GO) test -race ./...
+	$(MAKE) netsweep
 	$(MAKE) verify-perf
 	$(MAKE) soak
 	$(GO) run ./cmd/experiments -parallel $(SWEEPPROCS) -run SCHED-exhaustive

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// mpcrunBin is the binary under test, built once in TestMain — the
+// e2e suite drives real processes, not in-process calls: the
+// coordinator is one OS process and every simulated server is
+// another, so the tests cover the actual fork/exec/recover machinery
+// users run.
+var mpcrunBin string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "mpcrun-e2e-*")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "e2e: temp dir: %v\n", err)
+		os.Exit(1)
+	}
+	mpcrunBin = filepath.Join(dir, "mpcrun")
+	if out, err := exec.Command("go", "build", "-o", mpcrunBin, ".").CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "e2e: building mpcrun: %v\n%s", err, out)
+		os.RemoveAll(dir) // best-effort cleanup before exiting
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir) // best-effort cleanup before exiting
+	os.Exit(code)
+}
+
+// runBin executes the built binary and returns stdout and stderr.
+func runBin(t *testing.T, args ...string) (string, string) {
+	t.Helper()
+	cmd := exec.Command(mpcrunBin, args...)
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("mpcrun %v: %v\nstderr:\n%s", args, err, stderr.String())
+	}
+	return stdout.String(), stderr.String()
+}
+
+// TestE2ETransportEquivalence runs the same spec through -transport
+// local (the in-process simulator) and -transport tcp (one forked
+// worker process per server, fragments over loopback sockets) and
+// diffs the reports verbatim: multi-round TC must be byte-identical
+// across the process boundary.
+func TestE2ETransportEquivalence(t *testing.T) {
+	for _, p := range []int{2, 4} {
+		p := p
+		t.Run(fmt.Sprintf("tc/p=%d", p), func(t *testing.T) {
+			t.Parallel()
+			args := []string{"-program", "tc", "-p", fmt.Sprint(p), "-m", "24", "-seed", "7"}
+			want, _ := runBin(t, append([]string{"-transport", "local"}, args...)...)
+			got, _ := runBin(t, append([]string{"-transport", "tcp"}, args...)...)
+			if got != want {
+				t.Errorf("tcp report diverged from local:\n got:\n%s\nwant:\n%s", got, want)
+			}
+			if !strings.Contains(want, "round tc-step-1:") {
+				t.Errorf("program was not multi-round:\n%s", want)
+			}
+		})
+	}
+}
+
+// TestE2EKillRecovery is the crash test: worker 1 SIGKILLs itself
+// right after writing its round-1 checkpoint, the coordinator
+// respawns it, and the respawn recovers from the checkpoint by
+// deterministic re-execution. The report must still be byte-identical
+// to the in-process reference — a lost machine is invisible in every
+// logical observable.
+func TestE2EKillRecovery(t *testing.T) {
+	args := []string{"-program", "tc", "-p", "4", "-m", "24", "-seed", "7"}
+	want, _ := runBin(t, append([]string{"-transport", "local"}, args...)...)
+
+	ckpt := t.TempDir()
+	got, stderr := runBin(t, append([]string{
+		"-transport", "tcp", "-ckpt", ckpt, "-fail-worker", "1", "-fail-round", "1",
+	}, args...)...)
+	if got != want {
+		t.Errorf("post-recovery report diverged from local:\n got:\n%s\nwant:\n%s", got, want)
+	}
+	// The crash must not have been vacuous: the coordinator really
+	// respawned an incarnation, and the checkpoint files really exist.
+	if !strings.Contains(stderr, "recovered 1 worker incarnation") {
+		t.Errorf("no recovery happened (stderr: %q)", stderr)
+	}
+	if _, err := os.Stat(filepath.Join(ckpt, "worker-1-round-1.ckpt")); err != nil {
+		t.Errorf("missing the checkpoint the failpoint armed on: %v", err)
+	}
+}

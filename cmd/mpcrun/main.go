@@ -8,72 +8,224 @@
 //	mpcrun -workload triangle -m 10000 -p 64
 //	mpcrun -workload join -skew 0.5 -algo grouping -p 16
 //	mpcrun -workload chain -algo yannakakis -p 8
+//
+// With -transport the command leaves the single-process simulator and
+// executes a ProgramSpec on the distributed runtime:
+//
+//	mpcrun -transport local -program tc -p 4 -m 32 -seed 7
+//	mpcrun -transport tcp   -program tc -p 4 -m 32 -seed 7
+//
+// -transport local runs the in-process reference; -transport tcp
+// forks one worker process per simulated server (this same binary in
+// -worker mode) exchanging fragments over loopback TCP. Both print the
+// identical byte-for-byte report — that equality is the point, and the
+// e2e tests diff it verbatim. Worker processes checkpoint each round
+// under -ckpt, so a killed worker is respawned and recovers.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"strconv"
 
 	"mpclogic/internal/core"
 	"mpclogic/internal/cq"
+	"mpclogic/internal/mpcnet"
 	"mpclogic/internal/rel"
 	"mpclogic/internal/workload"
 )
 
 func main() {
-	wl := flag.String("workload", "triangle", "workload: triangle | join | chain")
+	wl := flag.String("workload", "triangle", "workload: triangle | join | chain (simulator mode)")
 	m := flag.Int("m", 10000, "tuples per relation")
 	p := flag.Int("p", 64, "number of servers")
 	skew := flag.Float64("skew", 0, "fraction of tuples sharing one heavy join value")
 	algo := flag.String("algo", "", "algorithm: hypercube | repartition | grouping | yannakakis | gym (default: planner decides)")
 	oneRound := flag.Bool("one-round", true, "restrict the planner to one round")
 	wcoj := flag.Bool("wcoj", false, "use the worst-case-optimal generic join as the local engine (hypercube only)")
+
+	transport := flag.String("transport", "", "distributed mode: local | tcp (default: single-process simulator)")
+	program := flag.String("program", "tc", "distributed program: tc | cascade | hypercube | yannakakis | gym")
+	seed := flag.Uint64("seed", 7, "workload and routing seed (distributed mode)")
+	ckpt := flag.String("ckpt", "", "checkpoint directory (default: a temporary directory)")
+	failWorker := flag.Int("fail-worker", -1, "kill this worker once mid-program to exercise recovery (tcp mode)")
+	failRound := flag.Int("fail-round", 1, "round at which -fail-worker dies")
+
+	worker := flag.Bool("worker", false, "internal: run as a worker process")
+	workerIndex := flag.Int("worker-index", -1, "internal: worker server index")
+	coord := flag.String("coord", "", "internal: coordinator control address")
+	spec := flag.String("spec", "", "internal: ProgramSpec as JSON")
+	failpoint := flag.Int("failpoint", -1, "internal: self-kill after checkpointing this round")
 	flag.Parse()
 
+	if *worker {
+		runWorker(*spec, *workerIndex, *coord, *ckpt, *failpoint)
+		return
+	}
+	if *transport != "" {
+		runDistributed(*transport, mpcnet.ProgramSpec{Program: *program, P: *p, M: *m, Seed: *seed},
+			*ckpt, *failWorker, *failRound)
+		return
+	}
+	runSimulator(*wl, *m, *p, *skew, *algo, *oneRound, *wcoj)
+}
+
+// runWorker is the -worker entry point: one server of a distributed
+// run, configured entirely from the command line by the coordinator.
+func runWorker(specJSON string, index int, coord, ckpt string, failpoint int) {
+	var spec mpcnet.ProgramSpec
+	if err := json.Unmarshal([]byte(specJSON), &spec); err != nil {
+		fatal(fmt.Errorf("worker spec: %w", err))
+	}
+	err := mpcnet.RunWorker(mpcnet.WorkerConfig{
+		Index:     index,
+		Spec:      spec,
+		CoordAddr: coord,
+		CkptDir:   ckpt,
+		FailRound: failpoint,
+	})
+	if err != nil {
+		fatal(fmt.Errorf("worker %d: %w", index, err))
+	}
+}
+
+// execSpawner relaunches this binary in -worker mode, one process per
+// incarnation. Worker stderr is passed through for diagnostics;
+// stdout stays clean for the coordinator's byte-compared report.
+func execSpawner(bin string) mpcnet.Spawner {
+	return func(cfg mpcnet.WorkerConfig) (mpcnet.Process, error) {
+		specJSON, err := json.Marshal(cfg.Spec)
+		if err != nil {
+			return nil, err
+		}
+		cmd := exec.Command(bin,
+			"-worker",
+			"-spec", string(specJSON),
+			"-worker-index", strconv.Itoa(cfg.Index),
+			"-coord", cfg.CoordAddr,
+			"-ckpt", cfg.CkptDir,
+			"-failpoint", strconv.Itoa(cfg.FailRound),
+		)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return nil, err
+		}
+		return &execProc{cmd: cmd}, nil
+	}
+}
+
+type execProc struct{ cmd *exec.Cmd }
+
+func (p *execProc) Wait() error { return p.cmd.Wait() }
+
+func (p *execProc) Kill() {
+	if p.cmd.Process != nil {
+		_ = p.cmd.Process.Kill() // best-effort teardown of an already-failed run
+	}
+}
+
+// runDistributed executes spec on the chosen transport and prints the
+// canonical report. local and tcp must produce identical bytes on
+// stdout; anything run-dependent (respawn counts) goes to stderr.
+func runDistributed(transport string, spec mpcnet.ProgramSpec, ckpt string, failWorker, failRound int) {
+	var res *mpcnet.RunResult
+	var err error
+	switch transport {
+	case "local":
+		res, err = mpcnet.RunLocal(spec)
+	case "tcp":
+		dir := ckpt
+		if dir == "" {
+			dir, err = os.MkdirTemp("", "mpcrun-ckpt-*")
+			if err != nil {
+				fatal(err)
+			}
+			defer os.RemoveAll(dir) // best-effort cleanup of scratch checkpoints
+		}
+		bin, berr := os.Executable()
+		if berr != nil {
+			fatal(berr)
+		}
+		res, err = mpcnet.Run(mpcnet.RunConfig{
+			Spec:       spec,
+			CkptDir:    dir,
+			FailWorker: failWorker,
+			FailRound:  failRound,
+			Spawn:      execSpawner(bin),
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "mpcrun: unknown transport %q (want local | tcp)\n", transport)
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	printDistributed(spec, res)
+	if res.Respawns > 0 {
+		fmt.Fprintf(os.Stderr, "mpcrun: recovered %d worker incarnation(s)\n", res.Respawns)
+	}
+}
+
+// printDistributed renders the byte-compared report: the spec line,
+// the sorted output, the full logical trace, and the cost line. Every
+// field is a logical observable — nothing here may depend on which
+// transport moved the bytes or on how many times a worker died.
+func printDistributed(spec mpcnet.ProgramSpec, res *mpcnet.RunResult) {
+	fmt.Printf("program: %s p=%d m=%d seed=%d\n", spec.Program, spec.P, spec.M, spec.Seed)
+	fmt.Printf("output:  %s\n", res.Output)
+	fmt.Printf("trace:\n%s", res.Trace)
+	fmt.Printf("cost:    rounds=%d maxLoad=%d totalComm=%d deltaComm=%d\n",
+		res.Rounds, res.MaxLoad, res.TotalComm, res.DeltaComm)
+}
+
+// runSimulator is the original single-process planner path.
+func runSimulator(wl string, m, p int, skew float64, algo string, oneRound, wcoj bool) {
 	d := rel.NewDict()
 	var q *cq.CQ
 	var inst *rel.Instance
-	switch *wl {
+	switch wl {
 	case "triangle":
 		q = cq.MustParse(d, "H(x, y, z) :- R(x, y), S(y, z), T(z, x)")
-		if *skew > 0 {
-			inst = workload.TriangleSkewed(*m, *skew)
+		if skew > 0 {
+			inst = workload.TriangleSkewed(m, skew)
 		} else {
-			inst = workload.TriangleSkewFree(*m)
+			inst = workload.TriangleSkewFree(m)
 		}
 	case "join":
 		q = cq.MustParse(d, "H(x, y, z) :- R(x, y), S(y, z)")
-		if *skew > 0 {
-			inst = workload.JoinSkewed(*m, *skew)
+		if skew > 0 {
+			inst = workload.JoinSkewed(m, skew)
 		} else {
-			inst = workload.JoinSkewFree(*m)
+			inst = workload.JoinSkewFree(m)
 		}
 	case "chain":
 		q = cq.MustParse(d, "H(a, dd) :- R0(a, b), R1(b, c), R2(c, dd)")
-		inst, _ = workload.AcyclicChain(3, *m, 0.3, 1)
+		inst, _ = workload.AcyclicChain(3, m, 0.3, 1)
 	default:
-		fmt.Fprintf(os.Stderr, "mpcrun: unknown workload %q\n", *wl)
+		fmt.Fprintf(os.Stderr, "mpcrun: unknown workload %q\n", wl)
 		os.Exit(2)
 	}
 
 	var plan *core.Plan
 	var err error
-	if *algo != "" {
-		plan = &core.Plan{Algorithm: core.Algorithm(*algo), Query: q, Servers: *p, Seed: 42, WCOJ: *wcoj}
+	if algo != "" {
+		plan = &core.Plan{Algorithm: core.Algorithm(algo), Query: q, Servers: p, Seed: 42, WCOJ: wcoj}
 		plan.Rationale = "algorithm forced on the command line"
 	} else {
-		plan, err = core.ChoosePlan(q, *p, *oneRound, *skew > 0)
+		plan, err = core.ChoosePlan(q, p, oneRound, skew > 0)
 		if err != nil {
 			fatal(err)
 		}
-		plan.WCOJ = plan.WCOJ || *wcoj
+		plan.WCOJ = plan.WCOJ || wcoj
 	}
 	fmt.Printf("workload: %s, m=%d per relation (%d facts), p=%d, skew=%.2f\n",
-		*wl, *m, inst.Len(), *p, *skew)
+		wl, m, inst.Len(), p, skew)
 	fmt.Printf("query:    %s\n", q)
 	fmt.Printf("plan:     %s — %s\n", plan.Algorithm, plan.Rationale)
-	if skewed := core.DetectSkew(inst, inst.Len() / *p); len(skewed) > 0 {
+	if skewed := core.DetectSkew(inst, inst.Len()/p); len(skewed) > 0 {
 		fmt.Printf("skew:     heavy hitters detected in %d relation column(s)\n", len(skewed))
 	}
 

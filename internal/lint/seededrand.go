@@ -15,6 +15,12 @@ import (
 // internal/workload and the transducer network scheduler already do.
 // Timing belongs to the measurement layer (experiments, benchmarks),
 // never inside the evaluation it measures.
+//
+// The one scoped exception mirrors the wallclock-free analyzer's:
+// time.Now nested in the arguments of a SetDeadline /
+// SetReadDeadline / SetWriteDeadline method call is permitted, because
+// a socket deadline bounds WHEN a broken exchange fails and never
+// feeds WHAT a successful evaluation computes.
 var SeededRandAnalyzer = &Analyzer{
 	Name: "seeded-rand",
 	Doc:  "engine packages must use explicitly seeded randomness and take time as input",
@@ -36,6 +42,7 @@ func runSeededRand(pass *Pass) {
 		return
 	}
 	for _, f := range pass.Pkg.Files {
+		inDeadlineArg := deadlineArgSpans(pass, f)
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
@@ -48,7 +55,7 @@ func runSeededRand(pass *Pass) {
 			switch {
 			case (path == "math/rand" || path == "math/rand/v2") && !randConstructors[name]:
 				pass.Reportf(call.Pos(), "call to %s.%s uses the global random source; engine packages must thread a *rand.Rand built from an explicit seed", pathBase(path), name)
-			case path == "time" && name == "Now":
+			case path == "time" && name == "Now" && !inDeadlineArg(call):
 				pass.Reportf(call.Pos(), "time.Now() in engine package; evaluation must be a pure function of its inputs — take timestamps as parameters or measure in the experiments layer")
 			}
 			return true

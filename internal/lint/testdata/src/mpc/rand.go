@@ -33,3 +33,15 @@ func Seeded(seed int64, n int) int {
 func Since(t0, t1 time.Time) time.Duration {
 	return t1.Sub(t0)
 }
+
+// sock mimics the net package's deadline surface.
+type sock struct{}
+
+func (sock) SetDeadline(t time.Time) error { return nil }
+
+// ArmDeadline reads the clock only to arm a socket deadline: clean
+// under seeded-rand and wallclock-free alike — the deadline bounds
+// when a broken exchange fails, never what the engine computes.
+func ArmDeadline(c sock, d time.Duration) error {
+	return c.SetDeadline(time.Now().Add(d))
+}

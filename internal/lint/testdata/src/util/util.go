@@ -19,3 +19,11 @@ func Jitter(n int) int {
 func Stamp() int64 {
 	return time.Now().UnixNano() //lint:allow wallclock-free fixture stopwatch, tracked by taint instead
 }
+
+// SetDeadline is a package-level FUNCTION that happens to share its
+// name with the net deadline methods. The deadline allowance must not
+// apply to calls of it — only method calls qualify.
+func SetDeadline(t time.Time) error {
+	_ = t
+	return nil
+}

@@ -2,7 +2,11 @@
 // code may not read the wall clock or block on wall time.
 package wallclock
 
-import "time"
+import (
+	"time"
+
+	"fixture/util"
+)
 
 // Timestamp reads the wall clock: flagged.
 func Timestamp() int64 {
@@ -37,6 +41,42 @@ func Ticker() *time.Ticker {
 // Stopwatch is an annotated measurement-layer clock read: clean.
 func Stopwatch() time.Time {
 	return time.Now() //lint:allow wallclock-free measurement-layer stopwatch
+}
+
+// conn mimics the net package's deadline surface.
+type conn struct{}
+
+func (conn) SetDeadline(t time.Time) error      { return nil }
+func (conn) SetReadDeadline(t time.Time) error  { return nil }
+func (conn) SetWriteDeadline(t time.Time) error { return nil }
+
+// ArmDeadline reads the clock only inside a deadline-setter method
+// argument: clean — a socket deadline is a connection liveness bound,
+// never logical time.
+func ArmDeadline(c conn, d time.Duration) error {
+	return c.SetDeadline(time.Now().Add(d))
+}
+
+// ArmReadWriteDeadlines: clean, same allowance for the split setters.
+func ArmReadWriteDeadlines(c conn, d time.Duration) error {
+	if err := c.SetReadDeadline(time.Now().Add(d)); err != nil {
+		return err
+	}
+	return c.SetWriteDeadline(time.Now().Add(d))
+}
+
+// EscapedDeadline binds the clock read before arming: flagged — the
+// timestamp escapes the deadline argument and becomes ambient state.
+func EscapedDeadline(c conn, d time.Duration) (time.Time, error) {
+	t0 := time.Now()
+	return t0, c.SetDeadline(t0.Add(d))
+}
+
+// FuncNamedSetDeadline calls a package-level function that merely
+// shares the setter name: flagged — the allowance is for method calls
+// only.
+func FuncNamedSetDeadline(d time.Duration) error {
+	return util.SetDeadline(time.Now().Add(d))
 }
 
 // FromParts is a pure function of its arguments: clean.

@@ -23,6 +23,15 @@ import (
 // not evaluation. The measurement layer's stopwatch is the one
 // legitimate library use and carries //lint:allow wallclock-free
 // annotations where it reads the clock.
+//
+// One scoped allowance: wall-clock reads nested in the arguments of a
+// SetDeadline / SetReadDeadline / SetWriteDeadline method call are
+// permitted. Socket deadlines are liveness bounds on connection I/O —
+// `conn.SetDeadline(time.Now().Add(timeout))` is the only way the net
+// package spells "bounded read" — and they never feed logical time:
+// a deadline influences WHEN an exchange fails, never WHAT a
+// successful exchange computes. Clock reads that escape the deadline
+// argument (stored, returned, compared) are still flagged.
 var WallclockAnalyzer = &Analyzer{
 	Name: "wallclock-free",
 	Doc:  "library code must not read the wall clock or sleep; use the virtual clock",
@@ -45,6 +54,51 @@ var wallclockFuncs = map[string]string{
 	"AfterFunc": "blocks on wall time",
 }
 
+// deadlineSetters are the net-package deadline methods whose arguments
+// may read the wall clock: connection I/O liveness only.
+var deadlineSetters = map[string]bool{
+	"SetDeadline":      true,
+	"SetReadDeadline":  true,
+	"SetWriteDeadline": true,
+}
+
+// deadlineArgSpans returns a predicate reporting whether a node sits
+// inside the argument list of a deadline-setter method call — the one
+// context where a clock read is a socket liveness bound, not logical
+// time. Only method calls qualify (a package-level function that
+// happens to be named SetDeadline still gets no allowance). Shared by
+// the wallclock-free and seeded-rand analyzers so the allowance is
+// identical in both.
+func deadlineArgSpans(pass *Pass, f *ast.File) func(ast.Node) bool {
+	type span struct{ lo, hi int }
+	var deadlineArgs []span
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !deadlineSetters[sel.Sel.Name] {
+			return true
+		}
+		if _, _, isPkgFunc := pkgFunc(pass.Pkg.Info, call); isPkgFunc {
+			return true
+		}
+		for _, a := range call.Args {
+			deadlineArgs = append(deadlineArgs, span{int(a.Pos()), int(a.End())})
+		}
+		return true
+	})
+	return func(n ast.Node) bool {
+		for _, s := range deadlineArgs {
+			if int(n.Pos()) >= s.lo && int(n.End()) <= s.hi {
+				return true
+			}
+		}
+		return false
+	}
+}
+
 func runWallclock(pass *Pass) {
 	// Same exemption as error-discard: binaries may time things;
 	// library code may not.
@@ -52,6 +106,7 @@ func runWallclock(pass *Pass) {
 		return
 	}
 	for _, f := range pass.Pkg.Files {
+		inDeadlineArg := deadlineArgSpans(pass, f)
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
@@ -61,7 +116,7 @@ func runWallclock(pass *Pass) {
 			if !ok || path != "time" {
 				return true
 			}
-			if why, bad := wallclockFuncs[name]; bad {
+			if why, bad := wallclockFuncs[name]; bad && !inDeadlineArg(call) {
 				pass.Reportf(call.Pos(), "time.%s %s in library code; delays and timeouts must go through the injectable virtual clock (or annotate a measurement-layer stopwatch with //lint:allow wallclock-free)", name, why)
 			}
 			return true

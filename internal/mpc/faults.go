@@ -243,12 +243,12 @@ func StandardFaultMatrix(seed int64, rounds, p int) []NamedFaultPlan {
 // carryingLinks lists the src ≠ dst links of a routed round that carry
 // at least one fact, in ascending (src, dst) order — the sites drop
 // and duplication faults can hit. With one shard per source (the
-// fault-tolerant path routes at chunk 1), shards[src].sent[dst] is
+// fault-tolerant path routes at chunk 1), shards[src].Sent[dst] is
 // exactly the src→dst transfer size.
-func carryingLinks(shards []commShard) []linkKey {
+func carryingLinks(shards []Shard) []linkKey {
 	var links []linkKey
 	for src := range shards {
-		for dst, n := range shards[src].sent {
+		for dst, n := range shards[src].Sent {
 			if src != dst && n > 0 {
 				links = append(links, linkKey{src: src, dst: dst})
 			}

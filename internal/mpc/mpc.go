@@ -178,6 +178,7 @@ type Cluster struct {
 	p       int
 	servers []*rel.Instance
 	stats   []RoundStats
+	tr      Transport   // nil: in-process Local transport (see transport.go)
 	ft      *ftState    // nil: fault tolerance off, zero-overhead path
 	delta   *deltaState // nil: no incremental program installed (see delta.go)
 }
@@ -292,30 +293,35 @@ func (c *Cluster) LoadAt(server int, i *rel.Instance) {
 	c.servers[server].AddAll(i)
 }
 
-// commShard is one routing worker's contribution to a communication
+// Shard is one routing worker's contribution to a communication
 // phase: per-destination outboxes and per-destination delivery counts
 // for a contiguous ascending range of source servers. Shards are
-// round-private, so destinations may adopt their outboxes wholesale.
-// Bounding the number of shards by the worker count (not p) keeps the
-// outbox count at workers×p instead of p², which matters at large p
-// where most (source, destination) pairs carry only a few facts.
-// (The fault-tolerant path deliberately routes one shard per source —
-// p shards — because fault plans address individual network links;
-// see recovery.go.)
-type commShard struct {
-	outs      []*rel.Instance // outs[dst]: facts bound for dst; nil if none
-	sent      []int           // routed deliveries per destination (Keep facts uncounted)
-	deltaSent int             // routed deliveries of DeltaRels relations
+// round-private, so destinations (and transports) may adopt their
+// outboxes wholesale. Bounding the number of shards by the worker
+// count (not p) keeps the outbox count at workers×p instead of p²,
+// which matters at large p where most (source, destination) pairs
+// carry only a few facts. (The fault-tolerant path deliberately routes
+// one shard per source — p shards — because fault plans address
+// individual network links; see recovery.go.)
+//
+// Shards are what a Transport ships: Outs[dst] is the payload bound
+// for destination dst (nil when empty), Sent[dst] its logical fact
+// count. Shard indices are the merge order every transport must
+// preserve.
+type Shard struct {
+	Outs      []*rel.Instance // Outs[dst]: facts bound for dst; nil if none
+	Sent      []int           // routed deliveries per destination (Keep facts uncounted)
+	DeltaSent int             // routed deliveries of DeltaRels relations
 	err       error
 }
 
 // deltaSent sums the shards' Δ deliveries — the DeltaComm of the
 // round. Like the merge, it is a pure function of the shards, so the
 // fault-free and fault-tolerant paths compute identical values.
-func deltaSent(shards []commShard) int {
+func deltaSent(shards []Shard) int {
 	n := 0
 	for i := range shards {
-		n += shards[i].deltaSent
+		n += shards[i].DeltaSent
 	}
 	return n
 }
@@ -330,78 +336,89 @@ func deltaSent(shards []commShard) int {
 // confirmed range error, nothing more is delivered or counted for it —
 // the remaining facts are only probed (see probeBadRoute) to refine the
 // reported fact.
-func (c *Cluster) routeRange(lo, hi int, r Round, sets roundSets) (sh commShard) {
-	sh.outs = make([]*rel.Instance, c.p)
-	sh.sent = make([]int, c.p)
+func (c *Cluster) routeRange(lo, hi int, r Round, sets roundSets) (sh Shard) {
+	sh.Outs = make([]*rel.Instance, c.p)
+	sh.Sent = make([]int, c.p)
 	cur := lo
 	defer func() {
 		if rec := recover(); rec != nil {
 			sh.err = fmt.Errorf("mpc: server %d communication phase panicked in round %q: %v", cur, r.Name, rec)
 		}
 	}()
-	deliver := func(dst int, f rel.Fact) {
-		if sh.outs[dst] == nil {
-			sh.outs[dst] = rel.NewInstance()
-		}
-		sh.outs[dst].Add(f)
-	}
 	for src := lo; src < hi; src++ {
 		cur = src
-		var badFact rel.Fact
-		badDst := -1
-		srv := c.servers[src]
-		for _, name := range srv.RelationNames() {
-			if sets.resident[name] {
-				// Resident relations never enter the communication
-				// phase: they are adopted by reference after the merge
-				// (see adoptResidents), so carrying them costs O(1) per
-				// relation instead of O(facts).
-				continue
-			}
-			isDelta := sets.delta[name]
-			rl := srv.Relation(name)
-			rl.Each(func(t rel.Tuple) bool {
-				f := rel.Fact{Rel: name, Tuple: t}
-				if badDst >= 0 {
-					// The round is already doomed at this source: stop
-					// delivering, and re-route only facts that could
-					// replace the reported (Less-minimal) offender.
-					if f.Less(badFact) {
-						if dst, bad := probeBadRoute(r, f, c.p); bad {
-							badFact, badDst = f, dst
-						}
-					}
-					return true
-				}
-				if r.Keep != nil && r.Keep(f) {
-					deliver(src, f)
-					return true
-				}
-				if r.Route == nil {
-					return true
-				}
-				for _, dst := range r.Route.Route(f) {
-					if dst < 0 || dst >= c.p {
-						badFact, badDst = f, dst
-						return true
-					}
-					sh.sent[dst]++
-					if isDelta {
-						sh.deltaSent++
-					}
-					deliver(dst, f)
-				}
-				return true
-			})
-		}
-		if badDst >= 0 {
+		if err := routeServer(r, sets, c.p, src, c.servers[src], &sh); err != nil {
 			// The round is abandoned on error, so the remaining
 			// sources of the range need not be routed.
-			sh.err = fmt.Errorf("mpc: route of %v targets server %d outside [0,%d)", badFact, badDst, c.p)
+			sh.err = err
 			return sh
 		}
 	}
 	return sh
+}
+
+// routeServer routes one source server's relations into sh — the body
+// of the communication phase for a single source, shared by the
+// in-cluster routing fan-out and the standalone RouteSource entry
+// point of remote worker processes. Panics from Router/Keep propagate
+// to the caller, which owns the recover.
+func routeServer(r Round, sets roundSets, p, src int, srv *rel.Instance, sh *Shard) error {
+	deliver := func(dst int, f rel.Fact) {
+		if sh.Outs[dst] == nil {
+			sh.Outs[dst] = rel.NewInstance()
+		}
+		sh.Outs[dst].Add(f)
+	}
+	var badFact rel.Fact
+	badDst := -1
+	for _, name := range srv.RelationNames() {
+		if sets.resident[name] {
+			// Resident relations never enter the communication
+			// phase: they are adopted by reference after the merge
+			// (see adoptResidents), so carrying them costs O(1) per
+			// relation instead of O(facts).
+			continue
+		}
+		isDelta := sets.delta[name]
+		rl := srv.Relation(name)
+		rl.Each(func(t rel.Tuple) bool {
+			f := rel.Fact{Rel: name, Tuple: t}
+			if badDst >= 0 {
+				// The round is already doomed at this source: stop
+				// delivering, and re-route only facts that could
+				// replace the reported (Less-minimal) offender.
+				if f.Less(badFact) {
+					if dst, bad := probeBadRoute(r, f, p); bad {
+						badFact, badDst = f, dst
+					}
+				}
+				return true
+			}
+			if r.Keep != nil && r.Keep(f) {
+				deliver(src, f)
+				return true
+			}
+			if r.Route == nil {
+				return true
+			}
+			for _, dst := range r.Route.Route(f) {
+				if dst < 0 || dst >= p {
+					badFact, badDst = f, dst
+					return true
+				}
+				sh.Sent[dst]++
+				if isDelta {
+					sh.DeltaSent++
+				}
+				deliver(dst, f)
+			}
+			return true
+		})
+	}
+	if badDst >= 0 {
+		return fmt.Errorf("mpc: route of %v targets server %d outside [0,%d)", badFact, badDst, p)
+	}
+	return nil
 }
 
 // probeBadRoute reports whether routing f targets a destination outside
@@ -436,9 +453,9 @@ func probeBadRoute(r Round, f rel.Fact, p int) (dst int, bad bool) {
 // Worker order is source order, so the first erring shard carries the
 // lowest erring source and repeated failing runs surface the same
 // error.
-func (c *Cluster) routePhase(r Round, chunk int) ([]commShard, error) {
+func (c *Cluster) routePhase(r Round, chunk int) ([]Shard, error) {
 	workers := (c.p + chunk - 1) / chunk
-	shards := make([]commShard, workers)
+	shards := make([]Shard, workers)
 	sets := r.sets()
 	var routeWG sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -470,60 +487,6 @@ func (c *Cluster) defaultChunk() int {
 		workers = c.p
 	}
 	return (c.p + workers - 1) / workers
-}
-
-// mergePhase merges shards into per-destination inboxes, one goroutine
-// per destination, each visiting sources in ascending order. Every
-// worker writes only its own index of inboxes/received/mergeErrs,
-// and the (dst, src) merge order is fixed, so the resulting inboxes
-// and load accounting are byte-identical to a sequential phase.
-func (c *Cluster) mergePhase(r Round, shards []commShard) ([]*rel.Instance, []int, error) {
-	inboxes := make([]*rel.Instance, c.p)
-	received := make([]int, c.p)
-	mergeErrs := make([]error, c.p)
-	var mergeWG sync.WaitGroup
-	for dst := 0; dst < c.p; dst++ {
-		mergeWG.Add(1)
-		go func(dst int) {
-			defer mergeWG.Done()
-			defer func() {
-				if rec := recover(); rec != nil {
-					mergeErrs[dst] = fmt.Errorf("mpc: server %d inbox merge panicked in round %q: %v", dst, r.Name, rec)
-				}
-			}()
-			var inbox *rel.Instance
-			n := 0
-			for w := range shards {
-				n += shards[w].sent[dst]
-				out := shards[w].outs[dst]
-				if out == nil {
-					continue
-				}
-				if inbox == nil {
-					// Shards are round-private: adopt the first outbox
-					// instead of copying it.
-					inbox = out
-					continue
-				}
-				for _, name := range out.RelationNames() {
-					o := out.Relation(name)
-					inbox.EnsureRelationSize(name, o.Arity, o.Len()).UnionWith(o)
-				}
-			}
-			if inbox == nil {
-				inbox = rel.NewInstance()
-			}
-			inboxes[dst] = inbox
-			received[dst] = n
-		}(dst)
-	}
-	mergeWG.Wait()
-	for _, err := range mergeErrs {
-		if err != nil {
-			return nil, nil, err
-		}
-	}
-	return inboxes, received, nil
 }
 
 // adoptResidents carries each server's Resident relations into its
@@ -622,7 +585,7 @@ func (c *Cluster) RunRound(r Round) (RoundStats, error) {
 	if err != nil {
 		return RoundStats{}, err
 	}
-	inboxes, received, err := c.mergePhase(r, shards)
+	inboxes, received, err := c.Transport().Exchange(r.Name, c.p, shards)
 	if err != nil {
 		return RoundStats{}, err
 	}

@@ -186,7 +186,7 @@ func (c *Cluster) runRoundFT(r Round) (RoundStats, error) {
 	// ends when the slowest transfer lands.
 	commEnd := 1
 	for _, lk := range carryingLinks(shards) {
-		n := shards[lk.src].sent[lk.dst]
+		n := shards[lk.src].Sent[lk.dst]
 		if d := ft.plan.drops(round, lk.src, lk.dst); d > 0 {
 			if d > ft.retryBudget {
 				return RoundStats{}, fmt.Errorf(
@@ -206,8 +206,15 @@ func (c *Cluster) runRoundFT(r Round) (RoundStats, error) {
 
 	// The merge is identical to the fault-free path — same shards,
 	// same (dst, src) order — so the logical inboxes and load
-	// accounting are byte-identical by construction.
-	inboxes, received, err := c.mergePhase(r, shards)
+	// accounting are byte-identical by construction. A transport that
+	// can realize the plan's drops/dups physically at the frame layer
+	// is armed first, so the wire absorbs the same havoc the virtual
+	// clock just charged.
+	tr := c.Transport()
+	if fi, ok := tr.(FrameFaultInjector); ok {
+		fi.InjectFrameFaults(round, ft.plan)
+	}
+	inboxes, received, err := tr.Exchange(r.Name, c.p, shards)
 	if err != nil {
 		return RoundStats{}, err
 	}

@@ -1,0 +1,180 @@
+package mpc
+
+import (
+	"fmt"
+	"sync"
+
+	"mpclogic/internal/rel"
+)
+
+// Transport moves a round's routed communication shards to their
+// destination servers and hands back each destination's merged inbox.
+// It is the seam between the simulator and a real network: the routing
+// phase (which facts go where, and what they cost) and the computation
+// phase are transport-independent, while HOW the per-destination
+// outboxes travel — an in-process slice adoption, length-prefixed
+// frames over TCP sockets, or anything future — is the transport's
+// whole concern.
+//
+// The contract every implementation must honor, and the conformance
+// suite (internal/mpc/transportconf) checks:
+//
+//   - Delivery: inbox dst holds exactly the union over all shards of
+//     Outs[dst], and received[dst] = Σ_w shards[w].Sent[dst].
+//   - Deterministic merge: shards are merged into an inbox in
+//     ascending shard order — position, never arrival order — so two
+//     runs of the same exchange are byte-identical downstream no
+//     matter how the wire reorders frames.
+//   - Error atomicity: on a non-nil error no partial results are
+//     visible to the caller; RunRound turns that into its
+//     atomic-on-failure guarantee.
+//   - No logical cost distortion: a transport may retransmit or
+//     duplicate physically, but the returned received counts are the
+//     logical ones computed from the shards' Sent counters.
+//
+// Exchange is called sequentially by a cluster (never concurrently on
+// one transport value), with p fixed across a cluster's lifetime.
+type Transport interface {
+	// Name labels the transport in errors, traces, and docs.
+	Name() string
+	// Exchange delivers one round's shards and returns the merged
+	// per-destination inboxes and logical received counts.
+	Exchange(round string, p int, shards []Shard) (inboxes []*rel.Instance, received []int, err error)
+	// Close releases transport resources (listeners, connections).
+	// A closed transport may not Exchange again.
+	Close() error
+}
+
+// FrameFaultInjector is the optional transport extension the
+// fault-tolerance layer uses to realize a FaultPlan's drop and
+// duplication schedule PHYSICALLY at the frame layer: a drop becomes
+// an aborted partial frame followed by a retransmission, a dup an
+// extra identical frame the receiver's idempotent merge discards.
+// The fault-tolerant path routes one shard per source (chunk 1), so
+// the (shard, dst) frame coordinates coincide with the plan's
+// (src, dst) links. Logical accounting of the same faults stays in
+// recovery.go on the virtual clock; the injection only proves the
+// wire path really absorbs the havoc.
+type FrameFaultInjector interface {
+	// InjectFrameFaults arms the transport's next Exchange with the
+	// plan's drops/dups for absolute round index round. A nil plan
+	// disarms.
+	InjectFrameFaults(round int, plan *FaultPlan)
+}
+
+// WithTransport installs the transport the cluster's communication
+// phases run over. The default is the in-process Local transport; the
+// caller keeps ownership of the transport and closes it after the
+// cluster is done.
+func WithTransport(t Transport) Option {
+	return func(c *Cluster) { c.tr = t }
+}
+
+// Transport returns the cluster's transport (the Local transport when
+// none was installed).
+func (c *Cluster) Transport() Transport {
+	if c.tr == nil {
+		return NewLocalTransport()
+	}
+	return c.tr
+}
+
+// localTransport is the in-process transport: shards are merged by
+// direct slice adoption, no copies, no wire. It is the bit-compatible
+// extraction of the pre-transport merge phase — the golden determinism
+// traces pin that.
+type localTransport struct{}
+
+// NewLocalTransport returns the in-process transport.
+func NewLocalTransport() Transport { return localTransport{} }
+
+func (localTransport) Name() string { return "local" }
+
+func (localTransport) Exchange(round string, p int, shards []Shard) ([]*rel.Instance, []int, error) {
+	return mergeShards(round, p, shards)
+}
+
+func (localTransport) Close() error { return nil }
+
+// mergeShards merges shards into per-destination inboxes, one goroutine
+// per destination, each visiting shards in ascending order. Every
+// worker writes only its own index of inboxes/received/mergeErrs, and
+// the (dst, shard) merge order is fixed, so the resulting inboxes and
+// load accounting are byte-identical to a sequential merge. This is
+// both the Local transport's Exchange and the reference merge every
+// other transport must reproduce.
+func mergeShards(round string, p int, shards []Shard) ([]*rel.Instance, []int, error) {
+	inboxes := make([]*rel.Instance, p)
+	received := make([]int, p)
+	mergeErrs := make([]error, p)
+	var mergeWG sync.WaitGroup
+	for dst := 0; dst < p; dst++ {
+		mergeWG.Add(1)
+		go func(dst int) {
+			defer mergeWG.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					mergeErrs[dst] = fmt.Errorf("mpc: server %d inbox merge panicked in round %q: %v", dst, round, rec)
+				}
+			}()
+			var inbox *rel.Instance
+			n := 0
+			for w := range shards {
+				n += shards[w].Sent[dst]
+				out := shards[w].Outs[dst]
+				if out == nil {
+					continue
+				}
+				if inbox == nil {
+					// Shards are round-private: adopt the first outbox
+					// instead of copying it.
+					inbox = out
+					continue
+				}
+				for _, name := range out.RelationNames() {
+					o := out.Relation(name)
+					inbox.EnsureRelationSize(name, o.Arity, o.Len()).UnionWith(o)
+				}
+			}
+			if inbox == nil {
+				inbox = rel.NewInstance()
+			}
+			inboxes[dst] = inbox
+			received[dst] = n
+		}(dst)
+	}
+	mergeWG.Wait()
+	for _, err := range mergeErrs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return inboxes, received, nil
+}
+
+// RouteSource runs one source server's communication phase standalone:
+// it routes local's facts for round r on a p-server deployment and
+// returns the resulting shard. The error semantics are identical to a
+// cluster's routing phase — Less-minimal out-of-range fact, recovered
+// Router/Keep panics — which is what lets a remote worker process
+// reproduce, byte for byte, the routing decisions the simulator makes
+// for its server index.
+func RouteSource(r Round, p, src int, local *rel.Instance) (sh Shard, err error) {
+	if p <= 0 {
+		return Shard{}, fmt.Errorf("mpc: RouteSource needs at least one server (got p=%d)", p)
+	}
+	if src < 0 || src >= p {
+		return Shard{}, fmt.Errorf("mpc: RouteSource(%d) on a %d-server deployment", src, p)
+	}
+	sh.Outs = make([]*rel.Instance, p)
+	sh.Sent = make([]int, p)
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("mpc: server %d communication phase panicked in round %q: %v", src, r.Name, rec)
+		}
+	}()
+	if rerr := routeServer(r, r.sets(), p, src, local, &sh); rerr != nil {
+		return Shard{}, rerr
+	}
+	return sh, nil
+}

@@ -1,0 +1,25 @@
+package transportconf
+
+import (
+	"testing"
+
+	"mpclogic/internal/mpc"
+)
+
+// TestLocalConformance runs the suite against the in-process
+// reference transport — the suite must hold on the path the golden
+// traces pin, or it is testing the wrong contract.
+func TestLocalConformance(t *testing.T) {
+	RunConformance(t, func(p int) (mpc.Transport, error) {
+		return mpc.NewLocalTransport(), nil
+	})
+}
+
+// TestTCPConformance runs the identical suite over real loopback
+// sockets: same deliveries, same merge determinism, same atomicity —
+// the shard granularity and the wire must both be invisible.
+func TestTCPConformance(t *testing.T) {
+	RunConformance(t, func(p int) (mpc.Transport, error) {
+		return mpc.NewTCPTransport(p)
+	})
+}

@@ -1,0 +1,230 @@
+package mpcnet
+
+import (
+	"fmt"
+	"testing"
+
+	"mpclogic/internal/mpc"
+	"mpclogic/internal/rel"
+)
+
+// goProc runs one worker as a goroutine in this process — the
+// in-process stand-in for a worker OS process. Kill is a no-op: the
+// goroutine unwinds on its own when the coordinator fails the run and
+// its socket operations start erroring.
+type goProc struct {
+	done chan struct{}
+	err  error
+}
+
+func (p *goProc) Wait() error {
+	<-p.done
+	return p.err
+}
+
+func (p *goProc) Kill() {}
+
+// goSpawner runs workers as goroutines. Only usable with the
+// failpoint disabled — an in-process SIGKILL would take the test
+// runner down with it; the real crash path is exercised by the
+// cmd/mpcrun e2e test, which spawns actual processes.
+func goSpawner(cfg WorkerConfig) (Process, error) {
+	if cfg.FailRound >= 0 {
+		return nil, fmt.Errorf("goroutine workers cannot arm a SIGKILL failpoint")
+	}
+	p := &goProc{done: make(chan struct{})}
+	go func() {
+		defer close(p.done)
+		p.err = RunWorker(cfg)
+	}()
+	return p, nil
+}
+
+// specMatrix is the program matrix the distributed runtime is proven
+// on: every Build-able program, at small sizes that still route real
+// communication on every round.
+func specMatrix() []ProgramSpec {
+	return []ProgramSpec{
+		{Program: "tc", P: 3, M: 10, Seed: 7},
+		{Program: "cascade", P: 4, M: 24, Seed: 11},
+		{Program: "hypercube", P: 4, M: 24, Seed: 17},
+		{Program: "yannakakis", P: 3, M: 30, Seed: 42},
+		{Program: "gym", P: 4, M: 24, Seed: 3},
+	}
+}
+
+// TestDistributedMatchesLocal is the process-level half of the
+// tentpole invariant: a program executed by one worker per server —
+// real fragment servers, real pulls over loopback sockets, per-round
+// checkpoints on disk — produces byte-identical output, per-server
+// fragments, and logical trace to the in-process simulator.
+func TestDistributedMatchesLocal(t *testing.T) {
+	for _, spec := range specMatrix() {
+		spec := spec
+		t.Run(spec.Program, func(t *testing.T) {
+			t.Parallel()
+			want, err := RunLocal(spec)
+			if err != nil {
+				t.Fatalf("local reference: %v", err)
+			}
+			got, err := Run(RunConfig{
+				Spec:       spec,
+				CkptDir:    t.TempDir(),
+				FailWorker: -1,
+				FailRound:  -1,
+				Spawn:      goSpawner,
+			})
+			if err != nil {
+				t.Fatalf("distributed run: %v", err)
+			}
+			if g, w := got.Output.String(), want.Output.String(); g != w {
+				t.Errorf("distributed output diverged:\n got %s\nwant %s", g, w)
+			}
+			if len(got.Fragments) != len(want.Fragments) {
+				t.Fatalf("fragment count %d, want %d", len(got.Fragments), len(want.Fragments))
+			}
+			for i := range want.Fragments {
+				if !got.Fragments[i].Equal(want.Fragments[i]) {
+					t.Errorf("worker %d final fragment diverged from server %d", i, i)
+				}
+			}
+			if got.Trace != want.Trace {
+				t.Errorf("distributed logical trace diverged:\n got %q\nwant %q", got.Trace, want.Trace)
+			}
+			if got.MaxLoad != want.MaxLoad || got.TotalComm != want.TotalComm ||
+				got.DeltaComm != want.DeltaComm || got.Rounds != want.Rounds {
+				t.Errorf("distributed cost metrics diverged: maxload %d/%d, total %d/%d, delta %d/%d, rounds %d/%d",
+					got.MaxLoad, want.MaxLoad, got.TotalComm, want.TotalComm,
+					got.DeltaComm, want.DeltaComm, got.Rounds, want.Rounds)
+			}
+			if got.Respawns != 0 {
+				t.Errorf("fault-free run recorded %d respawns", got.Respawns)
+			}
+		})
+	}
+}
+
+// TestWorkerSliceMatchesRoundRobin pins the initial-placement
+// agreement: worker i's slice must be exactly what LoadRoundRobin
+// puts on server i, or the distributed run starts from a different
+// instance than the simulator.
+func TestWorkerSliceMatchesRoundRobin(t *testing.T) {
+	for _, spec := range specMatrix() {
+		built, err := Build(spec)
+		if err != nil {
+			t.Fatalf("build %s: %v", spec.Program, err)
+		}
+		c := mpc.NewCluster(built.P)
+		c.LoadRoundRobin(built.Input)
+		for i := 0; i < built.P; i++ {
+			if got := WorkerSlice(built.Input, built.P, i); !got.Equal(c.Server(i)) {
+				t.Errorf("%s: WorkerSlice(%d) differs from LoadRoundRobin server %d", spec.Program, i, i)
+			}
+		}
+	}
+}
+
+// TestBuildDeterministic: two Builds of the same spec must agree on
+// everything observable — the property the whole runtime rests on.
+func TestBuildDeterministic(t *testing.T) {
+	for _, spec := range specMatrix() {
+		a, err := Build(spec)
+		if err != nil {
+			t.Fatalf("build %s: %v", spec.Program, err)
+		}
+		b, err := Build(spec)
+		if err != nil {
+			t.Fatalf("rebuild %s: %v", spec.Program, err)
+		}
+		if a.P != b.P || len(a.Rounds) != len(b.Rounds) {
+			t.Fatalf("%s: builds disagree on shape: p %d/%d, rounds %d/%d",
+				spec.Program, a.P, b.P, len(a.Rounds), len(b.Rounds))
+		}
+		if !a.Input.Equal(b.Input) {
+			t.Errorf("%s: builds disagree on the input instance", spec.Program)
+		}
+		for i := range a.Rounds {
+			if a.Rounds[i].Name != b.Rounds[i].Name {
+				t.Errorf("%s: round %d named %q then %q", spec.Program, i, a.Rounds[i].Name, b.Rounds[i].Name)
+			}
+		}
+	}
+}
+
+func TestBuildRejects(t *testing.T) {
+	cases := []ProgramSpec{
+		{Program: "nope", P: 2, M: 10, Seed: 1},
+		{Program: "tc", P: 0, M: 10, Seed: 1},
+		{Program: "tc", P: 2, M: 0, Seed: 1},
+	}
+	for _, spec := range cases {
+		if _, err := Build(spec); err == nil {
+			t.Errorf("Build(%+v) accepted an invalid spec", spec)
+		}
+	}
+}
+
+// TestCheckpointRoundtrip pins the durable format: write, read back,
+// and recover the exact state and accounting; latestCheckpoint finds
+// the newest round and ignores other workers' files.
+func TestCheckpointRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	state := rel.NewInstance()
+	state.Add(rel.NewFact("E", 1, 2))
+	state.Add(rel.NewFact("TC", 2, 3))
+	received := []int{4, 0, 7}
+	deltaSent := []int{1, 0, 2}
+	for r := 0; r <= 3; r++ {
+		if err := writeCheckpoint(dir, 2, r, received, deltaSent, state); err != nil {
+			t.Fatalf("write round %d: %v", r, err)
+		}
+	}
+	if err := writeCheckpoint(dir, 1, 9, nil, nil, rel.NewInstance()); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := latestCheckpoint(dir, 2); got != 3 {
+		t.Errorf("latestCheckpoint = %d, want 3", got)
+	}
+	if got := latestCheckpoint(dir, 0); got != -1 {
+		t.Errorf("latestCheckpoint for a fresh worker = %d, want -1", got)
+	}
+
+	ck, recovered, err := readCheckpoint(dir, 2, 3)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if ck.Round != 3 {
+		t.Errorf("recovered round %d, want 3", ck.Round)
+	}
+	if !recovered.Equal(state) {
+		t.Errorf("recovered state %v, want %v", recovered, state)
+	}
+	for i := range received {
+		if ck.Received[i] != received[i] || ck.DeltaSent[i] != deltaSent[i] {
+			t.Fatalf("recovered accounting %v/%v, want %v/%v", ck.Received, ck.DeltaSent, received, deltaSent)
+		}
+	}
+}
+
+// TestTCStepsUnrollsToFixpoint: the unrolled program must actually
+// reach the transitive closure — no round short of the fixpoint.
+func TestTCStepsUnrollsToFixpoint(t *testing.T) {
+	spec := ProgramSpec{Program: "tc", P: 3, M: 10, Seed: 7}
+	built, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunLocal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One more global step must be a no-op.
+	again := tcCompute(0, res.Output)
+	if again.Len() != res.Output.Len() {
+		t.Errorf("program of %d rounds stopped short of the fixpoint", len(built.Rounds))
+	}
+	if tc := res.Output.Relation("TC"); tc == nil || tc.Len() == 0 {
+		t.Errorf("transitive closure is empty")
+	}
+}

@@ -1,0 +1,243 @@
+package mpcnet
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"mpclogic/internal/mpc"
+)
+
+// Control plane: workers talk to the coordinator over one-shot TCP
+// connections carrying a single JSON request line and a single JSON
+// response line. Three operations exist — hello (register a worker's
+// data address), lookup (resolve a peer's current data address, which
+// changes when a peer is respawned), and result (deliver the worker's
+// final fragment and per-round accounting).
+//
+// Data plane: each worker runs a fragment server. A pull request is
+// eight bytes (round u32 | dst u32, little-endian); the response is
+// one transport frame (mpc.WriteFrame) whose Seq is the round index.
+// The server retains every published round for the whole run, so a
+// peer that fell behind — or a worker re-executing after a crash —
+// can always re-pull. Serving blocks until the requested fragment is
+// published; liveness comes from connection deadlines on both sides.
+
+// ctrlRequest is one control-plane request.
+type ctrlRequest struct {
+	Op    string `json:"op"` // hello | lookup | result
+	Index int    `json:"index"`
+	Addr  string `json:"addr,omitempty"` // hello: the worker's data address
+	Peer  int    `json:"peer,omitempty"` // lookup: whose address
+
+	// result payload: the worker's per-round loads, per-round Δ send
+	// counts, and its final local instance (canonical wire encoding).
+	Received  []int  `json:"received,omitempty"`
+	DeltaSent []int  `json:"deltaSent,omitempty"`
+	Fragment  []byte `json:"fragment,omitempty"`
+}
+
+// ctrlResponse is one control-plane response.
+type ctrlResponse struct {
+	OK   bool   `json:"ok"`
+	Addr string `json:"addr,omitempty"` // lookup: "" when not yet registered
+	Err  string `json:"err,omitempty"`
+}
+
+// ctrlIOTimeout bounds every control- and data-plane socket operation.
+const ctrlIOTimeout = 10 * time.Second
+
+// roundtrip dials addr, sends req, and reads the response.
+func roundtrip(addr string, req ctrlRequest) (ctrlResponse, error) {
+	conn, err := net.DialTimeout("tcp", addr, ctrlIOTimeout)
+	if err != nil {
+		return ctrlResponse{}, fmt.Errorf("mpcnet: dialing coordinator: %w", err)
+	}
+	defer conn.Close() // one request per connection; close is best-effort
+	if err := conn.SetDeadline(time.Now().Add(ctrlIOTimeout)); err != nil {
+		return ctrlResponse{}, err
+	}
+	enc, err := json.Marshal(req)
+	if err != nil {
+		return ctrlResponse{}, err
+	}
+	if _, err := conn.Write(append(enc, '\n')); err != nil {
+		return ctrlResponse{}, fmt.Errorf("mpcnet: sending %s: %w", req.Op, err)
+	}
+	line, err := bufio.NewReader(conn).ReadBytes('\n')
+	if err != nil {
+		return ctrlResponse{}, fmt.Errorf("mpcnet: reading %s response: %w", req.Op, err)
+	}
+	var resp ctrlResponse
+	if err := json.Unmarshal(line, &resp); err != nil {
+		return ctrlResponse{}, fmt.Errorf("mpcnet: decoding %s response: %w", req.Op, err)
+	}
+	if resp.Err != "" {
+		return resp, fmt.Errorf("mpcnet: coordinator rejected %s: %s", req.Op, resp.Err)
+	}
+	return resp, nil
+}
+
+// fragServer is a worker's data-plane server: published fragments by
+// (round, dst), retained for the whole run, served to pulling peers.
+type fragServer struct {
+	ln *net.TCPListener
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	frags map[uint64]mpc.Frame // key: round<<32 | dst
+	done  bool
+}
+
+func fragKey(round, dst int) uint64 { return uint64(round)<<32 | uint64(uint32(dst)) }
+
+func newFragServer() (*fragServer, error) {
+	ln, err := net.ListenTCP("tcp", &net.TCPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, fmt.Errorf("mpcnet: opening fragment server: %w", err)
+	}
+	s := &fragServer{ln: ln, frags: make(map[uint64]mpc.Frame)}
+	s.cond = sync.NewCond(&s.mu)
+	// The accept loop lives as long as the worker, not one round; its
+	// join is the listener close in fragServer.close.
+	go s.acceptLoop() //lint:allow goroutine-hygiene worker-scoped accept loop, joined by closing the listener
+	return s, nil
+}
+
+func (s *fragServer) addr() string { return s.ln.Addr().String() }
+
+// publish makes round's fragments for every destination pullable.
+// Re-publishing after a recovery overwrites with byte-identical frames
+// (deterministic re-execution), so pulls before and after a crash see
+// the same bytes.
+func (s *fragServer) publish(round int, frames []mpc.Frame) {
+	s.mu.Lock()
+	for _, f := range frames {
+		s.frags[fragKey(round, int(f.Dst))] = f
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// wait blocks until (round, dst) is published or the server closes.
+func (s *fragServer) wait(round, dst int) (mpc.Frame, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if f, ok := s.frags[fragKey(round, dst)]; ok {
+			return f, true
+		}
+		if s.done {
+			return mpc.Frame{}, false
+		}
+		s.cond.Wait()
+	}
+}
+
+func (s *fragServer) close() {
+	s.mu.Lock()
+	s.done = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	s.ln.Close() //lint:allow error-discard shutdown path; the accept loop exits on the close error
+}
+
+// acceptLoop serves pull requests until the listener closes. Each
+// connection carries one request and one frame. The per-connection
+// goroutine is bounded by the connection deadline plus the publish
+// wait, which the close broadcast releases at shutdown.
+func (s *fragServer) acceptLoop() {
+	for {
+		conn, err := s.ln.AcceptTCP()
+		if err != nil {
+			return // listener closed: worker is done
+		}
+		// One goroutine per pull; bounded by the connection deadline plus
+		// the publish wait, which close's broadcast always releases.
+		go s.serve(conn) //lint:allow goroutine-hygiene pull handler bounded by connection deadline and close broadcast
+	}
+}
+
+func (s *fragServer) serve(conn *net.TCPConn) {
+	defer conn.Close() // one request per connection; close is best-effort
+	if err := conn.SetDeadline(time.Now().Add(ctrlIOTimeout)); err != nil {
+		return
+	}
+	var req [8]byte
+	if _, err := io.ReadFull(conn, req[:]); err != nil {
+		return // malformed pull: drop the connection, the peer retries
+	}
+	round := int(binary.LittleEndian.Uint32(req[0:]))
+	dst := int(binary.LittleEndian.Uint32(req[4:]))
+	f, ok := s.wait(round, dst)
+	if !ok {
+		return
+	}
+	// Re-arm the deadline: the publish wait may have consumed the
+	// original one while the peer was ahead of us.
+	if err := conn.SetDeadline(time.Now().Add(ctrlIOTimeout)); err != nil {
+		return
+	}
+	_ = mpc.WriteFrame(conn, f) //lint:allow error-discard failed send: the peer's read errors and it retries
+}
+
+// pullFrag fetches peer's fragment for (round, dst): resolve the
+// peer's current address through the coordinator (it changes when the
+// peer is respawned), dial, request, read one frame. Bounded retries
+// with a short pause cover the window where a crashed peer has not
+// re-registered yet.
+func pullFrag(coordAddr string, peer, round, dst int) (mpc.Frame, error) {
+	var lastErr error
+	for attempt := 0; attempt < 600; attempt++ {
+		if attempt > 0 {
+			time.Sleep(50 * time.Millisecond) //lint:allow wallclock-free recovery pause while a crashed peer re-registers; connection liveness only, never logical time
+		}
+		resp, err := roundtrip(coordAddr, ctrlRequest{Op: "lookup", Index: dst, Peer: peer})
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.Addr == "" {
+			lastErr = fmt.Errorf("mpcnet: peer %d not registered yet", peer)
+			continue
+		}
+		f, err := pullOnce(resp.Addr, peer, round, dst)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return f, nil
+	}
+	return mpc.Frame{}, fmt.Errorf("mpcnet: pulling round %d fragment %d→%d: %w", round, peer, dst, lastErr)
+}
+
+func pullOnce(addr string, peer, round, dst int) (mpc.Frame, error) {
+	conn, err := net.DialTimeout("tcp", addr, ctrlIOTimeout)
+	if err != nil {
+		return mpc.Frame{}, err
+	}
+	defer conn.Close() // one request per connection; close is best-effort
+	if err := conn.SetDeadline(time.Now().Add(ctrlIOTimeout)); err != nil {
+		return mpc.Frame{}, err
+	}
+	var req [8]byte
+	binary.LittleEndian.PutUint32(req[0:], uint32(round))
+	binary.LittleEndian.PutUint32(req[4:], uint32(dst))
+	if _, err := conn.Write(req[:]); err != nil {
+		return mpc.Frame{}, err
+	}
+	f, err := mpc.ReadFrame(conn)
+	if err != nil {
+		return mpc.Frame{}, err
+	}
+	if f.Seq != uint64(round) || int(f.Shard) != peer || int(f.Dst) != dst {
+		return mpc.Frame{}, fmt.Errorf("mpcnet: peer %d answered pull (%d,%d) with frame (seq %d, shard %d, dst %d)",
+			peer, round, dst, f.Seq, f.Shard, f.Dst)
+	}
+	return f, nil
+}

@@ -1,0 +1,181 @@
+// Package mpcnet executes MPC programs as real operating-system
+// processes: one coordinator and p workers, each worker playing one
+// simulated server, exchanging round fragments over loopback TCP in
+// the same canonical wire encoding the in-process TCP transport uses.
+// The design goal is the repo's headline invariant extended across the
+// process boundary — a program run by p workers produces the same
+// output and the same logical trace, byte for byte, as the simulator.
+//
+// Everything a worker needs is a pure function of the ProgramSpec: the
+// workload is regenerated from its seed, the program is rebuilt
+// deterministically, and the worker's slice of the initial placement
+// is the same k%p round-robin the simulator's LoadRoundRobin performs.
+// That purity is what makes recovery trivial to reason about: a killed
+// worker reloads its latest checkpoint (written through the policy
+// store encoding) and re-executes; determinism guarantees the re-run
+// publishes byte-identical fragments, so the rest of the cluster
+// cannot tell a recovery from a slow network.
+package mpcnet
+
+import (
+	"fmt"
+
+	"mpclogic/internal/cq"
+	"mpclogic/internal/gym"
+	"mpclogic/internal/hypercube"
+	"mpclogic/internal/mpc"
+	"mpclogic/internal/rel"
+	"mpclogic/internal/workload"
+)
+
+// ProgramSpec is the complete, self-contained description of a
+// distributed run: every worker and the coordinator rebuild the same
+// workload and program from it independently. It travels as JSON on
+// the worker command line.
+type ProgramSpec struct {
+	// Program selects the algorithm: tc | cascade | hypercube |
+	// yannakakis | gym.
+	Program string `json:"program"`
+	// P is the requested server count; the effective count may be
+	// smaller for share-constrained programs (see Built.P).
+	P int `json:"p"`
+	// M sizes the synthetic workload (tuples per relation).
+	M int `json:"m"`
+	// Seed drives both workload generation and routing hashes.
+	Seed uint64 `json:"seed"`
+}
+
+// Built is a spec elaborated into an executable program: the rounds,
+// the full input instance, and the effective server count. Build is
+// deterministic, so coordinator and workers agree on every field
+// without communicating.
+type Built struct {
+	Rounds []mpc.Round
+	Input  *rel.Instance
+	P      int
+}
+
+// Build elaborates spec. It must be called with identical specs on
+// every process of a run.
+func Build(spec ProgramSpec) (*Built, error) {
+	if spec.P <= 0 {
+		return nil, fmt.Errorf("mpcnet: spec needs at least one server (got p=%d)", spec.P)
+	}
+	if spec.M <= 0 {
+		return nil, fmt.Errorf("mpcnet: spec needs a positive workload size (got m=%d)", spec.M)
+	}
+	d := rel.NewDict()
+	switch spec.Program {
+	case "tc":
+		// Random sparse graph; the static program is the naive
+		// transitive-closure iteration unrolled to its fixpoint depth,
+		// which is itself a pure function of the generated graph.
+		input := workload.RandomGraph(spec.M/2+2, spec.M, int64(spec.Seed))
+		return &Built{Rounds: tcProgram(spec.P, spec.Seed, input), Input: input, P: spec.P}, nil
+	case "cascade":
+		input := workload.TriangleSkewFree(spec.M)
+		return &Built{Rounds: gym.CascadeTriangleProgram(spec.P, spec.Seed), Input: input, P: spec.P}, nil
+	case "hypercube":
+		q := cq.MustParse(d, "H(x, y, z) :- R(x, y), S(y, z), T(z, x)")
+		input := workload.TriangleSkewFree(spec.M)
+		g, err := hypercube.NewOptimalGrid(q, spec.P, spec.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("mpcnet: hypercube grid: %w", err)
+		}
+		return &Built{Rounds: []mpc.Round{hypercube.HyperCubeRound(g)}, Input: input, P: g.P()}, nil
+	case "yannakakis":
+		q := cq.MustParse(d, "H(a, dd) :- R0(a, b), R1(b, c), R2(c, dd)")
+		input, _ := workload.AcyclicChain(3, spec.M, 0.3, 1)
+		rounds, err := gym.YannakakisProgram(q, spec.P, spec.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("mpcnet: yannakakis program: %w", err)
+		}
+		return &Built{Rounds: rounds, Input: input, P: spec.P}, nil
+	case "gym":
+		q := cq.MustParse(d, "H(x, y, z) :- R(x, y), S(y, z), T(z, x)")
+		input := workload.TriangleSkewFree(spec.M)
+		rounds, _, err := gym.GYMProgram(q, spec.P, spec.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("mpcnet: gym program: %w", err)
+		}
+		return &Built{Rounds: rounds, Input: input, P: spec.P}, nil
+	default:
+		return nil, fmt.Errorf("mpcnet: unknown program %q (want tc | cascade | hypercube | yannakakis | gym)", spec.Program)
+	}
+}
+
+// WorkerSlice is worker i's share of the initial placement: fact k of
+// the input's enumeration goes to server k%p — exactly the simulator's
+// LoadRoundRobin, so the distributed initial state matches the
+// in-process reference fact for fact.
+func WorkerSlice(input *rel.Instance, p, i int) *rel.Instance {
+	out := rel.NewInstance()
+	k := 0
+	input.Each(func(f rel.Fact) bool {
+		if k%p == i {
+			out.Add(f)
+		}
+		k++
+		return true
+	})
+	return out
+}
+
+// tcCompute is one semi-naive-free TC step: the new state keeps
+// everything received, seeds TC from E, and extends it by one E-edge.
+// Routing colocates TC(a,b) and E(b,c) at h(b), so the join is local.
+func tcCompute(_ int, local *rel.Instance) *rel.Instance {
+	out := rel.NewInstance()
+	out.AddAll(local)
+	e := local.Relation("E")
+	if e == nil {
+		return out
+	}
+	e.Each(func(t rel.Tuple) bool {
+		out.Add(rel.NewFact("TC", t[0], t[1]))
+		return true
+	})
+	if tc := local.Relation("TC"); tc != nil {
+		rel.HashJoin("⋈", tc, e, []int{1}, []int{0}).Each(func(t rel.Tuple) bool {
+			out.Add(rel.NewFact("TC", t[0], t[3]))
+			return true
+		})
+	}
+	return out
+}
+
+// tcProgram unrolls naive transitive closure to its fixpoint depth on
+// the given graph: each round routes E by source and TC by target to
+// colocate one join step. The depth is computed by running the same
+// step function globally, so the static program is a pure function of
+// (p, seed, graph) and every process derives the identical round list.
+func tcProgram(p int, seed uint64, graph *rel.Instance) []mpc.Round {
+	steps := tcSteps(graph)
+	rounds := make([]mpc.Round, steps)
+	for i := range rounds {
+		rounds[i] = mpc.Round{
+			Name: fmt.Sprintf("tc-step-%d", i),
+			Route: mpc.ByRelation(map[string]mpc.Router{
+				"E":  mpc.HashOn(p, []int{0}, seed),
+				"TC": mpc.HashOn(p, []int{1}, seed),
+			}),
+			Compute: tcCompute,
+		}
+	}
+	return rounds
+}
+
+// tcSteps counts the rounds the unrolled program needs: global
+// applications of the same step until nothing changes (the final
+// confirming step included, mirroring a fixpoint engine's last pass).
+func tcSteps(graph *rel.Instance) int {
+	state := rel.NewInstance()
+	state.AddAll(graph)
+	for steps := 1; ; steps++ {
+		next := tcCompute(0, state)
+		if next.Len() == state.Len() {
+			return steps
+		}
+		state = next
+	}
+}

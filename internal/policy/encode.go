@@ -1,0 +1,106 @@
+package policy
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"mpclogic/internal/rel"
+)
+
+// Durable encoding for StableStore: the same canonical fragment format
+// the MPC transports ship (rel.EncodeInstance), framed per node with a
+// length prefix. One encoding serves both spill (a store written to
+// disk survives the process, which is what lets a killed worker
+// process recover its partition) and the wire (a store streamed to a
+// peer is byte-identical to the file).
+//
+// Format (integers little-endian):
+//
+//	store := magic u32 | version u16 | nodes u32
+//	       | nodes × (fragLen u32 | fragment bytes)
+//
+// where each fragment is a canonical rel instance encoding. Decoding
+// is strict — bad magic/version, truncation, oversized prefixes, and
+// trailing bytes are errors, never panics — because checkpoint files
+// outlive the process that wrote them and may arrive damaged.
+
+const (
+	storeMagic uint32 = 0x53504d43 // "CMPS" little-endian
+	// StoreVersion is the checkpoint format version; bump on layout
+	// changes so stale files fail loudly instead of misparsing.
+	StoreVersion uint16 = 1
+)
+
+// EncodeStore writes the store's durable fragments to w.
+func EncodeStore(w io.Writer, s *StableStore) error {
+	var hdr [10]byte
+	binary.LittleEndian.PutUint32(hdr[0:], storeMagic)
+	binary.LittleEndian.PutUint16(hdr[4:], StoreVersion)
+	binary.LittleEndian.PutUint32(hdr[6:], uint32(len(s.parts)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("policy: encoding store header: %w", err)
+	}
+	for κ, part := range s.parts {
+		frag := rel.EncodeInstance(part)
+		var pre [4]byte
+		binary.LittleEndian.PutUint32(pre[:], uint32(len(frag)))
+		if _, err := w.Write(pre[:]); err != nil {
+			return fmt.Errorf("policy: encoding node %d length: %w", κ, err)
+		}
+		if _, err := w.Write(frag); err != nil {
+			return fmt.Errorf("policy: encoding node %d fragment: %w", κ, err)
+		}
+	}
+	return nil
+}
+
+// DecodeStore reads a store written by EncodeStore. It consumes
+// exactly the encoded bytes and verifies r is exhausted, so a
+// truncated or padded checkpoint file is an error.
+func DecodeStore(r io.Reader) (*StableStore, error) {
+	var hdr [10]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("policy: reading store header: %w", err)
+	}
+	if magic := binary.LittleEndian.Uint32(hdr[0:]); magic != storeMagic {
+		return nil, fmt.Errorf("policy: bad store magic %#x (want %#x)", magic, storeMagic)
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:]); v != StoreVersion {
+		return nil, fmt.Errorf("policy: unsupported store version %d (this decoder speaks %d)", v, StoreVersion)
+	}
+	nodes := binary.LittleEndian.Uint32(hdr[6:])
+	const maxNodes = 1 << 20 // sanity cap far above any real cluster
+	if nodes > maxNodes {
+		return nil, fmt.Errorf("policy: store declares %d nodes (cap %d)", nodes, maxNodes)
+	}
+	s := &StableStore{parts: make([]*rel.Instance, 0, nodes)}
+	for κ := uint32(0); κ < nodes; κ++ {
+		var pre [4]byte
+		if _, err := io.ReadFull(r, pre[:]); err != nil {
+			return nil, fmt.Errorf("policy: reading node %d length: %w", κ, err)
+		}
+		fragLen := binary.LittleEndian.Uint32(pre[:])
+		const maxFrag = 1 << 30
+		if fragLen > maxFrag {
+			return nil, fmt.Errorf("policy: node %d fragment declares %d bytes (cap %d)", κ, fragLen, maxFrag)
+		}
+		frag := make([]byte, fragLen)
+		if _, err := io.ReadFull(r, frag); err != nil {
+			return nil, fmt.Errorf("policy: reading node %d fragment: %w", κ, err)
+		}
+		inst, err := rel.DecodeInstance(frag)
+		if err != nil {
+			return nil, fmt.Errorf("policy: node %d fragment: %w", κ, err)
+		}
+		s.parts = append(s.parts, inst)
+	}
+	var extra [1]byte
+	switch n, err := r.Read(extra[:]); {
+	case n != 0:
+		return nil, fmt.Errorf("policy: trailing bytes after a complete store")
+	case err != io.EOF:
+		return nil, fmt.Errorf("policy: checking for trailing bytes: %w", err)
+	}
+	return s, nil
+}

@@ -1,0 +1,78 @@
+package rel
+
+import (
+	"bytes"
+	"testing"
+)
+
+// buildFuzzFragment interprets script as a construction program over a
+// small instance: each 3-byte step adds or removes a fact. The value
+// domain mixes plain small values with shifted ones that collide in the
+// table's low bits, and removals leave tombstones behind, so encoding
+// regularly runs over arenas with dead runs and collision chains.
+func buildFuzzFragment(script []byte) *Instance {
+	names := []string{"R", "S", "ΔE", "C"}
+	inst := NewInstance()
+	for i := 0; i+2 < len(script); i += 3 {
+		op, a, b := script[i], script[i+1], script[i+2]
+		name := names[int(op>>2)%len(names)]
+		va, vb := Value(a%11), Value(b%11)
+		if a >= 128 {
+			va = Value(int64(a%11) << 32) // forced low-bit hash collisions
+		}
+		var f Fact
+		if name == "S" {
+			f = NewFact(name, va)
+		} else {
+			f = NewFact(name, va, vb)
+		}
+		if op%4 == 3 {
+			inst.Remove(f) // tombstone churn
+		} else {
+			inst.Add(f)
+		}
+	}
+	return inst
+}
+
+// FuzzFragmentWire drives the wire codec from both directions with one
+// input: the bytes are used (a) as a construction script for a random
+// fragment, asserting the encode→decode→encode fixpoint and fact-level
+// equality, and (b) as a raw candidate frame fed straight to the
+// decoder, which must reject garbage with an error — never a panic —
+// and must re-encode anything it accepts to the identical bytes.
+func FuzzFragmentWire(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 4, 2, 1, 3, 1, 2}) // adds + a removal
+	f.Add([]byte{0, 200, 5, 0, 201, 5, 0, 202, 5})
+	f.Add(EncodeInstance(wireSample()))
+	f.Add(EncodeInstance(buildFuzzFragment([]byte{8, 3, 9, 12, 130, 7, 7, 3, 9})))
+	truncated := EncodeInstance(wireSample())
+	f.Add(truncated[:len(truncated)-5])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Direction 1: random fragment → canonical bytes and back.
+		inst := buildFuzzFragment(data)
+		buf := EncodeInstance(inst)
+		if len(buf) != EncodedSize(inst) {
+			t.Fatalf("EncodedSize %d != encoded length %d", EncodedSize(inst), len(buf))
+		}
+		decoded, err := DecodeInstance(buf)
+		if err != nil {
+			t.Fatalf("decoder rejected a fresh encoding: %v", err)
+		}
+		if !decoded.Equal(inst) {
+			t.Fatalf("round-trip changed the fact set: got %v want %v", decoded, inst)
+		}
+		if again := EncodeInstance(decoded); !bytes.Equal(buf, again) {
+			t.Fatalf("encode→decode→encode not a fixpoint:\n first %x\nsecond %x", buf, again)
+		}
+
+		// Direction 2: arbitrary bytes as a frame. Any panic escapes to
+		// the fuzzer as a crash; an accepted frame must be canonical.
+		if got, err := DecodeInstance(data); err == nil {
+			if re := EncodeInstance(got); !bytes.Equal(re, data) {
+				t.Fatalf("decoder accepted non-canonical bytes:\n  in %x\n out %x", data, re)
+			}
+		}
+	})
+}

@@ -1,0 +1,252 @@
+package rel
+
+// Wire encoding for relation fragments and instances — the byte format
+// MPC transports ship between servers and checkpoints spill to disk.
+//
+// The flat value arena is already serialization-shaped: a relation's
+// live tuples sit contiguously as arity-strided int64 runs, so encoding
+// walks the arena once and emits fixed-width little-endian values with
+// no per-tuple allocation, and decoding appends values straight into a
+// pre-sized arena and rebuilds the hash table in one pass. (The hash
+// table and cached hashes are derived state and intentionally NOT on
+// the wire: a peer cannot inject a mismatched hash.)
+//
+// Format (all integers little-endian):
+//
+//	instance  := magic u32 | version u16 | relCount u32 | relation*
+//	relation  := nameLen u16 | name bytes | arity u16 | count u32
+//	           | count*arity × value u64
+//
+// The encoding is canonical and the codec enforces it both ways:
+//
+//   - EncodeInstance emits relations in ascending name order, skips
+//     empty relations, and emits each relation's tuples in arena
+//     (insertion) order with tombstones compacted away.
+//   - DecodeInstance rejects any non-canonical input: wrong magic or
+//     version, trailing bytes, empty or duplicate or out-of-order
+//     relation names, zero tuple counts, and duplicate tuples.
+//
+// Together these give the round-trip laws the fuzzer pins down:
+// Decode(Encode(i)) equals i for every instance, and Encode(Decode(b))
+// == b for every accepted byte string. A mutated or truncated frame is
+// reported as an error — the decoder must never panic, because frames
+// cross process boundaries and a malformed peer must not kill the
+// receiver.
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+const (
+	// wireMagic identifies an encoded instance ("MPCW" little-endian).
+	wireMagic uint32 = 0x5743504d
+	// WireVersion is the current format version; decoders reject
+	// anything else, so format evolution is explicit.
+	WireVersion uint16 = 1
+
+	// maxWireArity bounds a decoded relation's arity. The engine's
+	// widest tuples are single-digit arity; 4096 leaves headroom while
+	// keeping count*arity arithmetic far from overflow.
+	maxWireArity = 4096
+)
+
+// AppendInstance appends the canonical encoding of inst to buf and
+// returns the extended slice.
+func AppendInstance(buf []byte, inst *Instance) []byte {
+	names := inst.RelationNames()
+	buf = binary.LittleEndian.AppendUint32(buf, wireMagic)
+	buf = binary.LittleEndian.AppendUint16(buf, WireVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(names)))
+	for _, name := range names {
+		buf = appendRelation(buf, name, inst.rels[name])
+	}
+	return buf
+}
+
+// EncodeInstance returns the canonical encoding of inst, pre-sizing the
+// buffer from the instance's exact wire size.
+func EncodeInstance(inst *Instance) []byte {
+	return AppendInstance(make([]byte, 0, EncodedSize(inst)), inst)
+}
+
+// EncodedSize returns the exact byte length of EncodeInstance(inst).
+func EncodedSize(inst *Instance) int {
+	n := 4 + 2 + 4
+	for name, r := range inst.rels {
+		if r.Len() == 0 {
+			continue
+		}
+		n += 2 + len(name) + 2 + 4 + 8*r.Len()*r.Arity
+	}
+	return n
+}
+
+// appendRelation emits one relation under its instance key (which may
+// differ from r.Name after SetRelationAs). The arena is read directly:
+// live tuples are arity-strided runs, so the inner loop is a straight
+// value copy with no Tuple materialization.
+func appendRelation(buf []byte, name string, r *Relation) []byte {
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(name)))
+	buf = append(buf, name...)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(r.Arity))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(r.Len()))
+	for i := range r.hashes {
+		if r.dead[i] {
+			continue
+		}
+		off := i * r.Arity
+		for _, v := range r.arena[off : off+r.Arity] {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+		}
+	}
+	return buf
+}
+
+// wireReader is a bounds-checked cursor over an encoded frame. Every
+// read validates the remaining length first, so truncated or mutated
+// input surfaces as an error — never a slice panic.
+type wireReader struct {
+	data []byte
+	off  int
+}
+
+func (w *wireReader) remaining() int { return len(w.data) - w.off }
+
+func (w *wireReader) u16() (uint16, error) {
+	if w.remaining() < 2 {
+		return 0, fmt.Errorf("rel: truncated frame at offset %d: need 2 bytes, have %d", w.off, w.remaining())
+	}
+	v := binary.LittleEndian.Uint16(w.data[w.off:])
+	w.off += 2
+	return v, nil
+}
+
+func (w *wireReader) u32() (uint32, error) {
+	if w.remaining() < 4 {
+		return 0, fmt.Errorf("rel: truncated frame at offset %d: need 4 bytes, have %d", w.off, w.remaining())
+	}
+	v := binary.LittleEndian.Uint32(w.data[w.off:])
+	w.off += 4
+	return v, nil
+}
+
+func (w *wireReader) u64() (uint64, error) {
+	if w.remaining() < 8 {
+		return 0, fmt.Errorf("rel: truncated frame at offset %d: need 8 bytes, have %d", w.off, w.remaining())
+	}
+	v := binary.LittleEndian.Uint64(w.data[w.off:])
+	w.off += 8
+	return v, nil
+}
+
+func (w *wireReader) bytes(n int) ([]byte, error) {
+	if w.remaining() < n {
+		return nil, fmt.Errorf("rel: truncated frame at offset %d: need %d bytes, have %d", w.off, n, w.remaining())
+	}
+	b := w.data[w.off : w.off+n]
+	w.off += n
+	return b, nil
+}
+
+// DecodeInstance decodes a canonical instance encoding, verifying
+// structure strictly: it errors on bad magic or version, non-ascending
+// or empty relation names, zero counts, duplicate tuples, truncation,
+// and trailing bytes. It never panics on malformed input.
+func DecodeInstance(data []byte) (*Instance, error) {
+	w := &wireReader{data: data}
+	magic, err := w.u32()
+	if err != nil {
+		return nil, err
+	}
+	if magic != wireMagic {
+		return nil, fmt.Errorf("rel: bad frame magic %#x (want %#x)", magic, wireMagic)
+	}
+	version, err := w.u16()
+	if err != nil {
+		return nil, err
+	}
+	if version != WireVersion {
+		return nil, fmt.Errorf("rel: unsupported wire version %d (this decoder speaks %d)", version, WireVersion)
+	}
+	relCount, err := w.u32()
+	if err != nil {
+		return nil, err
+	}
+	// Each relation costs at least its fixed header (2+2+4 bytes) plus
+	// one tuple, so a relCount beyond the remaining bytes is corrupt —
+	// reject before allocating the instance map from attacker input.
+	if int64(relCount) > int64(w.remaining()/8)+1 {
+		return nil, fmt.Errorf("rel: frame declares %d relations but only %d bytes remain", relCount, w.remaining())
+	}
+	inst := NewInstanceSize(int(relCount))
+	prevName := ""
+	for k := uint32(0); k < relCount; k++ {
+		name, r, err := decodeRelation(w)
+		if err != nil {
+			return nil, err
+		}
+		if k > 0 && name <= prevName {
+			return nil, fmt.Errorf("rel: relation %q out of order after %q (canonical encoding is name-ascending)", name, prevName)
+		}
+		prevName = name
+		inst.rels[name] = r
+	}
+	if w.remaining() != 0 {
+		return nil, fmt.Errorf("rel: %d trailing bytes after a complete instance", w.remaining())
+	}
+	return inst, nil
+}
+
+func decodeRelation(w *wireReader) (string, *Relation, error) {
+	nameLen, err := w.u16()
+	if err != nil {
+		return "", nil, err
+	}
+	if nameLen == 0 {
+		return "", nil, fmt.Errorf("rel: empty relation name at offset %d", w.off)
+	}
+	nameBytes, err := w.bytes(int(nameLen))
+	if err != nil {
+		return "", nil, err
+	}
+	name := string(nameBytes)
+	arity16, err := w.u16()
+	if err != nil {
+		return "", nil, err
+	}
+	arity := int(arity16)
+	if arity == 0 || arity > maxWireArity {
+		return "", nil, fmt.Errorf("rel: relation %q has wire arity %d (want 1..%d)", name, arity, maxWireArity)
+	}
+	count32, err := w.u32()
+	if err != nil {
+		return "", nil, err
+	}
+	count := int(count32)
+	if count == 0 {
+		return "", nil, fmt.Errorf("rel: relation %q encoded with zero tuples (canonical encoding skips empty relations)", name)
+	}
+	// The payload length check caps the allocation below at the frame
+	// size: a frame cannot make the decoder allocate more value slots
+	// than it carries bytes.
+	need := count * arity * 8
+	if w.remaining() < need {
+		return "", nil, fmt.Errorf("rel: relation %q declares %d×%d values (%d bytes) but only %d remain",
+			name, count, arity, need, w.remaining())
+	}
+	r := NewRelationSize(name, arity, count)
+	scratch := make(Tuple, arity)
+	for i := 0; i < count; i++ {
+		for j := 0; j < arity; j++ {
+			v, err := w.u64()
+			if err != nil {
+				return "", nil, err
+			}
+			scratch[j] = Value(v)
+		}
+		if !r.insert(scratch.Hash(), scratch) {
+			return "", nil, fmt.Errorf("rel: relation %q carries duplicate tuple %v (canonical encoding is duplicate-free)", name, scratch)
+		}
+	}
+	return name, r, nil
+}

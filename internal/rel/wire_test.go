@@ -1,0 +1,203 @@
+package rel
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+func wireSample() *Instance {
+	inst := NewInstance()
+	inst.Add(NewFact("R", 1, 2))
+	inst.Add(NewFact("R", 2, 3))
+	inst.Add(NewFact("R", -7, 0)) // negative values must survive the u64 round-trip
+	inst.Add(NewFact("S", 9))
+	inst.Add(NewFact("ΔE", 4, 5)) // multi-byte UTF-8 relation names
+	return inst
+}
+
+// TestWireRoundTrip: Decode(Encode(i)) must equal i, and re-encoding
+// the decoded instance must reproduce the exact bytes (canonicity).
+func TestWireRoundTrip(t *testing.T) {
+	inst := wireSample()
+	buf := EncodeInstance(inst)
+	if len(buf) != EncodedSize(inst) {
+		t.Errorf("EncodedSize predicts %d bytes, encoder wrote %d", EncodedSize(inst), len(buf))
+	}
+	got, err := DecodeInstance(buf)
+	if err != nil {
+		t.Fatalf("decode of a fresh encoding failed: %v", err)
+	}
+	if !got.Equal(inst) {
+		t.Fatalf("round-trip lost facts: got %v want %v", got, inst)
+	}
+	again := EncodeInstance(got)
+	if !bytes.Equal(buf, again) {
+		t.Fatalf("encode→decode→encode is not a fixpoint:\n first %x\nsecond %x", buf, again)
+	}
+}
+
+// TestWireEmptyInstance: an empty instance encodes to a bare header and
+// decodes back to empty.
+func TestWireEmptyInstance(t *testing.T) {
+	buf := EncodeInstance(NewInstance())
+	got, err := DecodeInstance(buf)
+	if err != nil {
+		t.Fatalf("decode of empty instance: %v", err)
+	}
+	if !got.IsEmpty() {
+		t.Fatalf("decoded empty instance holds facts: %v", got)
+	}
+}
+
+// TestWireSkipsEmptyAndTombstonedRelations: relations emptied by
+// removal (tombstones pending compaction) must not appear on the wire,
+// and partially tombstoned relations must ship only live tuples.
+func TestWireSkipsEmptyAndTombstonedRelations(t *testing.T) {
+	inst := NewInstance()
+	inst.Add(NewFact("R", 1, 2))
+	inst.Add(NewFact("R", 3, 4))
+	inst.Add(NewFact("gone", 5))
+	inst.Remove(NewFact("gone", 5))
+	inst.Remove(NewFact("R", 1, 2))
+	got, err := DecodeInstance(EncodeInstance(inst))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !got.Equal(inst) {
+		t.Fatalf("tombstoned round-trip mismatch: got %v want %v", got, inst)
+	}
+	if got.Relation("gone") != nil {
+		t.Error("fully-removed relation leaked onto the wire")
+	}
+}
+
+// TestWireDeterministicAcrossInsertionOrders: two instances with the
+// same facts added in different orders may encode differently (arena
+// order is insertion order), but both encodings must decode to equal
+// instances — and an instance built by sorted insertion is the
+// canonical representative both decode-encodes converge to.
+func TestWireDeterministicAcrossInsertionOrders(t *testing.T) {
+	a := NewInstance()
+	a.Add(NewFact("R", 1, 2))
+	a.Add(NewFact("R", 3, 4))
+	b := NewInstance()
+	b.Add(NewFact("R", 3, 4))
+	b.Add(NewFact("R", 1, 2))
+	da, err := DecodeInstance(EncodeInstance(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := DecodeInstance(EncodeInstance(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !da.Equal(db) {
+		t.Fatalf("same fact set decoded unequal: %v vs %v", da, db)
+	}
+}
+
+// TestWireDecodeRejects enumerates the malformed-frame classes the
+// decoder must reject with an error (never a panic).
+func TestWireDecodeRejects(t *testing.T) {
+	good := EncodeInstance(wireSample())
+	cases := []struct {
+		name    string
+		mutate  func() []byte
+		wantErr string
+	}{
+		{"empty input", func() []byte { return nil }, "truncated"},
+		{"bad magic", func() []byte {
+			b := append([]byte(nil), good...)
+			b[0] ^= 0xff
+			return b
+		}, "magic"},
+		{"future version", func() []byte {
+			b := append([]byte(nil), good...)
+			binary.LittleEndian.PutUint16(b[4:], WireVersion+1)
+			return b
+		}, "version"},
+		{"truncated mid-values", func() []byte { return good[:len(good)-3] }, "remain"},
+		{"trailing bytes", func() []byte { return append(append([]byte(nil), good...), 0xaa) }, "trailing"},
+		{"relation count beyond payload", func() []byte {
+			b := append([]byte(nil), good...)
+			binary.LittleEndian.PutUint32(b[6:], 0xffffffff)
+			return b
+		}, "relations"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeInstance(tc.mutate())
+			if err == nil {
+				t.Fatal("decoder accepted a malformed frame")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestWireRejectsNonCanonical: structurally well-formed but
+// non-canonical encodings (duplicate tuples, zero counts, unsorted
+// names) are rejected, which is what makes Encode∘Decode the identity
+// on all accepted inputs.
+func TestWireRejectsNonCanonical(t *testing.T) {
+	header := func(rels int) []byte {
+		b := binary.LittleEndian.AppendUint32(nil, 0x5743504d)
+		b = binary.LittleEndian.AppendUint16(b, WireVersion)
+		return binary.LittleEndian.AppendUint32(b, uint32(rels))
+	}
+	relation := func(name string, arity int, tuples ...uint64) []byte {
+		b := binary.LittleEndian.AppendUint16(nil, uint16(len(name)))
+		b = append(b, name...)
+		b = binary.LittleEndian.AppendUint16(b, uint16(arity))
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(tuples)/arity))
+		for _, v := range tuples {
+			b = binary.LittleEndian.AppendUint64(b, v)
+		}
+		return b
+	}
+	cases := []struct {
+		name    string
+		frame   []byte
+		wantErr string
+	}{
+		{"duplicate tuple", append(header(1), relation("R", 2, 1, 2, 1, 2)...), "duplicate"},
+		{"zero count", append(header(1), relation("R", 2)...), "zero tuples"},
+		{"zero arity", append(header(1), []byte{1, 0, 'R', 0, 0, 1, 0, 0, 0}...), "arity"},
+		{"empty name", append(header(1), relation("", 1, 7)...), "empty relation name"},
+		{"names out of order", append(header(2), append(relation("S", 1, 1), relation("R", 1, 2)...)...), "out of order"},
+		{"duplicate name", append(header(2), append(relation("R", 1, 1), relation("R", 1, 2)...)...), "out of order"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeInstance(tc.frame)
+			if err == nil {
+				t.Fatal("decoder accepted a non-canonical frame")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestWireCollisionTuples: tuples engineered to share full 64-bit
+// hashes (the substrate property suite's collision trick) must survive
+// the wire individually.
+func TestWireCollisionTuples(t *testing.T) {
+	inst := NewInstance()
+	// Low-bit collisions: many values mapping to the same table slots.
+	for i := 0; i < 64; i++ {
+		inst.Add(NewFact("C", Value(i<<32), Value(i)))
+	}
+	got, err := DecodeInstance(EncodeInstance(inst))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !got.Equal(inst) {
+		t.Fatalf("collision-heavy round-trip mismatch")
+	}
+}
