@@ -39,16 +39,23 @@ func joinQ(d *rel.Dict) *cq.CQ {
 	return cq.MustParse(d, "H(x, y, z) :- R(x, y), S(y, z)")
 }
 
-func runLoadOnly(b *testing.B, p int, inst *rel.Instance, r mpc.Round) *mpc.Cluster {
+func runLoadOnly(b *testing.B, p int, inst *rel.Instance, r mpc.Round, opts ...mpc.Option) *mpc.Cluster {
 	b.Helper()
 	r.Compute = nil
-	c := mpc.NewCluster(p)
+	c := mpc.NewCluster(p, opts...)
 	c.LoadRoundRobin(inst)
 	if err := c.Run(r); err != nil {
 		b.Fatal(err)
 	}
 	return c
 }
+
+// verifyStride is the sampling stride the *Verified benchmark variants
+// run with: every 16th delivery is re-checked against the round's
+// routing contract on the receiver. benchdiff pairs each Verified
+// benchmark with its unverified twin (-overhead-suffix) and bounds the
+// ns/op ratio, so the cost of always-on verification stays priced.
+const verifyStride = 16
 
 // EXP-F1: the Figure 1 transfer matrix (Πᵖ₃-shaped decision ×12).
 func BenchmarkFigure1Transfer(b *testing.B) {
@@ -101,6 +108,15 @@ func BenchmarkRepartitionJoinSkewed(b *testing.B) {
 	})
 }
 
+// EXP-BYZ (overhead half): the skew-free repartition join with sampled
+// receiver-side routing verification — the Verified twin of
+// BenchmarkRepartitionJoinSkewFree that verify-perf prices.
+func BenchmarkRepartitionJoinSkewFreeVerified(b *testing.B) {
+	benchJoinLoad(b, workload.JoinSkewFree(20000), func(q *cq.CQ, p int) (mpc.Round, error) {
+		return hypercube.RepartitionJoin(q, p, 7)
+	}, mpc.WithRoutingVerification(verifyStride))
+}
+
 // EXP-3.1b: grouping join under skew.
 func BenchmarkGroupingJoinSkewed(b *testing.B) {
 	benchJoinLoad(b, workload.JoinSkewed(20000, 0.5), func(q *cq.CQ, p int) (mpc.Round, error) {
@@ -117,7 +133,7 @@ func BenchmarkSkewAwareJoin(b *testing.B) {
 	})
 }
 
-func benchJoinLoad(b *testing.B, inst *rel.Instance, mk func(*cq.CQ, int) (mpc.Round, error)) {
+func benchJoinLoad(b *testing.B, inst *rel.Instance, mk func(*cq.CQ, int) (mpc.Round, error), opts ...mpc.Option) {
 	b.Helper()
 	d := rel.NewDict()
 	q := joinQ(d)
@@ -133,7 +149,7 @@ func benchJoinLoad(b *testing.B, inst *rel.Instance, mk func(*cq.CQ, int) (mpc.R
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		last = runLoadOnly(b, p, inst, r)
+		last = runLoadOnly(b, p, inst, r, opts...)
 	}
 	b.ReportMetric(float64(last.MaxLoad()), "maxload")
 	b.ReportMetric(float64(last.TotalComm()), "totalcomm")
@@ -180,6 +196,30 @@ func BenchmarkHyperCubeTriangle(b *testing.B) {
 			b.ReportMetric(3*float64(m)/math.Pow(float64(p), 2.0/3.0), "bound")
 		})
 	}
+}
+
+// EXP-BYZ (overhead half): the HyperCube triangle at the middle server
+// count with sampled receiver-side routing verification — paired by
+// benchdiff with BenchmarkHyperCubeTriangle/p=64.
+func BenchmarkHyperCubeTriangleVerified(b *testing.B) {
+	d := rel.NewDict()
+	q := triangleQ(d)
+	m := 20000
+	inst := workload.TriangleSkewFree(m)
+	b.Run("p=64", func(b *testing.B) {
+		g, err := hypercube.NewOptimalGrid(q, 64, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var last *mpc.Cluster
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			last = runLoadOnly(b, g.P(), inst, hypercube.HyperCubeRound(g), mpc.WithRoutingVerification(verifyStride))
+		}
+		b.ReportMetric(float64(last.MaxLoad()), "maxload")
+		b.ReportMetric(3*float64(m)/math.Pow(64, 2.0/3.0), "bound")
+	})
 }
 
 // EXP-SHARES: share optimization (LP + integer repair).

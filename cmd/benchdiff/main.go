@@ -3,7 +3,8 @@
 // `make verify-perf`: the old report is the checked-in baseline
 // (BENCH_<n>.json), the new one is a fresh run.
 //
-//	benchdiff [-max-regress 1.6] [-max-alloc-regress 1.02] old.json new.json
+//	benchdiff [-max-regress 1.6] [-max-alloc-regress 1.02] \
+//	          [-overhead-suffix Verified -max-overhead 1.4] old.json new.json
 //
 // Each metric is held to the strictness it can bear: ns/op is at the
 // mercy of scheduler noise, so its factor is loose; allocs/op is
@@ -15,6 +16,14 @@
 // loose ns/op factor — but in the opposite direction, failing when the
 // new value drops below old/max-regress. B/op and iters are not
 // compared.
+//
+// -overhead-suffix additionally pairs benchmarks WITHIN the new report:
+// a benchmark whose top-level name ends in the suffix (sub-benchmark
+// path preserved, so FooVerified/p=64 pairs with Foo/p=64) is an
+// instrumented variant of its base benchmark, and its ns/op may not
+// exceed the base's by more than -max-overhead. Both sides come from
+// the same fresh run, so the comparison is immune to baseline drift —
+// frozen baselines simply list the variants as only-in-new.
 //
 // Output lines are sorted by benchmark name so repeated runs over the
 // same pair of reports are byte-identical.
@@ -44,6 +53,10 @@ func main() {
 		"fail when new ns/op exceeds old ns/op by more than this factor")
 	maxAllocRegress := flag.Float64("max-alloc-regress", 1.02,
 		"fail when new allocs/op exceeds old allocs/op by more than this factor")
+	overheadSuffix := flag.String("overhead-suffix", "",
+		"pair <base><suffix> benchmarks with <base> inside the new report and bound their ns/op ratio")
+	maxOverhead := flag.Float64("max-overhead", 1.4,
+		"fail when an overhead-suffix variant exceeds its base ns/op by more than this factor")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-max-regress f] old.json new.json")
@@ -111,11 +124,57 @@ func main() {
 		fmt.Printf("%-60s only in %s\n", name, flag.Arg(1))
 	}
 
+	if *overheadSuffix != "" {
+		regressions += diffOverhead(new_, *overheadSuffix, *maxOverhead)
+	}
+
 	fmt.Printf("benchdiff: %d compared, %d regressed (max allowed x%.2f)\n",
 		compared, regressions, *maxRegress)
 	if regressions > 0 {
 		os.Exit(1)
 	}
+}
+
+// diffOverhead compares instrumented benchmark variants against their
+// base benchmarks inside one report: for every benchmark whose
+// top-level segment ends in suffix and whose base twin exists, the
+// variant's ns/op may exceed the base's by at most maxOverhead. A
+// variant without a base twin is reported but not failed — it prices
+// nothing. Returns the number of violations.
+func diffOverhead(benches map[string]benchmark, suffix string, maxOverhead float64) int {
+	names := make([]string, 0, len(benches))
+	for name := range benches {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	violations := 0
+	for _, name := range names {
+		top, rest, _ := strings.Cut(name, "/")
+		if !strings.HasSuffix(top, suffix) || top == suffix {
+			continue
+		}
+		base := strings.TrimSuffix(top, suffix)
+		if rest != "" {
+			base += "/" + rest
+		}
+		o, ok := benches[base]
+		v := benches[name]
+		oNS, vNS := o.Metrics["ns/op"], v.Metrics["ns/op"]
+		if !ok || oNS == 0 || vNS == 0 {
+			fmt.Printf("%-60s no base benchmark %s to price against\n", name, base)
+			continue
+		}
+		ratio := vNS / oNS
+		status := "ok"
+		if ratio > maxOverhead {
+			status = "OVERHEAD REGRESSION"
+			violations++
+		}
+		fmt.Printf("%-60s %14.0f vs %14.0f ns/op  (x%.3f overhead, max x%.2f)  %s\n",
+			name, vNS, oNS, ratio, maxOverhead, status)
+	}
+	return violations
 }
 
 // domainMetrics returns b's metric names that are pure functions of the

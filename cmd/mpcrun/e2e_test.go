@@ -87,11 +87,19 @@ func TestE2EKillRecovery(t *testing.T) {
 		t.Errorf("post-recovery report diverged from local:\n got:\n%s\nwant:\n%s", got, want)
 	}
 	// The crash must not have been vacuous: the coordinator really
-	// respawned an incarnation, and the checkpoint files really exist.
+	// respawned an incarnation.
 	if !strings.Contains(stderr, "recovered 1 worker incarnation") {
 		t.Errorf("no recovery happened (stderr: %q)", stderr)
 	}
-	if _, err := os.Stat(filepath.Join(ckpt, "worker-1-round-1.ckpt")); err != nil {
-		t.Errorf("missing the checkpoint the failpoint armed on: %v", err)
+	// Checkpoints really were written and the GC really ran: the
+	// respawned worker keeps exactly the newest two rounds (resume
+	// never rewinds past latest−1), so the round-1 file the failpoint
+	// armed on must be gone and two later ones must remain.
+	left, err := filepath.Glob(filepath.Join(ckpt, "worker-1-round-*.ckpt"))
+	if err != nil || len(left) != 2 {
+		t.Errorf("worker 1 retains %v (err %v), want exactly its newest two checkpoints", left, err)
+	}
+	if _, err := os.Stat(filepath.Join(ckpt, "worker-1-round-1.ckpt")); !os.IsNotExist(err) {
+		t.Errorf("round-1 checkpoint outlived the GC (stat err: %v)", err)
 	}
 }

@@ -123,7 +123,9 @@ func (p *execProc) Wait() error { return p.cmd.Wait() }
 
 func (p *execProc) Kill() {
 	if p.cmd.Process != nil {
-		_ = p.cmd.Process.Kill() // best-effort teardown of an already-failed run
+		// Kill errors only when the process is already gone, which is the
+		// outcome Kill wants; the monitor's Wait still reaps the child.
+		_ = p.cmd.Process.Kill()
 	}
 }
 
@@ -143,7 +145,15 @@ func runDistributed(transport string, spec mpcnet.ProgramSpec, ckpt string, fail
 			if err != nil {
 				fatal(err)
 			}
-			defer os.RemoveAll(dir) // best-effort cleanup of scratch checkpoints
+			// Scratch checkpoints are junk once the run ends, but a failed
+			// cleanup should not pass silently — leaked directories add up
+			// across CI runs. Surface it on stderr; the report already went
+			// to stdout, so the byte-compared output stays clean.
+			defer func() {
+				if rmErr := os.RemoveAll(dir); rmErr != nil {
+					fmt.Fprintf(os.Stderr, "mpcrun: leaking scratch checkpoint dir: %v\n", rmErr)
+				}
+			}()
 		}
 		bin, berr := os.Executable()
 		if berr != nil {

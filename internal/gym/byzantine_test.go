@@ -1,0 +1,124 @@
+package gym
+
+import (
+	"errors"
+	"testing"
+
+	"mpclogic/internal/cq"
+	"mpclogic/internal/hypercube"
+	"mpclogic/internal/mpc"
+	"mpclogic/internal/rel"
+	"mpclogic/internal/workload"
+)
+
+// TestByzantineMatrixAcrossPrograms machine-checks the routing-
+// integrity invariant on real algorithms: for every plan in the
+// seeded ByzantineFaultMatrix, a run either produces byte-identical
+// output and logical trace to the fault-free reference (transient
+// corruption: audited, quarantined, recovered) or fails with a typed
+// *mpc.RoutingIntegrityError naming an accused server (persistent
+// corruption: detected, never silently absorbed). No third outcome —
+// in particular no divergent-but-successful run — is allowed, across
+// the one-round HyperCube triangle, the cascade triangle, GYM, and
+// the incremental ΔTC program.
+func TestByzantineMatrixAcrossPrograms(t *testing.T) {
+	d := rel.NewDict()
+	triQ := cq.MustParse(d, "H(x, y, z) :- R(x, y), S(y, z), T(z, x)")
+	triInst := workload.TriangleSkewFree(40)
+	graph := workload.RandomGraph(20, 32, 9)
+	grid, err := hypercube.NewOptimalGrid(triQ, 6, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runDelta := func(p int, opts ...mpc.Option) (*mpc.Cluster, error) {
+		c := mpc.NewCluster(p, opts...)
+		batches := chunkFacts(graph.Facts(), 3)
+		if err := c.RunDelta(DeltaTCProgram(p, 11), batches[0]); err != nil {
+			return c, err
+		}
+		for _, b := range batches[1:] {
+			if err := c.ApplyUpdate(b); err != nil {
+				return c, err
+			}
+		}
+		return c, nil
+	}
+
+	programs := []struct {
+		name string
+		p    int
+		run  func(opts ...mpc.Option) (*mpc.Cluster, error)
+	}{
+		{"hypercube-triangle", grid.P(), func(opts ...mpc.Option) (*mpc.Cluster, error) {
+			c := mpc.NewCluster(grid.P(), opts...)
+			c.LoadRoundRobin(triInst)
+			return c, c.Run(hypercube.HyperCubeRound(grid))
+		}},
+		{"cascade-triangle", 6, func(opts ...mpc.Option) (*mpc.Cluster, error) {
+			c, _, err := CascadeTriangle(6, triInst, 11, opts...)
+			return c, err
+		}},
+		{"gym-triangle", 6, func(opts ...mpc.Option) (*mpc.Cluster, error) {
+			c, _, _, err := GYM(triQ, 6, triInst, 3, opts...)
+			return c, err
+		}},
+		{"delta-tc", 6, func(opts ...mpc.Option) (*mpc.Cluster, error) {
+			return runDelta(6, opts...)
+		}},
+	}
+
+	for _, prog := range programs {
+		prog := prog
+		t.Run(prog.name, func(t *testing.T) {
+			base, err := prog.run()
+			if err != nil {
+				t.Fatalf("fault-free run: %v", err)
+			}
+			wantOut := base.Output().String()
+			wantTrace := base.LogicalTrace()
+
+			matrix := mpc.ByzantineFaultMatrix(2026, base.Rounds(), prog.p)
+			if testing.Short() {
+				matrix = matrix[:2]
+			}
+			quarantined, accusations := 0, 0
+			for _, np := range matrix {
+				c, err := prog.run(mpc.WithByzantinePlan(np.Plan))
+				if err != nil {
+					var rie *mpc.RoutingIntegrityError
+					if !errors.As(err, &rie) {
+						t.Errorf("%s failed with an untyped error: %v", np.Name, err)
+						continue
+					}
+					if np.Recoverable {
+						t.Errorf("recoverable plan %s escalated to an accusation: %v", np.Name, err)
+					}
+					if rie.Accused < 0 || rie.Accused >= prog.p {
+						t.Errorf("%s accused out-of-range server %d", np.Name, rie.Accused)
+					}
+					accusations++
+					continue
+				}
+				if got := c.Output().String(); got != wantOut {
+					t.Errorf("%s: run succeeded with divergent output", np.Name)
+				}
+				if got := c.LogicalTrace(); got != wantTrace {
+					t.Errorf("%s: run succeeded with divergent logical trace:\n got %q\nwant %q", np.Name, got, wantTrace)
+				}
+				quarantined += c.RecoveryTotals().Quarantined
+			}
+			// The invariant must not hold vacuously: across the full
+			// matrix, at least one transient plan must have actually been
+			// quarantined and at least one persistent plan accused.
+			if !testing.Short() {
+				if quarantined == 0 {
+					t.Errorf("matrix fired no quarantines")
+				}
+				if accusations == 0 {
+					t.Errorf("matrix produced no routing-integrity accusation")
+				}
+			}
+		})
+	}
+}

@@ -127,11 +127,13 @@ func TestTransportEquivalence(t *testing.T) {
 // TestChaosOverTCP runs the full standard fault matrix with the TCP
 // transport installed: the fault-tolerance layer arms the transport's
 // frame-layer havoc, so every planned drop really becomes an aborted
-// partial frame on a socket (followed by a retransmission) and every
-// planned duplication an extra identical frame the receiver must
-// dedup. The fault-transparency invariant must survive the wire:
-// output and logical trace byte-identical to the fault-free local
-// reference for all nine plans.
+// connection on a socket (a truncated frame or a mid-payload RST,
+// followed by a retransmission), every planned duplication an extra
+// identical frame the receiver must dedup, and every planned
+// corruption a bit-flipped frame the receiver's checksum rejects. The
+// fault-transparency invariant must survive the wire: output and
+// logical trace byte-identical to the fault-free local reference for
+// all thirteen plans, the rack-scoped and corrupt-only ones included.
 func TestChaosOverTCP(t *testing.T) {
 	triInst := workload.TriangleSkewFree(40)
 	const p = 6
@@ -172,8 +174,9 @@ func TestChaosOverTCP(t *testing.T) {
 			tot.SpeculativeWins += r.SpeculativeWins
 		})
 	}
-	// The chaos must not be vacuous: the matrix has to have dropped and
-	// duplicated real transfers for the frame-layer injection to matter.
+	// The chaos must not be vacuous: the matrix has to have dropped,
+	// duplicated, and corrupted real transfers for the frame-layer
+	// injection to matter.
 	if !testing.Short() && (tot.Retries == 0 || tot.ReplicaComm == 0) {
 		t.Errorf("matrix injected no wire faults (totals %+v)", tot)
 	}

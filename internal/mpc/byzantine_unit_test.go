@@ -1,0 +1,154 @@
+package mpc
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mpclogic/internal/rel"
+)
+
+func TestByzKindStrings(t *testing.T) {
+	cases := []struct {
+		k      ByzKind
+		s, pas string
+	}{
+		{Misroute, "misroute", "misrouted"},
+		{Forge, "forge", "forged"},
+		{Omit, "omit", "omitted"},
+	}
+	for _, c := range cases {
+		if c.k.String() != c.s {
+			t.Errorf("%d.String() = %q, want %q", c.k, c.k.String(), c.s)
+		}
+		if c.k.verb() != c.pas {
+			t.Errorf("%d.verb() = %q, want %q", c.k, c.k.verb(), c.pas)
+		}
+	}
+	if got := ByzKind(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown kind renders %q, want the raw value visible", got)
+	}
+}
+
+func TestByzantinePlanString(t *testing.T) {
+	if got := NewByzantinePlan().String(); got != "byzantine plan: none" {
+		t.Errorf("empty plan renders %q", got)
+	}
+	p := NewByzantinePlan().Add(ByzantineEvent{Round: 0, Src: 1, Kind: Forge, Count: 1})
+	if got := p.String(); !strings.Contains(got, "1 event") {
+		t.Errorf("one-event plan renders %q", got)
+	}
+	if p.Empty() {
+		t.Error("plan with an event reports Empty")
+	}
+	var nilPlan *ByzantinePlan
+	if !nilPlan.Empty() {
+		t.Error("nil plan is not Empty")
+	}
+}
+
+func TestWithRoutingVerificationRejectsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative stride did not panic")
+		}
+	}()
+	WithRoutingVerification(-1)
+}
+
+// legalShardDst's edge cases: a multi-source shard clamps hi to p, a
+// round with no Route makes every cross-network destination illegal,
+// and a panicking Route condemns the fact rather than the process.
+func TestLegalShardDstEdges(t *testing.T) {
+	f := rel.NewFact("E", 1, 2)
+	keepAll := Round{Keep: func(rel.Fact) bool { return true }}
+	// Keep facts are legal anywhere in the shard's source range, with
+	// hi clamped to p.
+	if !legalShardDst(keepAll, 4, 2, 99, 3, f) {
+		t.Error("Keep fact at an in-range destination flagged illegal")
+	}
+	if legalShardDst(keepAll, 4, 2, 99, 1, f) {
+		t.Error("Keep fact below the source range accepted")
+	}
+	noRoute := Round{}
+	if legalShardDst(noRoute, 4, 0, 1, 2, f) {
+		t.Error("round without Route accepted a cross-network delivery")
+	}
+	panicky := Round{Route: routeFunc(func(rel.Fact) []int { panic("bad fact") })}
+	if legalShardDst(panicky, 4, 0, 1, 2, f) {
+		t.Error("panicking Route accepted the fact")
+	}
+}
+
+type routeFunc func(rel.Fact) []int
+
+func (r routeFunc) Route(f rel.Fact) []int { return r(f) }
+
+func TestShardEqual(t *testing.T) {
+	mk := func() *Shard {
+		out := rel.NewInstance()
+		out.Add(rel.NewFact("E", 1, 2))
+		return &Shard{
+			Outs: []*rel.Instance{nil, out},
+			Sent: []int{0, 1},
+		}
+	}
+	a, b := mk(), mk()
+	if !shardEqual(a, b, 2) {
+		t.Fatal("identical shards compare unequal")
+	}
+	// nil vs empty instance is still equal.
+	b.Outs[0] = rel.NewInstance()
+	if !shardEqual(a, b, 2) {
+		t.Error("nil vs empty destination compares unequal")
+	}
+	if !shardEqual(b, a, 2) {
+		t.Error("empty vs nil destination compares unequal")
+	}
+	// nil vs non-empty differs (both orientations).
+	extra := rel.NewInstance()
+	extra.Add(rel.NewFact("X", 7))
+	b.Outs[0] = extra
+	b.Sent[0] = a.Sent[0]
+	if shardEqual(a, b, 2) || shardEqual(b, a, 2) {
+		t.Error("nil vs non-empty destination compares equal")
+	}
+	// Differing content, counts, and Δ counts all differ.
+	b = mk()
+	b.Outs[1].Add(rel.NewFact("E", 9, 9))
+	if shardEqual(a, b, 2) {
+		t.Error("differing content compares equal")
+	}
+	b = mk()
+	b.Sent[1] = 5
+	if shardEqual(a, b, 2) {
+		t.Error("differing Sent compares equal")
+	}
+	b = mk()
+	b.DeltaSent = 3
+	if shardEqual(a, b, 2) {
+		t.Error("differing DeltaSent compares equal")
+	}
+}
+
+// dialJitter is a pure function of (dst, attempt), bounded below 5ms,
+// and not constant across attempts — the properties the backoff
+// depends on.
+func TestDialJitter(t *testing.T) {
+	seen := map[time.Duration]bool{}
+	for dst := 0; dst < 8; dst++ {
+		for attempt := 0; attempt < 8; attempt++ {
+			j := dialJitter(dst, attempt)
+			if j != dialJitter(dst, attempt) {
+				t.Fatalf("jitter(%d,%d) not deterministic", dst, attempt)
+			}
+			if j < 0 || j >= 5*time.Millisecond {
+				t.Fatalf("jitter(%d,%d) = %v outside [0, 5ms)", dst, attempt, j)
+			}
+			seen[j] = true
+		}
+	}
+	if len(seen) < 2 {
+		t.Error("jitter constant over 64 (dst, attempt) pairs; senders would thunder in lockstep")
+	}
+}

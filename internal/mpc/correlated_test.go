@@ -1,0 +1,191 @@
+package mpc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGroupCrashExpands(t *testing.T) {
+	p := NewFaultPlan().AddGroupCrash(2, []int{1, 3, 4}, 2)
+	for _, s := range []int{1, 3, 4} {
+		if got := p.crashes(2, s); got != 2 {
+			t.Errorf("crashes(2,%d) = %d, want 2", s, got)
+		}
+	}
+	if p.crashes(2, 0) != 0 || p.crashes(1, 1) != 0 {
+		t.Errorf("group crash leaked outside the group/round")
+	}
+}
+
+func TestGroupPartitionExpands(t *testing.T) {
+	// Rack {0,1} partitioned off a 4-server cluster: all 8 boundary
+	// links (2 inside × 2 outside × both directions) drop, intra-rack
+	// and outside-outside links don't.
+	p := NewFaultPlan().AddGroupPartition(1, []int{0, 1}, 4, 3)
+	drops := 0
+	for src := 0; src < 4; src++ {
+		for dst := 0; dst < 4; dst++ {
+			in := func(s int) bool { return s < 2 }
+			got := p.drops(1, src, dst)
+			if src != dst && in(src) != in(dst) {
+				if got != 3 {
+					t.Errorf("boundary link %d→%d has %d drops, want 3", src, dst, got)
+				}
+				drops++
+			} else if got != 0 {
+				t.Errorf("non-boundary link %d→%d has %d drops", src, dst, got)
+			}
+		}
+	}
+	if drops != 8 {
+		t.Errorf("saw %d boundary links, want 8", drops)
+	}
+}
+
+func TestRackHelper(t *testing.T) {
+	if got := Rack(0, 3, 8); len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Errorf("Rack(0,3,8) = %v", got)
+	}
+	if got := Rack(2, 3, 8); len(got) != 2 || got[0] != 6 || got[1] != 7 {
+		t.Errorf("last rack should be short: Rack(2,3,8) = %v", got)
+	}
+}
+
+func TestRandomCorrelatedFaultPlanDeterministic(t *testing.T) {
+	prof := CorrelatedProfile{RackCrashRate: 0.3, RackPartitionRate: 0.3, MaxRepeat: 2}
+	a := RandomCorrelatedFaultPlan(42, 6, 8, 2, prof)
+	b := RandomCorrelatedFaultPlan(42, 6, 8, 2, prof)
+	for r := 0; r < 6; r++ {
+		for s := 0; s < 8; s++ {
+			if a.crashes(r, s) != b.crashes(r, s) {
+				t.Fatalf("same seed, different crash at round %d server %d", r, s)
+			}
+			for d := 0; d < 8; d++ {
+				if a.drops(r, s, d) != b.drops(r, s, d) {
+					t.Fatalf("same seed, different drop at round %d %d→%d", r, s, d)
+				}
+			}
+		}
+	}
+	if a.Empty() {
+		t.Fatalf("profile too weak: empty correlated plan")
+	}
+}
+
+// TestCorrelatedFaultTransparency: rack-scoped plans ride the existing
+// crash/drop recovery machinery, so output and logical trace stay
+// byte-identical to fault-free.
+func TestCorrelatedFaultTransparency(t *testing.T) {
+	p := 6
+	load, rounds := byzProgram(p)
+	base := NewCluster(p)
+	base.LoadRoundRobin(load)
+	if err := base.Run(rounds...); err != nil {
+		t.Fatal(err)
+	}
+
+	plans := []*FaultPlan{
+		NewFaultPlan().AddGroupCrash(0, Rack(0, 2, p), 2),
+		NewFaultPlan().AddGroupPartition(0, Rack(1, 2, p), p, 2),
+		NewFaultPlan().
+			AddGroupCrash(1, Rack(2, 2, p), 1).
+			AddGroupPartition(0, Rack(0, 2, p), p, 1),
+	}
+	for i, plan := range plans {
+		faulty := NewCluster(p, WithFaultPlan(plan))
+		faulty.LoadRoundRobin(load)
+		if err := faulty.Run(rounds...); err != nil {
+			t.Fatalf("plan %d not recovered: %v", i, err)
+		}
+		if faulty.Output().String() != base.Output().String() {
+			t.Errorf("plan %d: output diverged", i)
+		}
+		if faulty.LogicalTrace() != base.LogicalTrace() {
+			t.Errorf("plan %d: logical trace diverged", i)
+		}
+		if faulty.RecoveryTotals().Retries == 0 {
+			t.Errorf("plan %d fired no recovery work (vacuous)", i)
+		}
+	}
+}
+
+func TestCorruptAccounting(t *testing.T) {
+	plan := NewFaultPlan().AddCorrupt(0, 0, 1, 2)
+	c, r := twoServerTransfer(t, WithFaultPlan(plan))
+	st, err := c.RunRound(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corruption is detected-and-retransmitted: same schedule as a
+	// double drop.
+	if st.Retries != 2 || st.ReplicaComm != 2 {
+		t.Errorf("retries=%d replica=%d, want 2, 2", st.Retries, st.ReplicaComm)
+	}
+	if st.VirtualMakespan != 7 {
+		t.Errorf("makespan=%d, want 7", st.VirtualMakespan)
+	}
+	if st.MaxLoad != 1 || st.TotalComm != 1 {
+		t.Errorf("logical metrics changed: maxload=%d totalcomm=%d", st.MaxLoad, st.TotalComm)
+	}
+	if c.Server(1).Len() != 1 {
+		t.Errorf("fact not delivered after corrupted transfers")
+	}
+}
+
+func TestCorruptBudgetExceeded(t *testing.T) {
+	plan := NewFaultPlan().AddCorrupt(0, 0, 1, 5)
+	c, r := twoServerTransfer(t, WithFaultPlan(plan))
+	_, err := c.RunRound(r)
+	if err == nil || !strings.Contains(err.Error(), "corrupted") {
+		t.Fatalf("want corrupted-budget error, got %v", err)
+	}
+	if c.Rounds() != 0 {
+		t.Errorf("failed round recorded stats")
+	}
+}
+
+func TestCorruptRateVariatePreserving(t *testing.T) {
+	// Adding CorruptRate to a profile must not change where the
+	// pre-existing fault kinds land for the same seed.
+	base := DefaultFaultProfile()
+	withCorrupt := base
+	withCorrupt.CorruptRate = 0.2
+	a := RandomFaultPlan(7, 5, 6, base)
+	b := RandomFaultPlan(7, 5, 6, withCorrupt)
+	for r := 0; r < 5; r++ {
+		for s := 0; s < 6; s++ {
+			if a.crashes(r, s) != b.crashes(r, s) || a.straggles(r, s) != b.straggles(r, s) {
+				t.Fatalf("corrupt draws shifted server faults at round %d server %d", r, s)
+			}
+			for d := 0; d < 6; d++ {
+				if a.drops(r, s, d) != b.drops(r, s, d) || a.dups(r, s, d) != b.dups(r, s, d) {
+					t.Fatalf("corrupt draws shifted link faults at round %d %d→%d", r, s, d)
+				}
+			}
+		}
+	}
+	if len(b.corrupt) == 0 {
+		t.Fatalf("CorruptRate drew nothing")
+	}
+}
+
+func TestStandardFaultMatrixIncludesCorrelatedPlans(t *testing.T) {
+	m := StandardFaultMatrix(7, 4, 8)
+	if len(m) != 13 {
+		t.Fatalf("matrix has %d plans, want 13", len(m))
+	}
+	names := map[string]bool{}
+	for _, np := range m {
+		names[np.Name] = true
+	}
+	for _, want := range []string{"corrupt-only", "rack-crash", "rack-partition", "rack-adversary"} {
+		if !names[want] {
+			t.Errorf("matrix missing plan %q", want)
+		}
+	}
+	// The pre-existing prefix is stable: short-mode slices of the
+	// matrix keep exercising the same plans they always did.
+	if m[0].Name != "crash-only" || m[8].Name != "adversary-round0" {
+		t.Errorf("matrix prefix reordered: %s ... %s", m[0].Name, m[8].Name)
+	}
+}

@@ -32,11 +32,26 @@ import (
 //     extra virtual ticks. Stragglers don't fail — they are slow —
 //     so past the speculation threshold a backup copy of the
 //     partition races the primary (see recovery.go).
+//   - Corrupt(r, src, dst) = n: the transfer src→dst arrives n times
+//     with a damaged payload before a clean retransmission gets
+//     through. The receiver detects the damage (the TCP transport
+//     realizes it as frames failing their CRC; see tcp.go) and
+//     discards the frame as line noise, so corruption behaves like a
+//     drop on the virtual clock: detected retransmissions, never
+//     wrong data.
+//
+// Faults can also be scheduled for server GROUPS at once — rack-scoped
+// power loss (AddGroupCrash) and rack-scoped network partitions
+// (AddGroupPartition) — modelling correlated failures, which expand
+// into the same per-site crash/drop schedule and therefore thread
+// through checkpoint recovery, delta programs, and the frame-level
+// chaos tests unchanged.
 type FaultPlan struct {
 	crash    map[serverKey]int
 	drop     map[linkKey]int
 	dup      map[linkKey]int
 	straggle map[serverKey]int
+	corrupt  map[linkKey]int
 }
 
 type serverKey struct{ round, server int }
@@ -50,6 +65,7 @@ func NewFaultPlan() *FaultPlan {
 		drop:     map[linkKey]int{},
 		dup:      map[linkKey]int{},
 		straggle: map[serverKey]int{},
+		corrupt:  map[linkKey]int{},
 	}
 }
 
@@ -78,21 +94,83 @@ func (p *FaultPlan) AddStraggle(r, s, d int) *FaultPlan {
 	return p
 }
 
+// AddCorrupt makes the transfer src→dst in round r arrive n times with
+// a damaged payload (each detected and retransmitted) before the clean
+// copy gets through.
+func (p *FaultPlan) AddCorrupt(r, src, dst, n int) *FaultPlan {
+	p.corrupt[linkKey{r, src, dst}] += n
+	return p
+}
+
+// AddGroupCrash makes every server in the group crash n times in round
+// r — a rack losing power is one event, not |rack| independent ones.
+func (p *FaultPlan) AddGroupCrash(r int, group []int, n int) *FaultPlan {
+	for _, s := range group {
+		p.AddCrash(r, s, n)
+	}
+	return p
+}
+
+// AddGroupPartition drops, n times, every transfer that crosses the
+// boundary between the group and the rest of a total-server cluster in
+// round r — a rack-scoped network partition, in both directions. As
+// with single-link drops, entries for links that carry no facts are
+// inert.
+func (p *FaultPlan) AddGroupPartition(r int, group []int, total, n int) *FaultPlan {
+	in := make(map[int]bool, len(group))
+	for _, s := range group {
+		in[s] = true
+	}
+	for src := 0; src < total; src++ {
+		for dst := 0; dst < total; dst++ {
+			if src == dst || in[src] == in[dst] {
+				continue
+			}
+			p.AddDrop(r, src, dst, n)
+		}
+	}
+	return p
+}
+
+// Rack returns the servers of rack g when p servers are grouped into
+// racks of rackSize consecutive indices (the last rack may be short).
+func Rack(g, rackSize, p int) []int {
+	if rackSize < 1 {
+		rackSize = 1
+	}
+	lo := g * rackSize
+	hi := lo + rackSize
+	if hi > p {
+		hi = p
+	}
+	var out []int
+	for s := lo; s < hi; s++ {
+		out = append(out, s)
+	}
+	return out
+}
+
 // Empty reports whether the plan injects any fault at all.
 func (p *FaultPlan) Empty() bool {
 	if p == nil {
 		return true
 	}
-	return len(p.crash) == 0 && len(p.drop) == 0 && len(p.dup) == 0 && len(p.straggle) == 0
+	return len(p.crash) == 0 && len(p.drop) == 0 && len(p.dup) == 0 &&
+		len(p.straggle) == 0 && len(p.corrupt) == 0
 }
 
-// String summarizes the plan's fault counts.
+// String summarizes the plan's fault counts. Corruption sites appear
+// only when present, so pre-corruption plan renderings are unchanged.
 func (p *FaultPlan) String() string {
 	if p.Empty() {
 		return "fault plan: none"
 	}
-	return fmt.Sprintf("fault plan: crashes=%d drops=%d dups=%d stragglers=%d",
+	s := fmt.Sprintf("fault plan: crashes=%d drops=%d dups=%d stragglers=%d",
 		len(p.crash), len(p.drop), len(p.dup), len(p.straggle))
+	if len(p.corrupt) > 0 {
+		s += fmt.Sprintf(" corrupted=%d", len(p.corrupt))
+	}
+	return s
 }
 
 // Nil-safe accessors: a nil plan injects nothing, so the recovery
@@ -126,6 +204,13 @@ func (p *FaultPlan) straggles(r, s int) int {
 	return p.straggle[serverKey{r, s}]
 }
 
+func (p *FaultPlan) corrupts(r, src, dst int) int {
+	if p == nil {
+		return 0
+	}
+	return p.corrupt[linkKey{r, src, dst}]
+}
+
 // FaultProfile parameterizes RandomFaultPlan: per-(round, server) and
 // per-(round, link) fault probabilities plus severity bounds.
 type FaultProfile struct {
@@ -133,7 +218,8 @@ type FaultProfile struct {
 	DropRate     float64 // P[a carrying link's transfer is dropped in a round]
 	DupRate      float64 // P[a carrying link's transfer is duplicated in a round]
 	StraggleRate float64 // P[a server straggles in a round]
-	MaxRepeat    int     // max crash/drop repetitions per fault site (≥1)
+	CorruptRate  float64 // P[a carrying link's transfer arrives damaged in a round]
+	MaxRepeat    int     // max crash/drop/corrupt repetitions per fault site (≥1)
 	MaxStraggle  int     // max straggler delay in virtual ticks (≥1)
 }
 
@@ -189,6 +275,63 @@ func RandomFaultPlan(seed int64, rounds, p int, prof FaultProfile) *FaultPlan {
 			}
 		}
 	}
+	if prof.CorruptRate > 0 {
+		// Corruption draws live in their own trailing pass over all
+		// rounds, after every pre-existing fault kind has consumed its
+		// variates — so a profile that gains a CorruptRate still lands
+		// its crashes/drops/dups/stragglers exactly where it always
+		// did, and corruption-free profiles are bit-identical to the
+		// pre-corruption implementation.
+		for r := 0; r < rounds; r++ {
+			for src := 0; src < p; src++ {
+				for dst := 0; dst < p; dst++ {
+					if src == dst {
+						continue
+					}
+					if rng.Float64() < prof.CorruptRate {
+						plan.AddCorrupt(r, src, dst, 1+rng.Intn(prof.MaxRepeat))
+					}
+				}
+			}
+		}
+	}
+	return plan
+}
+
+// CorrelatedProfile parameterizes RandomCorrelatedFaultPlan: per-
+// (round, rack) probabilities of rack-scoped events.
+type CorrelatedProfile struct {
+	RackCrashRate     float64 // P[a rack loses power in a round]
+	RackPartitionRate float64 // P[a rack is partitioned off in a round]
+	MaxRepeat         int     // max repetitions per event (≥1)
+}
+
+// RandomCorrelatedFaultPlan draws rack-scoped correlated failures for a
+// rounds × p execution with racks of rackSize consecutive servers. The
+// draw is a pure function of the seed: sites are visited in fixed order
+// (rounds ascending, racks ascending, {crash draw, partition draw} per
+// rack) and every site consumes the same number of variates whether or
+// not it faults.
+func RandomCorrelatedFaultPlan(seed int64, rounds, p, rackSize int, prof CorrelatedProfile) *FaultPlan {
+	rng := rand.New(rand.NewSource(seed))
+	if prof.MaxRepeat < 1 {
+		prof.MaxRepeat = 1
+	}
+	if rackSize < 1 {
+		rackSize = 1
+	}
+	racks := (p + rackSize - 1) / rackSize
+	plan := NewFaultPlan()
+	for r := 0; r < rounds; r++ {
+		for g := 0; g < racks; g++ {
+			if rng.Float64() < prof.RackCrashRate {
+				plan.AddGroupCrash(r, Rack(g, rackSize, p), 1+rng.Intn(prof.MaxRepeat))
+			}
+			if rng.Float64() < prof.RackPartitionRate {
+				plan.AddGroupPartition(r, Rack(g, rackSize, p), p, 1+rng.Intn(prof.MaxRepeat))
+			}
+		}
+	}
 	return plan
 }
 
@@ -199,12 +342,19 @@ type NamedFaultPlan struct {
 }
 
 // StandardFaultMatrix is the seeded fault matrix the fault-transparency
-// invariant is checked against: nine plans covering each fault type in
-// isolation, pairwise mixes, the default and a heavier random mix, and
-// one handcrafted adversary that hits round 0 (the round whose loss
-// discards the most downstream work) with a crash and a drop at once.
+// invariant is checked against: thirteen plans covering each fault type
+// in isolation (crash, drop, dup, straggle, corrupt), pairwise mixes,
+// the default and a heavier random mix, one handcrafted adversary that
+// hits round 0 (the round whose loss discards the most downstream work)
+// with a crash and a drop at once, and three correlated-failure plans
+// (random rack crashes, random rack partitions, and a handcrafted rack
+// adversary that powers off one rack while partitioning another in
+// round 0). Partition plans draw single-repeat events because two
+// overlapping rack partitions already dump their drops on the same
+// boundary links, and the sum must stay within the retry budget.
 // Sub-seeds are fixed offsets of the caller's seed so the matrix is
-// reproducible as a unit.
+// reproducible as a unit; new plans are appended at the end so
+// short-mode prefixes of the matrix stay stable.
 func StandardFaultMatrix(seed int64, rounds, p int) []NamedFaultPlan {
 	only := func(f FaultProfile, keep string) FaultProfile {
 		g := FaultProfile{MaxRepeat: f.MaxRepeat, MaxStraggle: f.MaxStraggle}
@@ -237,6 +387,24 @@ func StandardFaultMatrix(seed int64, rounds, p int) []NamedFaultPlan {
 		{"mixed-heavy", RandomFaultPlan(seed+8, rounds, p, heavy)},
 		{"adversary-round0", adversary},
 	}
+	rack := p / 4
+	if rack < 2 {
+		rack = 2
+	}
+	racks := (p + rack - 1) / rack
+	rackAdversary := NewFaultPlan().
+		AddGroupCrash(0, Rack(0, rack, p), 2).
+		AddGroupPartition(0, Rack(racks-1, rack, p), p, 1).
+		AddStraggle(0, p/2, 4)
+	matrix = append(matrix,
+		NamedFaultPlan{"corrupt-only", RandomFaultPlan(seed+9, rounds, p,
+			FaultProfile{CorruptRate: 0.25, MaxRepeat: 2, MaxStraggle: 1})},
+		NamedFaultPlan{"rack-crash", RandomCorrelatedFaultPlan(seed+10, rounds, p, rack,
+			CorrelatedProfile{RackCrashRate: 0.25, MaxRepeat: 2})},
+		NamedFaultPlan{"rack-partition", RandomCorrelatedFaultPlan(seed+11, rounds, p, rack,
+			CorrelatedProfile{RackPartitionRate: 0.20, MaxRepeat: 1})},
+		NamedFaultPlan{"rack-adversary", rackAdversary},
+	)
 	return matrix
 }
 

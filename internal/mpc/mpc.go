@@ -22,8 +22,13 @@
 // round metrics (Received, MaxLoad, TotalComm) of a recovered run are
 // byte-identical to the fault-free run, while the recovery costs are
 // accounted separately (Retries, RecoveredServers, ReplicaComm,
-// SpeculativeWins). With no fault-tolerance Option installed, rounds
-// execute on the original zero-overhead path.
+// SpeculativeWins, Quarantined). Beyond crash-stop, the engine detects
+// Byzantine routing — a server that mis-routes, forges, or withholds
+// facts — by receiver-side verification against the round's placement
+// policy plus a deterministic re-execution audit, quarantining
+// transient liars and failing persistent ones with a typed
+// RoutingIntegrityError (see byzantine.go). With no fault-tolerance
+// Option installed, rounds execute on the original zero-overhead path.
 package mpc
 
 import (
@@ -140,6 +145,7 @@ type RoundStats struct {
 	RecoveredServers int // servers whose partition was re-executed after a crash
 	ReplicaComm      int // non-logical facts on the wire: retransmissions, duplicates, checkpoint traffic
 	SpeculativeWins  int // straggler partitions finished first by a speculative copy
+	Quarantined      int // Byzantine sources whose shard was replaced by an audited re-execution
 	VirtualMakespan  int // completion tick of the round on the virtual clock
 }
 
@@ -150,9 +156,15 @@ func (s RoundStats) String() string {
 	if s.DeltaComm != 0 {
 		base += fmt.Sprintf(", delta communication %d", s.DeltaComm)
 	}
-	if s.Retries != 0 || s.RecoveredServers != 0 || s.ReplicaComm != 0 || s.SpeculativeWins != 0 {
-		base += fmt.Sprintf(" [recovery: retries %d, recovered %d, replica comm %d, speculative wins %d, makespan %d]",
-			s.Retries, s.RecoveredServers, s.ReplicaComm, s.SpeculativeWins, s.VirtualMakespan)
+	if s.Retries != 0 || s.RecoveredServers != 0 || s.ReplicaComm != 0 || s.SpeculativeWins != 0 || s.Quarantined != 0 {
+		quarantined := ""
+		if s.Quarantined != 0 {
+			// Rendered only when a Byzantine source was actually healed,
+			// so pre-Byzantine recovery renderings are unchanged.
+			quarantined = fmt.Sprintf(", quarantined %d", s.Quarantined)
+		}
+		base += fmt.Sprintf(" [recovery: retries %d, recovered %d, replica comm %d, speculative wins %d%s, makespan %d]",
+			s.Retries, s.RecoveredServers, s.ReplicaComm, s.SpeculativeWins, quarantined, s.VirtualMakespan)
 	}
 	return base
 }
@@ -175,12 +187,13 @@ func (s RoundStats) LogicalString() string {
 
 // Cluster is a simulated MPC deployment.
 type Cluster struct {
-	p       int
-	servers []*rel.Instance
-	stats   []RoundStats
-	tr      Transport   // nil: in-process Local transport (see transport.go)
-	ft      *ftState    // nil: fault tolerance off, zero-overhead path
-	delta   *deltaState // nil: no incremental program installed (see delta.go)
+	p           int
+	servers     []*rel.Instance
+	stats       []RoundStats
+	tr          Transport   // nil: in-process Local transport (see transport.go)
+	ft          *ftState    // nil: fault tolerance off, zero-overhead path
+	delta       *deltaState // nil: no incremental program installed (see delta.go)
+	verifyEvery int         // sampled routing verification stride; 0: off (see byzantine.go)
 }
 
 // Option configures a cluster at construction (see faults.go for the
@@ -581,9 +594,17 @@ func (c *Cluster) RunRound(r Round) (RoundStats, error) {
 	if c.ft != nil {
 		return c.runRoundFT(r)
 	}
-	shards, err := c.routePhase(r, c.defaultChunk())
+	chunk := c.defaultChunk()
+	shards, err := c.routePhase(r, chunk)
 	if err != nil {
 		return RoundStats{}, err
+	}
+	if c.verifyEvery > 0 {
+		// Sampled receiver-side routing verification (see byzantine.go).
+		// Off by default, so the hot path stays zero-overhead.
+		if err := c.verifyShards(r, shards, chunk); err != nil {
+			return RoundStats{}, err
+		}
 	}
 	inboxes, received, err := c.Transport().Exchange(r.Name, c.p, shards)
 	if err != nil {

@@ -47,7 +47,8 @@ const (
 // ftState is a cluster's fault-tolerance configuration and its
 // rolling post-round checkpoint.
 type ftState struct {
-	plan           *FaultPlan // nil: recover-capable but no injected faults
+	plan           *FaultPlan     // nil: recover-capable but no injected faults
+	byz            *ByzantinePlan // nil: no Byzantine routing events scheduled
 	retryBudget    int
 	speculateAfter int // 0 disables speculation
 	replicas       int // peers each round checkpoint is replicated to
@@ -145,6 +146,7 @@ type RecoveryStats struct {
 	RecoveredServers int
 	ReplicaComm      int
 	SpeculativeWins  int
+	Quarantined      int
 }
 
 // RecoveryTotals sums the recovery metrics over all executed rounds.
@@ -155,6 +157,7 @@ func (c *Cluster) RecoveryTotals() RecoveryStats {
 		t.RecoveredServers += s.RecoveredServers
 		t.ReplicaComm += s.ReplicaComm
 		t.SpeculativeWins += s.SpeculativeWins
+		t.Quarantined += s.Quarantined
 	}
 	return t
 }
@@ -178,13 +181,39 @@ func (c *Cluster) runRoundFT(r Round) (RoundStats, error) {
 
 	stats := RoundStats{Name: r.Name}
 
+	// Byzantine routing events fire first: the scheduled corruption is
+	// applied to the per-source shards, detected (receiver-side
+	// legality + re-execution audit), and either quarantined — the
+	// audited honest shard replaces the lie, so everything downstream
+	// sees exactly the fault-free shards — or, for a persistent
+	// compromise, fails the round with a typed RoutingIntegrityError
+	// before any state mutates. See byzantine.go.
+	commEnd := 1
+	if !ft.byz.Empty() {
+		byzEnd, err := c.applyByzantine(round, r, shards, &stats)
+		if err != nil {
+			return RoundStats{}, err
+		}
+		if byzEnd > commEnd {
+			commEnd = byzEnd
+		}
+	}
+	if c.verifyEvery > 0 {
+		// Sampled receiver-side verification also guards this path (at
+		// chunk 1 every shard covers exactly one source).
+		if err := c.verifyShards(r, shards, 1); err != nil {
+			return RoundStats{}, err
+		}
+	}
+
 	// Delivery simulation: drops delay a transfer (retransmissions
 	// cost ReplicaComm and virtual time), dups add wire traffic the
-	// idempotent merge discards. Only src ≠ dst links that actually
+	// idempotent merge discards, corrupted transfers behave like drops
+	// (the receiver detects the damage and discards the frame; a clean
+	// retransmission follows). Only src ≠ dst links that actually
 	// carry facts are fault sites — self-delivery, including Keep
 	// facts, never traverses the network. The communication phase
 	// ends when the slowest transfer lands.
-	commEnd := 1
 	for _, lk := range carryingLinks(shards) {
 		n := shards[lk.src].Sent[lk.dst]
 		if d := ft.plan.drops(round, lk.src, lk.dst); d > 0 {
@@ -196,6 +225,18 @@ func (c *Cluster) runRoundFT(r Round) (RoundStats, error) {
 			stats.Retries += d
 			stats.ReplicaComm += d * n
 			if t := retryCompletion(d, 1); t > commEnd {
+				commEnd = t
+			}
+		}
+		if k := ft.plan.corrupts(round, lk.src, lk.dst); k > 0 {
+			if k > ft.retryBudget {
+				return RoundStats{}, fmt.Errorf(
+					"mpc: transfer %d→%d in round %q (round %d) corrupted %d times, exceeding the retry budget %d",
+					lk.src, lk.dst, r.Name, round, k, ft.retryBudget)
+			}
+			stats.Retries += k
+			stats.ReplicaComm += k * n
+			if t := retryCompletion(k, 1); t > commEnd {
 				commEnd = t
 			}
 		}

@@ -3,6 +3,7 @@ package mpc
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net"
 	"sync"
@@ -28,6 +29,14 @@ import (
 // leaves those behind by design) are recognized and discarded instead
 // of corrupting the current round.
 //
+// Every frame carries a CRC-32C checksum over its header fields and
+// payload, so a bit-flipped frame is rejected at the codec layer
+// before any fragment decoding runs — the receiver drops it as line
+// noise and the sender's retransmission carries the round. This is
+// what makes the data plane self-healing under corruption havoc: a
+// corrupted transfer costs retries in the virtual clock (faults.go
+// Corrupt events) but can never change what the round computes.
+//
 // Deadlines on sockets are liveness bounds only — they decide when a
 // broken exchange FAILS, never what a successful exchange computes —
 // which is the one sanctioned use of wall time in engine code (see the
@@ -47,10 +56,11 @@ type Frame struct {
 const (
 	frameMagic uint32 = 0x4d435046 // "FPCM" little-endian
 	// FrameVersion is the transport frame format version; bump on
-	// layout changes so mismatched binaries fail loudly.
-	FrameVersion uint16 = 1
-	// frameHeaderLen is magic+version+seq+shard+dst+sent+payloadLen.
-	frameHeaderLen = 4 + 2 + 8 + 4 + 4 + 4 + 4
+	// layout changes so mismatched binaries fail loudly. Version 2
+	// added the CRC-32C checksum field.
+	FrameVersion uint16 = 2
+	// frameHeaderLen is magic+version+seq+shard+dst+sent+payloadLen+crc.
+	frameHeaderLen = 4 + 2 + 8 + 4 + 4 + 4 + 4 + 4
 	// maxFramePayload caps a frame's declared payload so a corrupt
 	// length prefix cannot trigger a huge allocation.
 	maxFramePayload = 1 << 30
@@ -60,31 +70,47 @@ const (
 	tcpIOTimeout = 10 * time.Second
 )
 
+// frameCRCTable is the Castagnoli polynomial table; CRC-32C detects
+// all burst errors up to 32 bits, covering every single-bit flip the
+// corruption havoc injects.
+var frameCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// encodeFrame serializes f to its full wire image, checksum included.
+// The CRC-32C covers every header field after magic+version plus the
+// payload, so corruption anywhere in the frame body is detected.
+func encodeFrame(f Frame) []byte {
+	buf := make([]byte, frameHeaderLen+len(f.Payload))
+	binary.LittleEndian.PutUint32(buf[0:], frameMagic)
+	binary.LittleEndian.PutUint16(buf[4:], FrameVersion)
+	binary.LittleEndian.PutUint64(buf[6:], f.Seq)
+	binary.LittleEndian.PutUint32(buf[14:], f.Shard)
+	binary.LittleEndian.PutUint32(buf[18:], f.Dst)
+	binary.LittleEndian.PutUint32(buf[22:], f.Sent)
+	binary.LittleEndian.PutUint32(buf[26:], uint32(len(f.Payload)))
+	copy(buf[frameHeaderLen:], f.Payload)
+	crc := crc32.Update(0, frameCRCTable, buf[6:frameHeaderLen-4])
+	crc = crc32.Update(crc, frameCRCTable, f.Payload)
+	binary.LittleEndian.PutUint32(buf[frameHeaderLen-4:], crc)
+	return buf
+}
+
 // WriteFrame writes f to w in wire format (integers little-endian):
 //
 //	frame := magic u32 | version u16 | seq u64 | shard u32 | dst u32
-//	       | sent u32 | payloadLen u32 | payload
+//	       | sent u32 | payloadLen u32 | crc u32 | payload
+//
+// where crc is CRC-32C over seq..payloadLen plus the payload.
 func WriteFrame(w io.Writer, f Frame) error {
-	hdr := make([]byte, frameHeaderLen)
-	binary.LittleEndian.PutUint32(hdr[0:], frameMagic)
-	binary.LittleEndian.PutUint16(hdr[4:], FrameVersion)
-	binary.LittleEndian.PutUint64(hdr[6:], f.Seq)
-	binary.LittleEndian.PutUint32(hdr[14:], f.Shard)
-	binary.LittleEndian.PutUint32(hdr[18:], f.Dst)
-	binary.LittleEndian.PutUint32(hdr[22:], f.Sent)
-	binary.LittleEndian.PutUint32(hdr[26:], uint32(len(f.Payload)))
-	if _, err := w.Write(hdr); err != nil {
-		return fmt.Errorf("mpc: writing frame header: %w", err)
-	}
-	if _, err := w.Write(f.Payload); err != nil {
-		return fmt.Errorf("mpc: writing frame payload: %w", err)
+	if _, err := w.Write(encodeFrame(f)); err != nil {
+		return fmt.Errorf("mpc: writing frame: %w", err)
 	}
 	return nil
 }
 
 // ReadFrame reads one frame from r. Truncation, bad magic or version,
-// and oversized payload prefixes are errors, never panics — a receiver
-// treats them as line noise and drops the connection.
+// oversized payload prefixes, and checksum mismatches are errors,
+// never panics — a receiver treats them as line noise and drops the
+// connection, counting on the sender's clean retransmission.
 func ReadFrame(r io.Reader) (Frame, error) {
 	hdr := make([]byte, frameHeaderLen)
 	if _, err := io.ReadFull(r, hdr); err != nil {
@@ -109,6 +135,12 @@ func ReadFrame(r io.Reader) (Frame, error) {
 	f.Payload = make([]byte, payloadLen)
 	if _, err := io.ReadFull(r, f.Payload); err != nil {
 		return Frame{}, fmt.Errorf("mpc: reading frame payload: %w", err)
+	}
+	want := binary.LittleEndian.Uint32(hdr[frameHeaderLen-4:])
+	got := crc32.Update(0, frameCRCTable, hdr[6:frameHeaderLen-4])
+	got = crc32.Update(got, frameCRCTable, f.Payload)
+	if got != want {
+		return Frame{}, fmt.Errorf("mpc: frame checksum mismatch (header says %#x, body hashes to %#x)", want, got)
 	}
 	return f, nil
 }
@@ -174,8 +206,9 @@ func (t *TCPTransport) Close() error {
 
 // InjectFrameFaults implements FrameFaultInjector: the next Exchange
 // realizes plan's drops as aborted partial frames followed by a
-// retransmission, and its dups as extra identical frames the
-// receiver's (seq, shard) dedup discards. One-shot.
+// retransmission, its dups as extra identical frames the receiver's
+// (seq, shard) dedup discards, and its corruptions as bit-flipped
+// frames the receiver's checksum rejects. One-shot.
 func (t *TCPTransport) InjectFrameFaults(round int, plan *FaultPlan) {
 	t.havocRound, t.havocPlan = round, plan
 }
@@ -293,9 +326,11 @@ func (t *TCPTransport) collect(dst int, seq uint64, nshards int) (*rel.Instance,
 // always — an empty outbox still sends an empty-instance frame so the
 // destination's collector can count the shard as heard from. Armed
 // havoc is realized here: a dropped transfer becomes that many aborted
-// partial frames before the real one (the receiver discards the
+// connections before the real frame (the receiver discards the
 // stumps), a duplicated transfer that many extra identical frames
-// after it (the receiver dedups).
+// after it (the receiver dedups), and a corrupted transfer that many
+// bit-flipped frames before the real one (the receiver's checksum
+// rejects them).
 func (t *TCPTransport) sendShard(w int, seq uint64, sh Shard, havocRound int, havocPlan *FaultPlan) error {
 	for dst := 0; dst < t.p; dst++ {
 		out := sh.Outs[dst]
@@ -309,16 +344,22 @@ func (t *TCPTransport) sendShard(w int, seq uint64, sh Shard, havocRound int, ha
 			Sent:    uint32(sh.Sent[dst]),
 			Payload: rel.EncodeInstance(out),
 		}
-		drops, dups := 0, 0
+		drops, dups, corrupts := 0, 0, 0
 		// Physical faults hit only real network links that carry facts,
 		// mirroring the virtual clock's accounting in recovery.go (the
 		// FT path routes one shard per source, so w is the source).
 		if havocPlan != nil && w != dst && sh.Sent[dst] > 0 {
 			drops = havocPlan.drops(havocRound, w, dst)
 			dups = havocPlan.dups(havocRound, w, dst)
+			corrupts = havocPlan.corrupts(havocRound, w, dst)
 		}
 		for i := 0; i < drops; i++ {
-			if err := t.sendStump(dst, f); err != nil {
+			if err := t.sendStump(dst, f, i); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < corrupts; i++ {
+			if err := t.sendCorruptFrame(dst, f, i); err != nil {
 				return err
 			}
 		}
@@ -334,14 +375,26 @@ func (t *TCPTransport) sendShard(w int, seq uint64, sh Shard, havocRound int, ha
 	return nil
 }
 
+// dialJitter derives a deterministic 0–4ms jitter from (dst, attempt)
+// so concurrent senders retrying against the same backlogged listener
+// spread out instead of thundering back in lockstep. A hash, not a
+// shared rand.Rand: sendShard goroutines dial concurrently and must
+// not race on generator state.
+func dialJitter(dst, attempt int) time.Duration {
+	h := uint64(dst)*0x9e3779b97f4a7c15 + uint64(attempt)*0xbf58476d1ce4e5b9
+	h ^= h >> 29
+	return time.Duration(h%5) * time.Millisecond
+}
+
 // dial connects to dst's listener with a bounded retry: concurrent
 // exchanges can momentarily exhaust the accept backlog, and a refused
-// dial then succeeds a moment later.
+// or reset dial then succeeds a moment later. Backoff grows linearly
+// with a deterministic per-(dst, attempt) jitter.
 func (t *TCPTransport) dial(dst int) (net.Conn, error) {
 	var lastErr error
 	for attempt := 0; attempt < 5; attempt++ {
 		if attempt > 0 {
-			time.Sleep(time.Duration(attempt) * 10 * time.Millisecond) //lint:allow wallclock-free bounded dial backoff on connection I/O, never logical time
+			time.Sleep(time.Duration(attempt)*10*time.Millisecond + dialJitter(dst, attempt)) //lint:allow wallclock-free bounded jittered dial backoff on connection I/O, never logical time
 		}
 		conn, err := net.DialTimeout("tcp", t.addrs[dst], tcpIOTimeout)
 		if err == nil {
@@ -364,10 +417,14 @@ func (t *TCPTransport) sendFrame(dst int, f Frame) error {
 	return WriteFrame(conn, f)
 }
 
-// sendStump realizes one dropped transfer physically: a partial frame
-// header, then the connection dies. The receiver's ReadFrame fails and
-// the stump is discarded as line noise; the caller retransmits.
-func (t *TCPTransport) sendStump(dst int, f Frame) error {
+// sendStump realizes one dropped transfer physically, alternating two
+// failure shapes by attempt: even attempts die mid-header (a FIN after
+// half a header), odd attempts ship the full header plus half the
+// payload and then abort with an RST (SetLinger(0) discards unsent
+// data and resets on close). Either way the receiver's ReadFrame
+// fails, the stump is discarded as line noise, and the caller
+// retransmits.
+func (t *TCPTransport) sendStump(dst int, f Frame, attempt int) error {
 	conn, err := t.dial(dst)
 	if err != nil {
 		return err
@@ -376,12 +433,48 @@ func (t *TCPTransport) sendStump(dst int, f Frame) error {
 	if err := conn.SetDeadline(time.Now().Add(tcpIOTimeout)); err != nil {
 		return err
 	}
-	stump := make([]byte, frameHeaderLen/2)
-	binary.LittleEndian.PutUint32(stump[0:], frameMagic)
-	binary.LittleEndian.PutUint16(stump[4:], FrameVersion)
-	binary.LittleEndian.PutUint64(stump[6:], f.Seq)
-	if _, err := conn.Write(stump); err != nil {
+	buf := encodeFrame(f)
+	cut := frameHeaderLen / 2
+	if attempt%2 == 1 {
+		cut = frameHeaderLen + len(f.Payload)/2
+		if cut >= len(buf) {
+			cut = len(buf) - 1 // an empty payload still must not complete the frame
+		}
+		if tc, ok := conn.(*net.TCPConn); ok {
+			_ = tc.SetLinger(0) //lint:allow error-discard arming the RST is the fault being injected; failure degrades to a FIN abort
+		}
+	}
+	if _, err := conn.Write(buf[:cut]); err != nil {
 		return fmt.Errorf("aborted frame to server %d: %w", dst, err)
+	}
+	return nil
+}
+
+// sendCorruptFrame realizes one corrupted transfer physically: the
+// complete frame ships with a single payload bit flipped after the
+// checksum was computed, so the receiver's CRC verification rejects it
+// as line noise and the caller's clean retransmission carries the
+// round. The flipped position is a deterministic function of the
+// attempt, so repeated corruptions hit different bytes.
+func (t *TCPTransport) sendCorruptFrame(dst int, f Frame, attempt int) error {
+	buf := encodeFrame(f)
+	if len(f.Payload) == 0 {
+		// Nothing to flip; an aborted connection is the nearest fault.
+		return t.sendStump(dst, f, attempt)
+	}
+	pos := frameHeaderLen + (attempt*131+7)%len(f.Payload)
+	buf[pos] ^= 1 << (attempt % 8)
+
+	conn, err := t.dial(dst)
+	if err != nil {
+		return err
+	}
+	defer conn.Close() // full (corrupt) frame written before close; close is best-effort
+	if err := conn.SetDeadline(time.Now().Add(tcpIOTimeout)); err != nil {
+		return err
+	}
+	if _, err := conn.Write(buf); err != nil {
+		return fmt.Errorf("corrupted frame to server %d: %w", dst, err)
 	}
 	return nil
 }

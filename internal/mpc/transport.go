@@ -46,10 +46,12 @@ type Transport interface {
 }
 
 // FrameFaultInjector is the optional transport extension the
-// fault-tolerance layer uses to realize a FaultPlan's drop and
-// duplication schedule PHYSICALLY at the frame layer: a drop becomes
-// an aborted partial frame followed by a retransmission, a dup an
-// extra identical frame the receiver's idempotent merge discards.
+// fault-tolerance layer uses to realize a FaultPlan's drop,
+// duplication, and corruption schedule PHYSICALLY at the frame layer:
+// a drop becomes an aborted connection (a truncated frame or an RST)
+// followed by a retransmission, a dup an extra identical frame the
+// receiver's idempotent merge discards, a corruption a bit-flipped
+// frame the receiver's checksum rejects before a clean retransmission.
 // The fault-tolerant path routes one shard per source (chunk 1), so
 // the (shard, dst) frame coordinates coincide with the plan's
 // (src, dst) links. Logical accounting of the same faults stays in
@@ -57,8 +59,8 @@ type Transport interface {
 // wire path really absorbs the havoc.
 type FrameFaultInjector interface {
 	// InjectFrameFaults arms the transport's next Exchange with the
-	// plan's drops/dups for absolute round index round. A nil plan
-	// disarms.
+	// plan's drops/dups/corruptions for absolute round index round.
+	// A nil plan disarms.
 	InjectFrameFaults(round int, plan *FaultPlan)
 }
 

@@ -2,6 +2,7 @@ package mpcnet
 
 import (
 	"fmt"
+	"os"
 	"testing"
 
 	"mpclogic/internal/mpc"
@@ -203,6 +204,88 @@ func TestCheckpointRoundtrip(t *testing.T) {
 	for i := range received {
 		if ck.Received[i] != received[i] || ck.DeltaSent[i] != deltaSent[i] {
 			t.Fatalf("recovered accounting %v/%v, want %v/%v", ck.Received, ck.DeltaSent, received, deltaSent)
+		}
+	}
+}
+
+// TestCheckpointGC: GC removes exactly this worker's rounds below the
+// keep bound, recovery still works from the retained set, and other
+// workers' checkpoints are untouched.
+func TestCheckpointGC(t *testing.T) {
+	dir := t.TempDir()
+	state := rel.NewInstance()
+	state.Add(rel.NewFact("E", 1, 2))
+	for r := 0; r <= 3; r++ {
+		if err := writeCheckpoint(dir, 0, r, []int{1}, []int{0}, state); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := writeCheckpoint(dir, 1, 0, nil, nil, rel.NewInstance()); err != nil {
+		t.Fatal(err)
+	}
+
+	gcCheckpoints(dir, 0, 2)
+
+	if got := latestCheckpoint(dir, 0); got != 3 {
+		t.Errorf("latestCheckpoint after GC = %d, want 3", got)
+	}
+	// The resume path (latest−1 = 2) must still recover.
+	ck, recovered, err := readCheckpoint(dir, 0, 2)
+	if err != nil {
+		t.Fatalf("retained checkpoint unreadable after GC: %v", err)
+	}
+	if ck.Round != 2 || !recovered.Equal(state) {
+		t.Errorf("recovery after GC diverged: round %d, state %v", ck.Round, recovered)
+	}
+	for _, r := range []int{0, 1} {
+		if _, _, err := readCheckpoint(dir, 0, r); err == nil {
+			t.Errorf("round %d checkpoint survived GC", r)
+		}
+	}
+	if got := latestCheckpoint(dir, 1); got != 0 {
+		t.Errorf("GC touched another worker's checkpoints (latest now %d)", got)
+	}
+}
+
+// TestDistributedRunGCsCheckpoints: a completed run leaves each worker
+// with at most the two newest checkpoints on disk — the bounded
+// footprint the GC promises — while the run's output still matches
+// the simulator (checked by TestDistributedMatchesLocal; here we only
+// pin the disk state).
+func TestDistributedRunGCsCheckpoints(t *testing.T) {
+	spec := ProgramSpec{Program: "cascade", P: 4, M: 24, Seed: 11}
+	dir := t.TempDir()
+	if _, err := Run(RunConfig{Spec: spec, CkptDir: dir, FailWorker: -1, FailRound: -1, Spawn: goSpawner}); err != nil {
+		t.Fatal(err)
+	}
+	built, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(built.Rounds) - 1
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perWorker := map[int][]int{}
+	for _, e := range entries {
+		var idx, round int
+		if _, err := fmt.Sscanf(e.Name(), "worker-%d-round-%d.ckpt", &idx, &round); err != nil {
+			continue
+		}
+		perWorker[idx] = append(perWorker[idx], round)
+	}
+	if len(perWorker) != built.P {
+		t.Fatalf("checkpoints for %d workers, want %d", len(perWorker), built.P)
+	}
+	for idx, rounds := range perWorker {
+		if len(rounds) > 2 {
+			t.Errorf("worker %d retains %d checkpoints %v, want at most 2", idx, len(rounds), rounds)
+		}
+		for _, r := range rounds {
+			if r < last-1 {
+				t.Errorf("worker %d retains unreachable round %d (last round is %d)", idx, r, last)
+			}
 		}
 	}
 }

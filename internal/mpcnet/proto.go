@@ -52,9 +52,39 @@ type ctrlResponse struct {
 // ctrlIOTimeout bounds every control- and data-plane socket operation.
 const ctrlIOTimeout = 10 * time.Second
 
+// netJitter derives a deterministic 0–9ms jitter from its inputs — a
+// hash, not a shared rand.Rand, because pulls from different rounds
+// and goroutines back off concurrently and must not race on generator
+// state. The spread keeps workers retrying against the same swamped
+// or re-registering peer from stampeding back in lockstep.
+func netJitter(a, b, c int) time.Duration {
+	h := uint64(a)*0x9e3779b97f4a7c15 + uint64(b)*0xbf58476d1ce4e5b9 + uint64(c)*0x94d049bb133111eb
+	h ^= h >> 29
+	return time.Duration(h%10) * time.Millisecond
+}
+
+// dialNet dials a control- or data-plane address with a bounded
+// jittered retry: a listener briefly swamped by concurrent one-shot
+// connections (or resetting as a crashed peer dies) refuses a dial
+// that succeeds a moment later.
+func dialNet(addr string, salt int) (net.Conn, error) {
+	var lastErr error
+	for attempt := 0; attempt < 4; attempt++ {
+		if attempt > 0 {
+			time.Sleep(time.Duration(attempt)*5*time.Millisecond + netJitter(salt, attempt, 0)) //lint:allow wallclock-free bounded jittered dial backoff on connection I/O, never logical time
+		}
+		conn, err := net.DialTimeout("tcp", addr, ctrlIOTimeout)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
 // roundtrip dials addr, sends req, and reads the response.
 func roundtrip(addr string, req ctrlRequest) (ctrlResponse, error) {
-	conn, err := net.DialTimeout("tcp", addr, ctrlIOTimeout)
+	conn, err := dialNet(addr, req.Index)
 	if err != nil {
 		return ctrlResponse{}, fmt.Errorf("mpcnet: dialing coordinator: %w", err)
 	}
@@ -186,16 +216,32 @@ func (s *fragServer) serve(conn *net.TCPConn) {
 	_ = mpc.WriteFrame(conn, f) //lint:allow error-discard failed send: the peer's read errors and it retries
 }
 
+// pullBackoff is the pause before pull retry attempt (≥1): exponential
+// from 5ms capped at 250ms, plus the deterministic per-(peer, dst,
+// attempt) jitter. The first retries come fast — most pull failures
+// are a peer that published a beat later — while a genuinely crashed
+// peer is re-polled at the capped rate until it re-registers.
+func pullBackoff(peer, dst, attempt int) time.Duration {
+	d := 5 * time.Millisecond
+	for i := 1; i < attempt && d < 250*time.Millisecond; i++ {
+		d *= 2
+	}
+	if d > 250*time.Millisecond {
+		d = 250 * time.Millisecond
+	}
+	return d + netJitter(peer, dst, attempt)
+}
+
 // pullFrag fetches peer's fragment for (round, dst): resolve the
 // peer's current address through the coordinator (it changes when the
-// peer is respawned), dial, request, read one frame. Bounded retries
-// with a short pause cover the window where a crashed peer has not
-// re-registered yet.
+// peer is respawned), dial, request, read one frame. Bounded jittered
+// exponential retries (~30s in total, like the socket deadline) cover
+// the window where a crashed peer has not re-registered yet.
 func pullFrag(coordAddr string, peer, round, dst int) (mpc.Frame, error) {
 	var lastErr error
-	for attempt := 0; attempt < 600; attempt++ {
+	for attempt := 0; attempt < 128; attempt++ {
 		if attempt > 0 {
-			time.Sleep(50 * time.Millisecond) //lint:allow wallclock-free recovery pause while a crashed peer re-registers; connection liveness only, never logical time
+			time.Sleep(pullBackoff(peer, dst, attempt)) //lint:allow wallclock-free recovery backoff while a crashed peer re-registers; connection liveness only, never logical time
 		}
 		resp, err := roundtrip(coordAddr, ctrlRequest{Op: "lookup", Index: dst, Peer: peer})
 		if err != nil {
@@ -217,7 +263,7 @@ func pullFrag(coordAddr string, peer, round, dst int) (mpc.Frame, error) {
 }
 
 func pullOnce(addr string, peer, round, dst int) (mpc.Frame, error) {
-	conn, err := net.DialTimeout("tcp", addr, ctrlIOTimeout)
+	conn, err := dialNet(addr, peer)
 	if err != nil {
 		return mpc.Frame{}, err
 	}

@@ -97,6 +97,28 @@ func readCheckpoint(dir string, index, round int) (*checkpoint, *rel.Instance, e
 	return &ck, store.Reload(0), nil
 }
 
+// gcCheckpoints removes this worker's checkpoints for rounds below
+// keepFrom. Best-effort by design: recovery only ever reads the two
+// newest checkpoints (resume is latest−1), which the caller retains,
+// and a failed unlink merely leaves a little extra disk for the next
+// GC pass to retry. Other workers' files are never touched — the name
+// embeds the index — so a shared checkpoint directory stays safe.
+func gcCheckpoints(dir string, index, keepFrom int) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		var idx, round int
+		if _, err := fmt.Sscanf(e.Name(), "worker-%d-round-%d.ckpt", &idx, &round); err != nil {
+			continue
+		}
+		if idx == index && round < keepFrom {
+			_ = os.Remove(filepath.Join(dir, e.Name())) //lint:allow error-discard best-effort space reclamation; recovery needs only the retained newest two checkpoints
+		}
+	}
+}
+
 // latestCheckpoint scans dir for this worker's highest checkpoint
 // round, or -1 when none exists (fresh start).
 func latestCheckpoint(dir string, index int) int {
@@ -212,6 +234,12 @@ func RunWorker(cfg WorkerConfig) error {
 		local = next
 		received = append(received, myRecv)
 		deltaSent = append(deltaSent, shard.DeltaSent)
+		if cfg.CkptDir != "" {
+			// Round r is complete: every peer's round-r fragment arrived,
+			// so a resume can never rewind past r−1 (the lag bound above).
+			// Checkpoints below r−1 are unreachable — reclaim them.
+			gcCheckpoints(cfg.CkptDir, cfg.Index, r-1)
+		}
 	}
 
 	// The result barrier: the coordinator holds this response until

@@ -3,6 +3,7 @@ package policy
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"mpclogic/internal/rel"
@@ -19,48 +20,68 @@ import (
 //
 //	store := magic u32 | version u16 | nodes u32
 //	       | nodes × (fragLen u32 | fragment bytes)
+//	       | crc u32
 //
-// where each fragment is a canonical rel instance encoding. Decoding
-// is strict — bad magic/version, truncation, oversized prefixes, and
-// trailing bytes are errors, never panics — because checkpoint files
+// where each fragment is a canonical rel instance encoding and the
+// trailing crc is CRC-32C over every preceding byte, computed
+// incrementally as the store streams — neither encoder nor decoder
+// buffers the image. Decoding is strict — bad magic/version,
+// truncation, oversized prefixes, trailing bytes, and checksum
+// mismatches are errors, never panics — because checkpoint files
 // outlive the process that wrote them and may arrive damaged.
 
 const (
 	storeMagic uint32 = 0x53504d43 // "CMPS" little-endian
 	// StoreVersion is the checkpoint format version; bump on layout
 	// changes so stale files fail loudly instead of misparsing.
-	StoreVersion uint16 = 1
+	// Version 2 added the trailing CRC-32C checksum.
+	StoreVersion uint16 = 2
 )
 
-// EncodeStore writes the store's durable fragments to w.
+// storeCRCTable is the Castagnoli polynomial table shared by encoder
+// and decoder.
+var storeCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// EncodeStore writes the store's durable fragments to w, followed by a
+// CRC-32C of everything written.
 func EncodeStore(w io.Writer, s *StableStore) error {
+	digest := crc32.New(storeCRCTable)
+	mw := io.MultiWriter(w, digest)
 	var hdr [10]byte
 	binary.LittleEndian.PutUint32(hdr[0:], storeMagic)
 	binary.LittleEndian.PutUint16(hdr[4:], StoreVersion)
 	binary.LittleEndian.PutUint32(hdr[6:], uint32(len(s.parts)))
-	if _, err := w.Write(hdr[:]); err != nil {
+	if _, err := mw.Write(hdr[:]); err != nil {
 		return fmt.Errorf("policy: encoding store header: %w", err)
 	}
 	for κ, part := range s.parts {
 		frag := rel.EncodeInstance(part)
 		var pre [4]byte
 		binary.LittleEndian.PutUint32(pre[:], uint32(len(frag)))
-		if _, err := w.Write(pre[:]); err != nil {
+		if _, err := mw.Write(pre[:]); err != nil {
 			return fmt.Errorf("policy: encoding node %d length: %w", κ, err)
 		}
-		if _, err := w.Write(frag); err != nil {
+		if _, err := mw.Write(frag); err != nil {
 			return fmt.Errorf("policy: encoding node %d fragment: %w", κ, err)
 		}
+	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], digest.Sum32())
+	if _, err := w.Write(tail[:]); err != nil {
+		return fmt.Errorf("policy: encoding store checksum: %w", err)
 	}
 	return nil
 }
 
 // DecodeStore reads a store written by EncodeStore. It consumes
-// exactly the encoded bytes and verifies r is exhausted, so a
-// truncated or padded checkpoint file is an error.
+// exactly the encoded bytes, verifies the trailing checksum over
+// everything before it, and verifies r is exhausted, so a truncated,
+// corrupted, or padded checkpoint file is an error.
 func DecodeStore(r io.Reader) (*StableStore, error) {
+	digest := crc32.New(storeCRCTable)
+	tr := io.TeeReader(r, digest)
 	var hdr [10]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	if _, err := io.ReadFull(tr, hdr[:]); err != nil {
 		return nil, fmt.Errorf("policy: reading store header: %w", err)
 	}
 	if magic := binary.LittleEndian.Uint32(hdr[0:]); magic != storeMagic {
@@ -77,7 +98,7 @@ func DecodeStore(r io.Reader) (*StableStore, error) {
 	s := &StableStore{parts: make([]*rel.Instance, 0, nodes)}
 	for κ := uint32(0); κ < nodes; κ++ {
 		var pre [4]byte
-		if _, err := io.ReadFull(r, pre[:]); err != nil {
+		if _, err := io.ReadFull(tr, pre[:]); err != nil {
 			return nil, fmt.Errorf("policy: reading node %d length: %w", κ, err)
 		}
 		fragLen := binary.LittleEndian.Uint32(pre[:])
@@ -86,7 +107,7 @@ func DecodeStore(r io.Reader) (*StableStore, error) {
 			return nil, fmt.Errorf("policy: node %d fragment declares %d bytes (cap %d)", κ, fragLen, maxFrag)
 		}
 		frag := make([]byte, fragLen)
-		if _, err := io.ReadFull(r, frag); err != nil {
+		if _, err := io.ReadFull(tr, frag); err != nil {
 			return nil, fmt.Errorf("policy: reading node %d fragment: %w", κ, err)
 		}
 		inst, err := rel.DecodeInstance(frag)
@@ -94,6 +115,15 @@ func DecodeStore(r io.Reader) (*StableStore, error) {
 			return nil, fmt.Errorf("policy: node %d fragment: %w", κ, err)
 		}
 		s.parts = append(s.parts, inst)
+	}
+	// The trailer is read from r directly: it is not part of the
+	// digested image.
+	var tail [4]byte
+	if _, err := io.ReadFull(r, tail[:]); err != nil {
+		return nil, fmt.Errorf("policy: reading store checksum: %w", err)
+	}
+	if want, got := binary.LittleEndian.Uint32(tail[:]), digest.Sum32(); want != got {
+		return nil, fmt.Errorf("policy: store checksum mismatch (trailer says %#x, body hashes to %#x)", want, got)
 	}
 	var extra [1]byte
 	switch n, err := r.Read(extra[:]); {

@@ -84,7 +84,9 @@ func TestStoreDecodeRejects(t *testing.T) {
 		{"empty", nil, "header"},
 		{"bad magic", append([]byte{9, 9, 9, 9}, good[4:]...), "magic"},
 		{"bad version", append(append(append([]byte(nil), good[:4]...), 0xff, 0xff), good[6:]...), "version"},
-		{"truncated", good[:len(good)-2], "fragment"},
+		{"truncated mid-fragment", good[:len(good)-6], "fragment"},
+		{"truncated mid-checksum", good[:len(good)-2], "checksum"},
+		{"checksum mismatch", append(append([]byte(nil), good[:len(good)-1]...), good[len(good)-1]^1), "checksum mismatch"},
 		{"trailing", append(append([]byte(nil), good...), 1), "trailing"},
 	}
 	for _, tc := range cases {

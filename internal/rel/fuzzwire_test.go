@@ -49,6 +49,9 @@ func FuzzFragmentWire(f *testing.F) {
 	f.Add(EncodeInstance(buildFuzzFragment([]byte{8, 3, 9, 12, 130, 7, 7, 3, 9})))
 	truncated := EncodeInstance(wireSample())
 	f.Add(truncated[:len(truncated)-5])
+	flipped := EncodeInstance(wireSample())
+	flipped[len(flipped)/2] ^= 0x10 // mid-frame bit flip the checksum must catch
+	f.Add(flipped)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Direction 1: random fragment → canonical bytes and back.
 		inst := buildFuzzFragment(data)
@@ -72,6 +75,23 @@ func FuzzFragmentWire(f *testing.F) {
 		if got, err := DecodeInstance(data); err == nil {
 			if re := EncodeInstance(got); !bytes.Equal(re, data) {
 				t.Fatalf("decoder accepted non-canonical bytes:\n  in %x\n out %x", data, re)
+			}
+		}
+
+		// Direction 3: every single-bit mutation of a valid encoding is
+		// rejected — structurally or by the trailing CRC-32C, which
+		// detects all single-bit errors by construction. Large frames
+		// sample bit positions at a fixed stride to bound the cost; the
+		// stride covers every byte region of the frame either way.
+		stride := 1
+		if nbits := len(buf) * 8; nbits > 2048 {
+			stride = nbits / 2048
+		}
+		for bitpos := 0; bitpos < len(buf)*8; bitpos += stride {
+			mut := append([]byte(nil), buf...)
+			mut[bitpos/8] ^= 1 << (bitpos % 8)
+			if _, err := DecodeInstance(mut); err == nil {
+				t.Fatalf("decoder accepted a corrupted frame (bit %d of %x)", bitpos, buf)
 			}
 		}
 	})

@@ -14,8 +14,16 @@ package rel
 // Format (all integers little-endian):
 //
 //	instance  := magic u32 | version u16 | relCount u32 | relation*
+//	           | crc u32
 //	relation  := nameLen u16 | name bytes | arity u16 | count u32
 //	           | count*arity × value u64
+//
+// The trailing crc is CRC-32C (Castagnoli) over every preceding byte
+// of the instance encoding. It is verified AFTER structural parsing:
+// struct-level corruption reports the precise malformation, and a
+// frame whose structure happens to survive a bit flip is still caught
+// by the checksum — CRC-32C detects all burst errors up to 32 bits,
+// so no single-bit corruption can be silently accepted.
 //
 // The encoding is canonical and the codec enforces it both ways:
 //
@@ -35,24 +43,35 @@ package rel
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 )
 
 const (
 	// wireMagic identifies an encoded instance ("MPCW" little-endian).
 	wireMagic uint32 = 0x5743504d
 	// WireVersion is the current format version; decoders reject
-	// anything else, so format evolution is explicit.
-	WireVersion uint16 = 1
+	// anything else, so format evolution is explicit. Version 2 added
+	// the trailing CRC-32C checksum.
+	WireVersion uint16 = 2
 
 	// maxWireArity bounds a decoded relation's arity. The engine's
 	// widest tuples are single-digit arity; 4096 leaves headroom while
 	// keeping count*arity arithmetic far from overflow.
 	maxWireArity = 4096
+
+	// wireCRCLen is the trailing checksum's byte length.
+	wireCRCLen = 4
 )
 
+// wireCRCTable is the Castagnoli polynomial table shared by encoder
+// and decoder.
+var wireCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
 // AppendInstance appends the canonical encoding of inst to buf and
-// returns the extended slice.
+// returns the extended slice. The trailing CRC-32C covers exactly the
+// bytes this call appended before it.
 func AppendInstance(buf []byte, inst *Instance) []byte {
+	start := len(buf)
 	names := inst.RelationNames()
 	buf = binary.LittleEndian.AppendUint32(buf, wireMagic)
 	buf = binary.LittleEndian.AppendUint16(buf, WireVersion)
@@ -60,7 +79,7 @@ func AppendInstance(buf []byte, inst *Instance) []byte {
 	for _, name := range names {
 		buf = appendRelation(buf, name, inst.rels[name])
 	}
-	return buf
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf[start:], wireCRCTable))
 }
 
 // EncodeInstance returns the canonical encoding of inst, pre-sizing the
@@ -71,7 +90,7 @@ func EncodeInstance(inst *Instance) []byte {
 
 // EncodedSize returns the exact byte length of EncodeInstance(inst).
 func EncodedSize(inst *Instance) int {
-	n := 4 + 2 + 4
+	n := 4 + 2 + 4 + wireCRCLen
 	for name, r := range inst.rels {
 		if r.Len() == 0 {
 			continue
@@ -151,7 +170,8 @@ func (w *wireReader) bytes(n int) ([]byte, error) {
 // DecodeInstance decodes a canonical instance encoding, verifying
 // structure strictly: it errors on bad magic or version, non-ascending
 // or empty relation names, zero counts, duplicate tuples, truncation,
-// and trailing bytes. It never panics on malformed input.
+// trailing bytes, and checksum mismatches. It never panics on
+// malformed input.
 func DecodeInstance(data []byte) (*Instance, error) {
 	w := &wireReader{data: data}
 	magic, err := w.u32()
@@ -191,8 +211,15 @@ func DecodeInstance(data []byte) (*Instance, error) {
 		prevName = name
 		inst.rels[name] = r
 	}
-	if w.remaining() != 0 {
-		return nil, fmt.Errorf("rel: %d trailing bytes after a complete instance", w.remaining())
+	switch {
+	case w.remaining() < wireCRCLen:
+		return nil, fmt.Errorf("rel: truncated frame: %d bytes remain where the %d-byte checksum belongs", w.remaining(), wireCRCLen)
+	case w.remaining() > wireCRCLen:
+		return nil, fmt.Errorf("rel: %d trailing bytes after a complete instance", w.remaining()-wireCRCLen)
+	}
+	want := binary.LittleEndian.Uint32(w.data[w.off:])
+	if got := crc32.Checksum(w.data[:w.off], wireCRCTable); got != want {
+		return nil, fmt.Errorf("rel: frame checksum mismatch (trailer says %#x, body hashes to %#x)", want, got)
 	}
 	return inst, nil
 }

@@ -48,8 +48,11 @@ type faultState struct {
 	crashes []crashEvent
 }
 
+// crashEvent is one crash-restart: a single node, or — the correlated
+// case a shared rack or failure domain produces — a whole group that
+// fails as a unit.
 type crashEvent struct {
-	node  policy.Node
+	nodes []policy.Node
 	after int // fire once Stats.Delivered reaches this
 	done  bool
 }
@@ -99,7 +102,26 @@ func WithDelayBursts(every, length int, seed int64) Option {
 func WithCrashRestart(κ policy.Node, afterDeliveries int) Option {
 	return func(n *Network) {
 		f := n.faultsLazy()
-		f.crashes = append(f.crashes, crashEvent{node: κ, after: afterDeliveries})
+		f.crashes = append(f.crashes, crashEvent{nodes: []policy.Node{κ}, after: afterDeliveries})
+	}
+}
+
+// WithGroupCrashRestart schedules a correlated crash-restart of a
+// whole node group — a rack losing power — at the same trigger as
+// WithCrashRestart. The group fails as a unit: every member loses its
+// volatile state before any member restarts, so no member's recovery
+// assist can come from inside the group; only surviving peers outside
+// it take recovery-assist transitions. This is strictly harsher than
+// the same crashes scheduled independently, where an earlier victim is
+// already back up (volatile state rebuilt by Start) when it assists a
+// later one.
+func WithGroupCrashRestart(group []policy.Node, afterDeliveries int) Option {
+	return func(n *Network) {
+		f := n.faultsLazy()
+		f.crashes = append(f.crashes, crashEvent{
+			nodes: append([]policy.Node(nil), group...),
+			after: afterDeliveries,
+		})
 	}
 }
 
@@ -127,28 +149,40 @@ func (n *Network) maybeCrash(force bool) {
 			continue
 		}
 		ev.done = true
-		n.crashRestart(ev.node)
+		n.crashRestart(ev.nodes)
 	}
 }
 
-// crashRestart models fail-stop + recovery of node κ: volatile state
-// (program fields, received facts, auxiliary relations) is lost, the
-// durable local database is reloaded, outputs — write-only and
-// already published — persist, and in-flight messages stay queued.
-func (n *Network) crashRestart(κ policy.Node) {
-	n.stats.Crashes++
-	n.programs[κ] = n.mk()
-	n.ctxs[κ].state = n.reload(κ)
-	n.stats.Steps++
-	n.programs[κ].Start(n.ctxs[κ])
-	for i := 0; i < n.p; i++ {
-		if policy.Node(i) == κ {
-			continue
-		}
-		if r, ok := n.programs[i].(Recoverer); ok {
-			n.stats.Assists++
-			n.stats.Steps++
-			r.OnPeerRestart(n.ctxs[i], κ)
+// crashRestart models fail-stop + recovery of a node group (usually a
+// singleton): volatile state (program fields, received facts, protocol
+// maps) is lost, the durable local database is reloaded, outputs —
+// write-only and already published — persist, and in-flight messages
+// stay queued. All members fail before any restarts, so a correlated
+// group never self-assists: each member re-runs Start from its durable
+// fragment alone, and recovery assists come only from peers outside
+// the group.
+func (n *Network) crashRestart(group []policy.Node) {
+	in := make(map[policy.Node]bool, len(group))
+	for _, κ := range group {
+		in[κ] = true
+		n.stats.Crashes++
+		n.programs[κ] = n.mk()
+		n.ctxs[κ].state = n.reload(κ)
+	}
+	for _, κ := range group {
+		n.stats.Steps++
+		n.programs[κ].Start(n.ctxs[κ])
+	}
+	for _, κ := range group {
+		for i := 0; i < n.p; i++ {
+			if in[policy.Node(i)] {
+				continue
+			}
+			if r, ok := n.programs[i].(Recoverer); ok {
+				n.stats.Assists++
+				n.stats.Steps++
+				r.OnPeerRestart(n.ctxs[i], κ)
+			}
 		}
 	}
 }

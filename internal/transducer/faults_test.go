@@ -146,6 +146,60 @@ func TestStrategiesCorrectUnderCrashRestart(t *testing.T) {
 	}
 }
 
+// Correlated failure: a whole two-node "rack" out of four crashes as a
+// unit, so neither member's recovery assist can come from inside the
+// group — the surviving pair must carry it. Every strategy must still
+// converge to the centralized answer, at every trigger point.
+func TestStrategiesCorrectUnderGroupCrashRestart(t *testing.T) {
+	d := rel.NewDict()
+	tri := triangles(d)
+	open := openTriangles(d)
+	g := workload.RandomGraph(9, 20, 7)
+	rack := []policy.Node{1, 2}
+
+	for _, after := range []int{0, 5, 1 << 20} { // immediately, mid-run, at quiescence
+		crash := func() Option { return WithGroupCrashRestart(rack, after) }
+
+		n := New(4, func() Program { return &MonotoneBroadcast{Q: tri} }, WithSeed(9), crash())
+		if err := n.LoadParts(hashParts(g, 4)); err != nil {
+			t.Fatal(err)
+		}
+		st, err := n.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Crashes != len(rack) {
+			t.Fatalf("after %d: %d crashes fired, want the whole %d-node rack", after, st.Crashes, len(rack))
+		}
+		if !n.Output().Equal(tri(g)) {
+			t.Errorf("after %d: monotone broadcast wrong under group crash-restart", after)
+		}
+
+		n2 := New(4, func() Program { return &Coordinated{Q: open} }, WithSeed(9), crash())
+		if err := n2.LoadParts(hashParts(g, 4)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := n2.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if !n2.Output().Equal(open(g)) {
+			t.Errorf("after %d: coordinated protocol wrong under group crash-restart", after)
+		}
+
+		pol := &policy.Hash{Nodes: 4}
+		n3 := New(4, func() Program { return &OpenTriangle{} }, WithSeed(9), crash(), WithPolicy(pol))
+		if err := n3.LoadPolicy(g, pol); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := n3.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if !n3.Output().Equal(open(g)) {
+			t.Errorf("after %d: open-triangle program wrong under group crash-restart", after)
+		}
+	}
+}
+
 // Faults compose: duplication + delay bursts + two crash-restarts in
 // one run, across the scheduler matrix — the full chaos regime. The
 // answer must not move.

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"sort"
 
+	"mpclogic/internal/pc"
 	"mpclogic/internal/policy"
 	"mpclogic/internal/rel"
 )
@@ -223,10 +224,20 @@ func New(p int, mk func() Program, opts ...Option) *Network {
 
 // LoadParts installs an explicit horizontal distribution: parts[i]
 // becomes node i's local database. The union of the parts is the
-// global instance.
+// global instance. On a policy-aware network (WithPolicy) the parts
+// are verified against the declared placement first: a fact loaded
+// onto a node the policy never makes responsible for it would poison
+// every Responsible/loc-inst-based strategy decision downstream, so a
+// nonconforming distribution is rejected with the Fact.Less-minimal
+// violation instead of silently accepted.
 func (n *Network) LoadParts(parts []*rel.Instance) error {
 	if len(parts) != n.p {
 		return fmt.Errorf("transducer: %d parts for %d nodes", len(parts), n.p)
+	}
+	if n.pol != nil {
+		if vs := pc.VerifyPlacement(n.pol, parts); len(vs) > 0 {
+			return fmt.Errorf("transducer: loaded distribution violates the declared policy: %w", vs[0])
+		}
 	}
 	for i, part := range parts {
 		n.ctxs[i].state = part.Clone()

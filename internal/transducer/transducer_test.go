@@ -1,9 +1,11 @@
 package transducer
 
 import (
+	"errors"
 	"testing"
 
 	"mpclogic/internal/cq"
+	"mpclogic/internal/pc"
 	"mpclogic/internal/policy"
 	"mpclogic/internal/rel"
 	"mpclogic/internal/workload"
@@ -597,5 +599,45 @@ func TestObliviousPolicyAwareStrategies(t *testing.T) {
 	}
 	if !n2.Output().Equal(notTC(g2)) {
 		t.Errorf("oblivious domain-guided ¬TC wrong")
+	}
+}
+
+// A policy-aware network refuses a hand-loaded distribution that
+// contradicts its declared placement: the violation is typed at load
+// time instead of poisoning Responsible-based decisions mid-run.
+func TestLoadPartsRejectsPolicyViolation(t *testing.T) {
+	pol := &policy.Hash{Nodes: 3}
+	g := workload.RandomGraph(9, 20, 7)
+	parts := policy.Distribute(pol, g)
+	var stolen rel.Fact
+	parts[0].Each(func(f rel.Fact) bool { stolen = f.Clone(); return false })
+	wrong := policy.Node(1)
+	if pol.Responsible(wrong, stolen) {
+		wrong = 2
+	}
+	parts[wrong].Add(stolen)
+
+	n := New(3, func() Program { return &OpenTriangle{} }, WithPolicy(pol))
+	err := n.LoadParts(parts)
+	if err == nil {
+		t.Fatal("nonconforming distribution accepted on a policy-aware network")
+	}
+	var v *pc.PlacementViolation
+	if !errors.As(err, &v) {
+		t.Fatalf("error %v is not a *pc.PlacementViolation", err)
+	}
+	if v.Node != wrong {
+		t.Errorf("accused node %d, want %d", v.Node, wrong)
+	}
+
+	// The same parts without the planted fact load fine, and a
+	// policy-unaware network never second-guesses its caller.
+	clean := policy.Distribute(pol, g)
+	if err := n.LoadParts(clean); err != nil {
+		t.Fatalf("conforming distribution rejected: %v", err)
+	}
+	n2 := New(3, func() Program { return &OpenTriangle{} })
+	if err := n2.LoadParts(parts); err != nil {
+		t.Fatalf("policy-unaware network rejected parts: %v", err)
 	}
 }
