@@ -51,10 +51,10 @@ SWEEPPROCS ?= 0
 # `make cover` fails when a guarded package drops more than the slack
 # below its recorded floor; `make cover-baseline` locks in the current
 # measurement.
-COVER_PKGS ?= ./internal/mpc ./internal/transducer
+COVER_PKGS ?= ./internal/mpc ./internal/transducer ./internal/mpcd ./internal/mpcd/loadgen
 COVER_BASELINE ?= COVERAGE.json
 
-.PHONY: all build vet test race lint faultmatrix byzantine transport netsweep verify fmt fuzz bench bench-json bench-json-incr verify-perf nightly soak experiments cover cover-baseline
+.PHONY: all build vet test race lint faultmatrix byzantine transport netsweep verify fmt fuzz serve serve-soak bench bench-json bench-json-incr verify-perf nightly soak experiments cover cover-baseline
 
 all: verify
 
@@ -135,8 +135,15 @@ fuzz:
 	$(GO) test ./internal/rel -run='^$$' -fuzz='^FuzzFragmentWire$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/policy -run='^$$' -fuzz='^FuzzStoreImage$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/sweep -run='^$$' -fuzz='^FuzzSweepMerge$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/mpcd -run='^$$' -fuzz='^FuzzQueryRequest$$' -fuzztime=$(FUZZTIME)
 
-verify: build vet test race faultmatrix byzantine transport lint fuzz
+# serve is the query-daemon gate: the serving-layer unit/property
+# suites plus the e2e suite that forks the real mpcd binary (start,
+# query, kill-and-resume byte-identity, drain).
+serve:
+	$(GO) test -count=1 ./internal/mpcd/... ./cmd/mpcd
+
+verify: build vet test race faultmatrix byzantine transport lint serve fuzz
 	@echo "verify: OK"
 
 # experiments regenerates every report on the sweep scheduler.
@@ -172,6 +179,7 @@ nightly: verify
 	$(GO) run ./cmd/experiments -parallel $(SWEEPPROCS) -run FAULTMPC-matrix
 	$(GO) run ./cmd/experiments -parallel $(SWEEPPROCS) -run BYZ-matrix
 	$(GO) run ./cmd/experiments -parallel $(SWEEPPROCS) -run INCR-maintenance
+	$(MAKE) serve-soak
 	@echo "nightly: OK"
 
 # soak streams mixed-size update batches at a maintained view for
@@ -179,6 +187,14 @@ nightly: verify
 # after every epoch.
 soak:
 	MPC_SOAK=$(SOAKTIME) $(GO) test -run 'TestSustainedUpdateSoak' -v .
+
+# serve-soak drives thousands of seeded sessions at an in-process
+# daemon across multiple epochs: mpcload exits nonzero if any epoch's
+# digest diverges (nondeterminism) or reuse stops beating the
+# always-repartition baseline on total communication.
+SERVE_SOAK_SESSIONS ?= 2000
+serve-soak:
+	$(GO) run ./cmd/mpcload -sessions $(SERVE_SOAK_SESSIONS) -queries 24 -workers 16 -seed 7 -epochs 3
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) .

@@ -1,0 +1,92 @@
+// Command mpcload is the deterministic load harness for mpcd: seeded
+// clients replay generated query scripts and the run is accounted on a
+// virtual clock (facts shipped, MaxLoad ticks), never wall time, so a
+// run's report — including its digest — is reproducible bit-for-bit.
+//
+// Usage:
+//
+//	mpcload -sessions 1000 -queries 32 -seed 7           # in-process server
+//	mpcload -addr http://127.0.0.1:7443 -sessions 64     # a running daemon
+//	mpcload -sessions 200 -epochs 3                      # soak: digests must agree
+//
+// In-process mode (no -addr) builds a fresh server per epoch and
+// asserts two serving invariants, exiting 1 if either fails:
+//
+//   - determinism: every epoch's digest equals the first epoch's;
+//   - reuse pays: unless -no-reuse, the run is replayed against an
+//     always-repartition baseline server and total communication must
+//     be strictly lower with reuse on.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mpclogic/internal/mpcd"
+	"mpclogic/internal/mpcd/loadgen"
+)
+
+func main() {
+	addr := flag.String("addr", "", "base URL of a running mpcd (default: in-process server)")
+	sessions := flag.Int("sessions", 64, "sessions to drive")
+	queries := flag.Int("queries", 16, "queries per session")
+	workers := flag.Int("workers", 8, "client goroutines")
+	seed := flag.Int64("seed", 1, "script seed")
+	epochs := flag.Int("epochs", 1, "repeat the run; every epoch must produce the same digest (in-process mode)")
+	p := flag.Int("p", 8, "cluster width per session (in-process mode)")
+	noReuse := flag.Bool("no-reuse", false, "drive an always-repartition server and skip the reuse comparison (in-process mode)")
+	flag.Parse()
+
+	cfg := loadgen.Config{Sessions: *sessions, Queries: *queries, Workers: *workers, Seed: *seed}
+
+	if *addr != "" {
+		rep, err := loadgen.Run(cfg, &loadgen.HTTPClient{Base: *addr})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpcload: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.String())
+		return
+	}
+
+	serverCfg := mpcd.Config{P: *p, DisableReuse: *noReuse}
+	var first *loadgen.Report
+	for e := 0; e < *epochs; e++ {
+		srv := mpcd.New(serverCfg)
+		rep, err := loadgen.Run(cfg, &loadgen.HandlerClient{H: srv.Handler()})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpcload: epoch %d: %v\n", e, err)
+			os.Exit(1)
+		}
+		if first == nil {
+			first = rep
+			fmt.Print(rep.String())
+			continue
+		}
+		if rep.Digest != first.Digest {
+			fmt.Fprintf(os.Stderr, "mpcload: epoch %d digest %s != epoch 0 digest %s: server is nondeterministic\n",
+				e, rep.Digest, first.Digest)
+			os.Exit(1)
+		}
+		fmt.Printf("epoch %d: digest match\n", e)
+	}
+
+	if !*noReuse {
+		base := mpcd.New(mpcd.Config{P: *p, DisableReuse: true})
+		baseRep, err := loadgen.Run(cfg, &loadgen.HandlerClient{H: base.Handler()})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpcload: baseline: %v\n", err)
+			os.Exit(1)
+		}
+		if first.Reused == 0 {
+			fmt.Fprintf(os.Stderr, "mpcload: no query reused the stored distribution\n")
+			os.Exit(1)
+		}
+		if first.Comm >= baseRep.Comm {
+			fmt.Fprintf(os.Stderr, "mpcload: reuse comm %d >= always-repartition comm %d\n", first.Comm, baseRep.Comm)
+			os.Exit(1)
+		}
+		fmt.Printf("reuse: comm %d vs baseline %d (saved %d)\n", first.Comm, baseRep.Comm, baseRep.Comm-first.Comm)
+	}
+}

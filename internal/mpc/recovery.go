@@ -401,3 +401,25 @@ func Restore(ck *Checkpoint, opts ...Option) *Cluster {
 	c.ft.refreshCheckpoint(c)
 	return c
 }
+
+// Store exposes the checkpoint's durable fragment store — the image a
+// serving layer spills to disk with policy.EncodeStore so a session
+// survives its process. The store is already isolated from later
+// cluster mutation (see Checkpoint), so handing it out is safe.
+func (ck *Checkpoint) Store() *policy.StableStore { return ck.store }
+
+// RestoreStore builds a fresh fault-tolerant cluster from a bare
+// fragment store — the re-entry point for checkpoint images reloaded
+// from disk (policy.DecodeStore), where the round-stats history lives
+// with the caller rather than inside the image. The restored cluster
+// starts with an empty stats history; like Restore, it keeps
+// checkpointing so it stays restorable.
+func RestoreStore(store *policy.StableStore, opts ...Option) *Cluster {
+	c := NewCluster(store.NumNodes(), opts...)
+	c.ensureFT()
+	for i := range c.servers {
+		c.servers[i] = store.Reload(policy.Node(i))
+	}
+	c.ft.refreshCheckpoint(c)
+	return c
+}

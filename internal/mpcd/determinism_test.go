@@ -1,0 +1,106 @@
+package mpcd
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// sessionScript is the per-client query sequence the determinism tests
+// replay: it exercises all three serving paths plus a typed rejection.
+func sessionScript() []queryRequest {
+	return []queryRequest{
+		{Query: anchorQ},
+		{Query: coveredQ1},
+		{Query: uncoveredQ},
+		{Query: coveredQ3},
+		{Query: "T(x, y) :- E(x, y)", Lang: LangDatalog, Out: "T"},
+		{Query: anchorQ, Budget: 1}, // typed budget rejection, deterministic too
+		{Query: anchorQ},
+	}
+}
+
+// runClient creates one session and replays the script, returning the
+// sha256 of the concatenated raw response bodies (status line included,
+// so a rejection differing only in code still changes the digest).
+func runClient(url, id string) (string, error) {
+	body, err := json.Marshal(createRequest{ID: id, Facts: transferFacts()})
+	if err != nil {
+		return "", err
+	}
+	resp, err := http.Post(url+"/v1/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("create %s: %d %s", id, resp.StatusCode, raw)
+	}
+	h := sha256.New()
+	for _, q := range sessionScript() {
+		q.Session = id
+		body, err := json.Marshal(q)
+		if err != nil {
+			return "", err
+		}
+		resp, err := http.Post(url+"/v1/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return "", err
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		fmt.Fprintf(h, "%d\n", resp.StatusCode)
+		// The digest must not depend on the session id, only on the
+		// session-scoped behavior, so strip the id before hashing.
+		h.Write(bytes.ReplaceAll(raw, []byte(`"`+id+`"`), []byte(`"SESSION"`)))
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// TestConcurrentByteIdentity is the serving determinism invariant: N
+// clients running the same script against one server produce
+// byte-identical response streams, for N in {1, 8, 64}, and every
+// stream equals the single-client reference.
+func TestConcurrentByteIdentity(t *testing.T) {
+	// Reference digest from an isolated single-client run.
+	_, tsRef := newTestServer(t, Config{})
+	ref, err := runClient(tsRef.URL, "c0")
+	if err != nil {
+		t.Fatalf("reference client: %v", err)
+	}
+
+	for _, n := range []int{1, 8, 64} {
+		t.Run(fmt.Sprintf("clients=%d", n), func(t *testing.T) {
+			_, ts := newTestServer(t, Config{MaxConcurrent: 8})
+			digests := make([]string, n)
+			errs := make([]error, n)
+			var wg sync.WaitGroup
+			start := make(chan struct{})
+			for i := 0; i < n; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					<-start
+					digests[i], errs[i] = runClient(ts.URL, fmt.Sprintf("c%d", i))
+				}(i)
+			}
+			close(start)
+			wg.Wait()
+			for i := 0; i < n; i++ {
+				if errs[i] != nil {
+					t.Fatalf("client %d: %v", i, errs[i])
+				}
+				if digests[i] != ref {
+					t.Fatalf("client %d digest %s != reference %s: responses depend on interleaving", i, digests[i], ref)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,117 @@
+package mpcd
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// Error codes of the JSON error envelope. Rejections are part of the
+// API contract: admission-control tests assert the exact code, so
+// changing one is a breaking change.
+const (
+	// CodeBadRequest is a malformed request: undecodable JSON, a
+	// missing required field, an unknown language or generator.
+	CodeBadRequest = "bad_request"
+	// CodeParse is a query that failed to parse.
+	CodeParse = "parse_error"
+	// CodeNotFound is an unknown session id.
+	CodeNotFound = "not_found"
+	// CodeBodyTooLarge is a request body over Config.MaxBodyBytes.
+	CodeBodyTooLarge = "body_too_large"
+	// CodeBudgetExceeded is the per-query admission rejection: the
+	// counted MaxLoad of the query exceeds its declared budget. The
+	// query did NOT run; the session is unchanged.
+	CodeBudgetExceeded = "budget_exceeded"
+	// CodeSessionBudget is the per-session admission rejection: the
+	// query's total communication would overdraw the session's
+	// remaining budget. The query did NOT run.
+	CodeSessionBudget = "session_budget_exhausted"
+	// CodeOverloaded is the load-shedding rejection: MaxConcurrent
+	// queries are executing and MaxQueued more are already waiting.
+	CodeOverloaded = "overloaded"
+	// CodeDraining is the shutdown rejection: the drain barrier has
+	// flipped and the server no longer accepts operations.
+	CodeDraining = "draining"
+	// CodeSessionLimit is the session-table rejection: MaxSessions
+	// sessions are live.
+	CodeSessionLimit = "session_limit"
+	// CodeConflict is a create with an id that is already live, or a
+	// checkpoint on a server that has not drained.
+	CodeConflict = "conflict"
+	// CodeInternal is a bug: an engine invariant failed mid-query.
+	CodeInternal = "internal"
+)
+
+// apiError is the typed error envelope every non-2xx response carries.
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// Required and Budget detail admission rejections: the load the
+	// query needed and the budget it declared (or the session had).
+	Required int `json:"required,omitempty"`
+	Budget   int `json:"budget,omitempty"`
+
+	status int `json:"-"`
+}
+
+func (e *apiError) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Message) }
+
+func errBadRequest(format string, args ...any) *apiError {
+	return &apiError{Code: CodeBadRequest, Message: fmt.Sprintf(format, args...), status: http.StatusBadRequest}
+}
+
+func errParse(err error) *apiError {
+	return &apiError{Code: CodeParse, Message: err.Error(), status: http.StatusBadRequest}
+}
+
+func errNotFound(id string) *apiError {
+	return &apiError{Code: CodeNotFound, Message: fmt.Sprintf("no session %q", id), status: http.StatusNotFound}
+}
+
+func errBodyTooLarge(limit int64) *apiError {
+	return &apiError{Code: CodeBodyTooLarge, Message: fmt.Sprintf("request body exceeds %d bytes", limit), status: http.StatusRequestEntityTooLarge}
+}
+
+func errBudgetExceeded(required, budget int) *apiError {
+	return &apiError{
+		Code:     CodeBudgetExceeded,
+		Message:  fmt.Sprintf("query needs max load %d but declared budget %d; not admitted", required, budget),
+		Required: required,
+		Budget:   budget,
+		status:   http.StatusTooManyRequests,
+	}
+}
+
+func errSessionBudget(required, remaining int) *apiError {
+	return &apiError{
+		Code:     CodeSessionBudget,
+		Message:  fmt.Sprintf("query ships %d facts but the session has %d budget left; not admitted", required, remaining),
+		Required: required,
+		Budget:   remaining,
+		status:   http.StatusTooManyRequests,
+	}
+}
+
+func errOverloaded(concurrent, queued int) *apiError {
+	return &apiError{
+		Code:    CodeOverloaded,
+		Message: fmt.Sprintf("%d queries executing and %d queued; try again later", concurrent, queued),
+		status:  http.StatusTooManyRequests,
+	}
+}
+
+func errDraining() *apiError {
+	return &apiError{Code: CodeDraining, Message: "server is draining", status: http.StatusServiceUnavailable}
+}
+
+func errSessionLimit(limit int) *apiError {
+	return &apiError{Code: CodeSessionLimit, Message: fmt.Sprintf("session limit %d reached", limit), status: http.StatusTooManyRequests}
+}
+
+func errConflict(format string, args ...any) *apiError {
+	return &apiError{Code: CodeConflict, Message: fmt.Sprintf(format, args...), status: http.StatusConflict}
+}
+
+func errInternal(err error) *apiError {
+	return &apiError{Code: CodeInternal, Message: err.Error(), status: http.StatusInternalServerError}
+}

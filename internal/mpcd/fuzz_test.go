@@ -1,0 +1,104 @@
+package mpcd
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// FuzzQueryRequest drives the full HTTP surface — decode, parse, plan,
+// admit, respond — with arbitrary bodies against a live session. The
+// properties: the server never panics, always answers exactly one JSON
+// document, never leaks a 5xx for client-supplied garbage, and error
+// responses always carry a typed code.
+func FuzzQueryRequest(f *testing.F) {
+	f.Add(`{"session": "fz", "query": "A(x, z) :- R(x, y), S(y, z)"}`)
+	f.Add(`{"session": "fz", "query": "B(x) :- R(x, y), S(y, z)"}`)
+	f.Add(`{"session": "fz", "query": "D(x, z) :- R(x, y), R(y, z)", "budget": 1}`)
+	f.Add(`{"session": "fz", "query": "T(x, y) :- E(x, y)\nT(x, z) :- T(x, y), E(y, z)", "lang": "datalog", "out": "T"}`)
+	f.Add(`{"session": "fz", "query": "A(x) :- R(x, y), not S(y)"}`)
+	f.Add(`{"session": "nope", "query": "A(x) :- R(x, y)"}`)
+	f.Add(`{"session": "fz", "query": "A(x :- R("}`)
+	f.Add(`{"session": "fz"}`)
+	f.Add(`{}`)
+	f.Add(`{"session": "fz", "query": "A(x) :- R(x, y)", "lang": "sql"}`)
+	f.Add(`{"session": "fz", "query": "A(x) :- R(x, y)"} trailing`)
+	f.Add(`not json at all`)
+	f.Add(``)
+	f.Add(`[1, 2, 3]`)
+	f.Add(`{"session": "fz", "query": "A(z) :- R(x, y)"}`)
+	f.Add(`{"session": "fz", "query": "A(x, z) :- R(x, y), S(y, z)", "budget": -7}`)
+
+	srv := New(Config{MaxBodyBytes: 1 << 14})
+	ts := httptest.NewServer(srv.Handler())
+	f.Cleanup(ts.Close)
+	// One live session with a warm anchor so fuzzed queries can reach
+	// all three serving paths.
+	for _, body := range []string{
+		`{"id": "fz", "facts": ["R(a, b)", "R(b, c)", "S(b, u)", "S(c, v)", "E(a, b)"]}`,
+		`{"session": "fz", "query": "A(x, z) :- R(x, y), S(y, z)"}`,
+	} {
+		path := "/v1/sessions"
+		if strings.Contains(body, `"query"`) {
+			path = "/v1/query"
+		}
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			f.Fatalf("priming: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			f.Fatalf("priming %s: %d", path, resp.StatusCode)
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, body string) {
+		resp, err := http.Post(ts.URL+"/v1/query", "application/json", strings.NewReader(body))
+		if err != nil {
+			// Transport errors are the harness's problem, not a server
+			// property; the server must still be alive for the next input.
+			t.Skip()
+		}
+		raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("reading response for input %q: %v", body, err)
+		}
+
+		if resp.StatusCode >= 500 {
+			t.Fatalf("server 5xx for client input %q: %s", body, raw)
+		}
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		if resp.StatusCode == http.StatusOK {
+			var qr QueryResponse
+			if err := dec.Decode(&qr); err != nil {
+				t.Fatalf("200 with undecodable body %q: %v", raw, err)
+			}
+			if qr.Path != PathReused && qr.Path != PathRepartitioned && qr.Path != PathGathered {
+				t.Fatalf("200 with unknown path %q", qr.Path)
+			}
+		} else {
+			var e apiError
+			if err := dec.Decode(&e); err != nil {
+				t.Fatalf("%d with undecodable body %q: %v", resp.StatusCode, raw, err)
+			}
+			if e.Code == "" || e.Message == "" {
+				t.Fatalf("%d with untyped error %q", resp.StatusCode, raw)
+			}
+		}
+
+		// The session must survive every input intact.
+		hr, err := http.Get(ts.URL + "/v1/healthz")
+		if err != nil {
+			t.Fatalf("server died after input %q: %v", body, err)
+		}
+		hr.Body.Close()
+		if hr.StatusCode != http.StatusOK {
+			t.Fatalf("unhealthy after input %q: %d", body, hr.StatusCode)
+		}
+	})
+}

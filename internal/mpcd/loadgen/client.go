@@ -1,0 +1,51 @@
+package loadgen
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+)
+
+// HTTPClient drives a real server over the network.
+type HTTPClient struct {
+	Base string       // e.g. "http://127.0.0.1:7443"
+	C    *http.Client // http.DefaultClient when nil
+}
+
+func (h *HTTPClient) Do(method, path string, body []byte) (int, []byte, error) {
+	c := h.C
+	if c == nil {
+		c = http.DefaultClient
+	}
+	req, err := http.NewRequest(method, h.Base+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, raw, nil
+}
+
+// HandlerClient drives an http.Handler in-process — the same bytes as
+// HTTPClient, no sockets. This is what the soak target uses to push
+// thousands of sessions without tying up ports.
+type HandlerClient struct {
+	H http.Handler
+}
+
+func (h *HandlerClient) Do(method, path string, body []byte) (int, []byte, error) {
+	req := httptest.NewRequest(method, path, bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.H.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.Bytes(), nil
+}

@@ -1,0 +1,138 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mpclogic/internal/mpcd"
+)
+
+func runOnce(t *testing.T, cfg Config, serverCfg mpcd.Config) *Report {
+	t.Helper()
+	srv := mpcd.New(serverCfg)
+	rep, err := Run(cfg, &HandlerClient{H: srv.Handler()})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return rep
+}
+
+// TestRunDeterministic is the harness's reason to exist: same seed,
+// fresh servers, byte-identical reports for a fixed worker count — and
+// the run's identity (digest plus every counter except the makespan,
+// which by construction depends on how sessions split across workers)
+// invariant under concurrency.
+func TestRunDeterministic(t *testing.T) {
+	ref := runOnce(t, Config{Sessions: 24, Queries: 12, Seed: 7, Workers: 4}, mpcd.Config{})
+	refRaw, err := json.Marshal(ref)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	again, err := json.Marshal(runOnce(t, Config{Sessions: 24, Queries: 12, Seed: 7, Workers: 4}, mpcd.Config{}))
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if string(again) != string(refRaw) {
+		t.Fatalf("same config, different report:\n  ref %s\n  got %s", refRaw, again)
+	}
+	for _, workers := range []int{1, 24} {
+		got := runOnce(t, Config{Sessions: 24, Queries: 12, Seed: 7, Workers: workers}, mpcd.Config{})
+		got.VirtualSpan = ref.VirtualSpan // the one worker-count-dependent field
+		gotRaw, err := json.Marshal(got)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		if string(gotRaw) != string(refRaw) {
+			t.Fatalf("workers=%d run diverged:\n  ref %s\n  got %s", workers, refRaw, gotRaw)
+		}
+	}
+}
+
+// TestRunSeedSensitivity pins that the seed actually steers the
+// scripts: different seeds, different digests.
+func TestRunSeedSensitivity(t *testing.T) {
+	a := runOnce(t, Config{Sessions: 8, Queries: 8, Seed: 1}, mpcd.Config{})
+	b := runOnce(t, Config{Sessions: 8, Queries: 8, Seed: 2}, mpcd.Config{})
+	if a.Digest == b.Digest {
+		t.Fatal("different seeds produced identical runs")
+	}
+}
+
+// TestRunExercisesAllPaths checks the generated mix reaches every
+// serving path and produces typed rejections.
+func TestRunExercisesAllPaths(t *testing.T) {
+	rep := runOnce(t, Config{Sessions: 16, Queries: 16, Seed: 3}, mpcd.Config{})
+	if rep.Reused == 0 || rep.Repartitioned == 0 || rep.Gathered == 0 {
+		t.Fatalf("mix missed a serving path: %+v", rep)
+	}
+	if rep.Rejected[mpcd.CodeParse] == 0 {
+		t.Fatalf("mix produced no parse rejections: %v", rep.Rejected)
+	}
+	if rep.OK+totalRejected(rep) != rep.Queries {
+		t.Fatalf("queries unaccounted for: ok %d + rejected %d != %d", rep.OK, totalRejected(rep), rep.Queries)
+	}
+	if rep.VirtualSpan > rep.VirtualTicks || rep.MaxSessTicks > rep.VirtualSpan {
+		t.Fatalf("virtual clock inconsistent: %+v", rep)
+	}
+}
+
+// TestReuseBeatsBaseline is the soak's comm assertion in miniature:
+// the same load costs strictly less communication with reuse on, with
+// identical admission outcomes.
+func TestReuseBeatsBaseline(t *testing.T) {
+	cfg := Config{Sessions: 12, Queries: 12, Seed: 5}
+	on := runOnce(t, cfg, mpcd.Config{})
+	off := runOnce(t, cfg, mpcd.Config{DisableReuse: true})
+	if on.Reused == 0 || off.Reused != 0 {
+		t.Fatalf("reuse counters: on=%d off=%d", on.Reused, off.Reused)
+	}
+	if on.Comm >= off.Comm {
+		t.Fatalf("reuse comm %d, baseline %d: want strictly less", on.Comm, off.Comm)
+	}
+	// Reuse can only admit MORE: a covered query is free, so it skips
+	// the budget gate a repartition might trip on.
+	if on.OK < off.OK {
+		t.Fatalf("reuse rejected queries the baseline admitted: ok %d vs %d", on.OK, off.OK)
+	}
+}
+
+// TestHTTPClientMatchesHandlerClient pins the transport seam: the same
+// run over real loopback HTTP and in-process produces the same digest.
+func TestHTTPClientMatchesHandlerClient(t *testing.T) {
+	cfg := Config{Sessions: 6, Queries: 8, Seed: 9}
+	inproc := runOnce(t, cfg, mpcd.Config{})
+
+	ts := httptest.NewServer(mpcd.New(mpcd.Config{}).Handler())
+	defer ts.Close()
+	wire, err := Run(cfg, &HTTPClient{Base: ts.URL})
+	if err != nil {
+		t.Fatalf("run over HTTP: %v", err)
+	}
+	if wire.Digest != inproc.Digest {
+		t.Fatalf("transport changed the run: http %s, in-process %s", wire.Digest, inproc.Digest)
+	}
+}
+
+// TestReportString pins the report rendering is stable and complete.
+func TestReportString(t *testing.T) {
+	rep := runOnce(t, Config{Sessions: 4, Queries: 8, Seed: 11}, mpcd.Config{})
+	s := rep.String()
+	for _, want := range []string{"sessions=4", "paths:", "digest=" + rep.Digest} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report %q missing %q", s, want)
+		}
+	}
+	if rep2 := runOnce(t, Config{Sessions: 4, Queries: 8, Seed: 11}, mpcd.Config{}); rep2.String() != s {
+		t.Fatal("report rendering unstable across identical runs")
+	}
+}
+
+func totalRejected(r *Report) int {
+	n := 0
+	for _, v := range r.Rejected {
+		n += v
+	}
+	return n
+}

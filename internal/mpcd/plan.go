@@ -1,0 +1,171 @@
+package mpcd
+
+import (
+	"sync"
+
+	"mpclogic/internal/cq"
+	"mpclogic/internal/datalog"
+	"mpclogic/internal/hypercube"
+	"mpclogic/internal/pc"
+)
+
+// Query languages accepted by the query endpoint.
+const (
+	LangCQ      = "cq"
+	LangDatalog = "datalog"
+)
+
+// queryPlan is the server-wide, dict-independent part of a parsed
+// query: its canonical key, the dimensions the cover gate inspects,
+// and the integer share assignment per cluster width. Sessions keep
+// their own ASTs (interning is session-scoped, see Server.sessions),
+// but the share-exponent LP and the Πᵖ₃ cover search depend only on
+// the canonical text, so their results are computed once here and
+// serve every session.
+type queryPlan struct {
+	key      string // lang + output relation + canonical text
+	lang     string
+	gridable bool // CQ without negation: a HyperCube grid exists
+	vars     int  // |vars(Q)|, cover-gate dimension
+	atoms    int  // positive body atoms, cover-gate dimension
+
+	mu     sync.Mutex
+	shares map[int]sharesResult // cluster width → share assignment
+}
+
+type sharesResult struct {
+	shares map[string]int
+	err    error
+}
+
+// sessionQuery is one session's parsed view of a plan: ASTs whose
+// constants are interned in the session's own dict.
+type sessionQuery struct {
+	plan   *queryPlan
+	cq     *cq.CQ           // non-nil for LangCQ
+	prog   *datalog.Program // non-nil for LangDatalog
+	outRel string           // relation holding the answer
+	text   string           // canonical query text
+}
+
+// parseQuery parses src against the session's dict and resolves the
+// shared plan, consulting the session's raw-text cache first so a
+// repeated query costs one map lookup. Callers hold sess.mu.
+func (sess *Session) parseQuery(lang, src, out string) (*sessionQuery, *apiError) {
+	if lang == "" {
+		lang = LangCQ
+	}
+	rawKey := lang + "\x00" + out + "\x00" + src
+	if sq, ok := sess.parsed[rawKey]; ok {
+		sess.srv.bump(func(st *serverStats) { st.planHits++ })
+		return sq, nil
+	}
+	sq := &sessionQuery{}
+	switch lang {
+	case LangCQ:
+		q, err := cq.Parse(sess.dict, src)
+		if err != nil {
+			return nil, errParse(err)
+		}
+		if err := q.Validate(); err != nil {
+			return nil, errParse(err)
+		}
+		sq.cq, sq.outRel, sq.text = q, q.Head.Rel, q.String()
+	case LangDatalog:
+		if out == "" {
+			return nil, errBadRequest("datalog queries need an output relation (set \"out\")")
+		}
+		p, err := datalog.Parse(sess.dict, src)
+		if err != nil {
+			return nil, errParse(err)
+		}
+		sq.prog, sq.outRel, sq.text = p, out, p.String()
+	default:
+		return nil, errBadRequest("unknown query language %q (want %q or %q)", lang, LangCQ, LangDatalog)
+	}
+	sq.plan = sess.srv.planFor(lang, sq.text, sq.outRel, sq.cq)
+	sess.parsed[rawKey] = sq
+	return sq, nil
+}
+
+// planFor returns the shared plan for a canonical query, creating it
+// on first sight.
+func (s *Server) planFor(lang, canon, out string, q *cq.CQ) *queryPlan {
+	key := lang + "\x00" + out + "\x00" + canon
+	s.planMu.Lock()
+	defer s.planMu.Unlock()
+	if pl, ok := s.plans[key]; ok {
+		s.bump(func(st *serverStats) { st.planHits++ })
+		return pl
+	}
+	pl := &queryPlan{key: key, lang: lang, shares: make(map[int]sharesResult)}
+	if q != nil {
+		pl.gridable = !q.HasNegation()
+		pl.vars = len(q.Vars())
+		pl.atoms = len(q.Body)
+	}
+	s.plans[key] = pl
+	s.bump(func(st *serverStats) { st.planMisses++ })
+	return pl
+}
+
+// sharesFor returns the plan's integer share assignment on p servers,
+// solving the share-exponent LP once per width. q is the caller's AST
+// for the same canonical text; the LP sees only variables and atom
+// structure, so any session's parse yields the same assignment.
+func (pl *queryPlan) sharesFor(q *cq.CQ, p int) (map[string]int, error) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if r, ok := pl.shares[p]; ok {
+		return r.shares, r.err
+	}
+	shares, _, err := hypercube.OptimalShares(q, p)
+	pl.shares[p] = sharesResult{shares: shares, err: err}
+	return shares, err
+}
+
+// covers decides whether the anchor's distribution can be reused for
+// cand — parallel-correctness transfer, with caching and a size gate.
+// Deciding Covers is Πᵖ₃-complete, so the exponential search only runs
+// when both queries are small enough (MaxCoverVars/MaxCoverAtoms) that
+// it is effectively instant; bigger queries skip straight to
+// repartitioning rather than stall the serving path. Identical
+// canonical text short-circuits: transfer is reflexive. Decisions
+// depend only on the canonical text pair — injectively renaming the
+// interned constants changes nothing the search compares — so the
+// cache is server-wide even though ASTs are per-session.
+func (s *Server) coversFor(anchor, cand *sessionQuery) bool {
+	a, c := anchor.plan, cand.plan
+	if a.lang != LangCQ || c.lang != LangCQ || !a.gridable || !c.gridable {
+		return false
+	}
+	if a.key == c.key {
+		s.bump(func(st *serverStats) { st.coverHits++ })
+		return true
+	}
+	if a.vars > s.cfg.MaxCoverVars || c.vars > s.cfg.MaxCoverVars ||
+		a.atoms > s.cfg.MaxCoverAtoms || c.atoms > s.cfg.MaxCoverAtoms {
+		s.bump(func(st *serverStats) { st.coverSkips++ })
+		return false
+	}
+	key := a.key + "\x01" + c.key
+	s.planMu.Lock()
+	v, ok := s.covers[key]
+	s.planMu.Unlock()
+	if ok {
+		s.bump(func(st *serverStats) { st.coverHits++ })
+		return v
+	}
+	v, _, err := pc.Covers(anchor.cq, cand.cq)
+	if err != nil {
+		// Covers rejects query shapes it cannot decide (negation);
+		// gridable filtered those above, but stay conservative: an
+		// undecided pair repartitions, which is always correct.
+		v = false
+	}
+	s.planMu.Lock()
+	s.covers[key] = v
+	s.planMu.Unlock()
+	s.bump(func(st *serverStats) { st.coverMisses++ })
+	return v
+}

@@ -1,0 +1,182 @@
+package mpcd
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+// query runs one query and decodes the response, failing on any error.
+func query(t *testing.T, url, session, q string) QueryResponse {
+	t.Helper()
+	status, raw := do(t, "POST", url+"/v1/query", queryRequest{Session: session, Query: q})
+	if status != http.StatusOK {
+		t.Fatalf("query %q: %d %s", q, status, raw)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(raw, &qr); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return qr
+}
+
+// The transfer workload: anchor a two-atom join, then queries the
+// anchor's distribution provably covers (same body modulo projection
+// and reorder, and a body subset) and one it provably does not (a
+// self-join over R needs R replicated by both columns).
+const (
+	anchorQ    = "A(x, z) :- R(x, y), S(y, z)"
+	coveredQ1  = "B(x) :- R(x, y), S(y, z)"      // projection of the anchor
+	coveredQ2  = "C(z, x) :- S(y, z), R(x, y)"   // reordered body, swapped head
+	coveredQ3  = "D(x, y) :- R(x, y)"            // body subset
+	uncoveredQ = "D(x, z) :- R(x, y), R(y, z)"   // self-join: not covered
+)
+
+func transferFacts() []string {
+	return []string{
+		"R(a, b)", "R(b, c)", "R(c, d)",
+		"S(b, u)", "S(c, v)", "S(d, w)",
+	}
+}
+
+func TestReusePathZeroComm(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	do(t, "POST", ts.URL+"/v1/sessions", createRequest{ID: "ru", Facts: transferFacts()})
+
+	first := query(t, ts.URL, "ru", anchorQ)
+	if first.Path != PathRepartitioned {
+		t.Fatalf("anchor path %q, want repartitioned", first.Path)
+	}
+
+	// Same query again: transfer is reflexive, distribution is warm.
+	again := query(t, ts.URL, "ru", anchorQ)
+	if again.Path != PathReused || again.Comm != 0 || again.MaxLoad != 0 {
+		t.Fatalf("repeat anchor: %+v", again)
+	}
+	if fmt.Sprint(again.Output) != fmt.Sprint(first.Output) {
+		t.Fatalf("reused output %v differs from anchor output %v", again.Output, first.Output)
+	}
+	if again.BudgetSpent != first.BudgetSpent {
+		t.Fatalf("reuse charged the budget: %d → %d", first.BudgetSpent, again.BudgetSpent)
+	}
+
+	// Provably covered queries ride the warm distribution for free.
+	for _, q := range []string{coveredQ1, coveredQ2, coveredQ3} {
+		qr := query(t, ts.URL, "ru", q)
+		if qr.Path != PathReused || qr.Comm != 0 {
+			t.Fatalf("%q: path %q comm %d, want reused with zero comm", q, qr.Path, qr.Comm)
+		}
+	}
+	// Sanity on one covered answer: D(x, y) :- R(x, y) is just R.
+	d := query(t, ts.URL, "ru", coveredQ3)
+	want := []string{"D(a,b)", "D(b,c)", "D(c,d)"}
+	if fmt.Sprint(d.Output) != fmt.Sprint(want) {
+		t.Fatalf("covered subset output %v, want %v", d.Output, want)
+	}
+
+	// The self-join is NOT covered: it must repartition and pay.
+	sj := query(t, ts.URL, "ru", uncoveredQ)
+	if sj.Path != PathRepartitioned || sj.Comm == 0 {
+		t.Fatalf("self-join: %+v, want repartitioned with comm > 0", sj)
+	}
+	wantSJ := []string{"D(a,c)", "D(b,d)"}
+	if fmt.Sprint(sj.Output) != fmt.Sprint(wantSJ) {
+		t.Fatalf("self-join output %v, want %v", sj.Output, wantSJ)
+	}
+
+	// After the self-join repartition the anchor changed; the old
+	// anchor no longer rides for free (self-join doesn't cover it)…
+	back := query(t, ts.URL, "ru", anchorQ)
+	if back.Path != PathRepartitioned {
+		t.Fatalf("anchor after self-join: path %q, want repartitioned", back.Path)
+	}
+	// …but its answers are unchanged.
+	if fmt.Sprint(back.Output) != fmt.Sprint(first.Output) {
+		t.Fatalf("anchor output drifted across repartitions: %v vs %v", back.Output, first.Output)
+	}
+}
+
+// TestReuseStrictlyCheaper pins the acceptance criterion: the same
+// query script on the same data costs strictly less total communication
+// with reuse enabled than with it disabled, and produces identical
+// answers either way.
+func TestReuseStrictlyCheaper(t *testing.T) {
+	script := []string{anchorQ, coveredQ1, coveredQ2, coveredQ3, anchorQ}
+
+	runScript := func(disable bool) (outputs []string, comm int, reused int) {
+		s, ts := newTestServer(t, Config{DisableReuse: disable})
+		do(t, "POST", ts.URL+"/v1/sessions", createRequest{ID: "x", Facts: transferFacts()})
+		for _, q := range script {
+			qr := query(t, ts.URL, "x", q)
+			outputs = append(outputs, fmt.Sprint(qr.Output))
+			comm += qr.Comm
+		}
+		return outputs, comm, s.Statz().Reused
+	}
+
+	outOn, commOn, reusedOn := runScript(false)
+	outOff, commOff, reusedOff := runScript(true)
+
+	if fmt.Sprint(outOn) != fmt.Sprint(outOff) {
+		t.Fatalf("reuse changed answers:\n  on:  %v\n  off: %v", outOn, outOff)
+	}
+	if commOn >= commOff {
+		t.Fatalf("reuse total comm %d, always-repartition %d: want strictly less", commOn, commOff)
+	}
+	if reusedOn != len(script)-1 {
+		t.Fatalf("reuse hit %d of %d eligible queries", reusedOn, len(script)-1)
+	}
+	if reusedOff != 0 {
+		t.Fatalf("DisableReuse still reused %d queries", reusedOff)
+	}
+}
+
+// TestReuseSurvivesIrrelevantFacts pins the parking fallback: facts
+// matching no anchor atom are parked, not dropped, and covered queries
+// still answer correctly from the warm fragments.
+func TestReuseSurvivesIrrelevantFacts(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	facts := append(transferFacts(), "Z(q, r)", "Z(r, s)") // Z matches no anchor atom
+	do(t, "POST", ts.URL+"/v1/sessions", createRequest{ID: "pk", Facts: facts})
+
+	query(t, ts.URL, "pk", anchorQ)
+	qr := query(t, ts.URL, "pk", coveredQ3)
+	if qr.Path != PathReused {
+		t.Fatalf("covered query path %q", qr.Path)
+	}
+	want := []string{"D(a,b)", "D(b,c)", "D(c,d)"}
+	if fmt.Sprint(qr.Output) != fmt.Sprint(want) {
+		t.Fatalf("output with parked facts %v, want %v", qr.Output, want)
+	}
+	// The parked facts are still in the session: a gather sees them.
+	status, raw := do(t, "POST", ts.URL+"/v1/query", queryRequest{
+		Session: "pk", Lang: LangDatalog, Query: "W(x, y) :- Z(x, y)", Out: "W",
+	})
+	if status != http.StatusOK {
+		t.Fatalf("gather over parked relation: %d %s", status, raw)
+	}
+	var g QueryResponse
+	if err := json.Unmarshal(raw, &g); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if g.Count != 2 {
+		t.Fatalf("parked facts lost: %v", g.Output)
+	}
+}
+
+// TestCoverSizeGate pins that queries over the MaxCoverVars gate skip
+// the exponential search and repartition instead.
+func TestCoverSizeGate(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxCoverVars: 2, MaxCoverAtoms: 1})
+	do(t, "POST", ts.URL+"/v1/sessions", createRequest{ID: "g", Facts: transferFacts()})
+
+	query(t, ts.URL, "g", anchorQ) // 3 vars, 2 atoms: over the gate
+	qr := query(t, ts.URL, "g", coveredQ1)
+	if qr.Path != PathRepartitioned {
+		t.Fatalf("gated pair path %q, want repartitioned (cover skipped)", qr.Path)
+	}
+	if s.Statz().CoverSkips == 0 {
+		t.Fatal("cover gate never fired")
+	}
+}

@@ -1,0 +1,391 @@
+package mpcd
+
+import (
+	"fmt"
+	"regexp"
+	"sync"
+
+	"mpclogic/internal/cq"
+	"mpclogic/internal/datalog"
+	"mpclogic/internal/hypercube"
+	"mpclogic/internal/mpc"
+	"mpclogic/internal/rel"
+	"mpclogic/internal/workload"
+)
+
+// Session is one client's long-lived state: a p-server cluster holding
+// its data (distributed by the anchor query's grid once the first
+// repartition has run), its own value dict, its budget ledger, and its
+// parsed-query cache. Every session operation serializes on mu, so a
+// session's responses are a pure function of its own request history —
+// the determinism invariant the serving tests pin down.
+type Session struct {
+	ID string
+
+	mu      sync.Mutex
+	srv     *Server
+	p       int
+	seed    uint64
+	dict    *rel.Dict
+	cluster *mpc.Cluster
+	anchor  *sessionQuery // query whose grid distributed the data; nil before the first repartition
+	parsed  map[string]*sessionQuery
+	facts   int
+
+	budgetTotal int
+	budgetSpent int
+
+	queries       int
+	reused        int
+	repartitioned int
+	gathered      int
+}
+
+// Serving-path labels carried in query responses.
+const (
+	PathReused        = "reused"
+	PathRepartitioned = "repartitioned"
+	PathGathered      = "gathered"
+)
+
+// sessionIDPat bounds client-chosen session ids: they become snapshot
+// filenames, so path metacharacters are out.
+var sessionIDPat = regexp.MustCompile(`^[A-Za-z0-9_-]{1,64}$`)
+
+// Generator size cap: a create request is a few hundred bytes, so the
+// generated instance is the one thing a tiny request can make huge.
+const maxGenSize = 1 << 22
+
+// parkSalt decorrelates the parking hash (facts outside the anchor's
+// atoms, see gridRouter) from the grid's per-dimension hashes.
+const parkSalt = 0x7061726b6d706364 // "parkmpcd"
+
+// createSession validates the request, materializes the data, and
+// installs the session round-robin across p servers — the model's
+// "evenly spread, no particular scheme" starting state. The response
+// is built before the session is published so its fields never race
+// with a concurrent query.
+func (s *Server) createSession(req *createRequest) (createResponse, *apiError) {
+	if req.Generator != "" && (req.N <= 0 || req.N > maxGenSize || req.M > maxGenSize) {
+		return createResponse{}, errBadRequest("generator %q needs 0 < n ≤ %d (and m ≤ %d)", req.Generator, maxGenSize, maxGenSize)
+	}
+	p := req.P
+	if p <= 0 {
+		p = s.cfg.P
+	}
+	if p > 1<<12 {
+		return createResponse{}, errBadRequest("p = %d exceeds the per-session cluster cap %d", p, 1<<12)
+	}
+	budget := req.Budget
+	if budget <= 0 {
+		budget = s.cfg.SessionBudget
+	}
+	dict := rel.NewDict()
+	inst, aerr := buildData(req, dict)
+	if aerr != nil {
+		return createResponse{}, aerr
+	}
+	sess := &Session{
+		srv:         s,
+		p:           p,
+		seed:        s.cfg.Seed,
+		dict:        dict,
+		parsed:      make(map[string]*sessionQuery),
+		facts:       inst.Len(),
+		budgetTotal: budget,
+	}
+	sess.cluster = mpc.NewCluster(p, mpc.WithCheckpoints())
+	sess.cluster.LoadRoundRobin(inst)
+
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		return createResponse{}, errSessionLimit(s.cfg.MaxSessions)
+	}
+	id := req.ID
+	switch {
+	case id == "":
+		id = s.freshID()
+		for s.sessions[id] != nil {
+			id = s.freshID()
+		}
+	case !sessionIDPat.MatchString(id):
+		return createResponse{}, errBadRequest("session id must match %s", sessionIDPat)
+	case s.sessions[id] != nil:
+		return createResponse{}, errConflict("session %q already exists", id)
+	}
+	sess.ID = id
+	s.sessions[id] = sess
+	s.bump(func(st *serverStats) { st.sessionsCreated++ })
+	return createResponse{Session: id, P: p, Facts: sess.facts, Budget: budget}, nil
+}
+
+// buildData materializes a create request's data: a seeded workload
+// generator, explicit symbolic facts, or both.
+func buildData(req *createRequest, dict *rel.Dict) (*rel.Instance, *apiError) {
+	var inst *rel.Instance
+	switch req.Generator {
+	case "":
+		inst = rel.NewInstance()
+	case "join":
+		inst = workload.JoinSkewFree(req.N)
+	case "join-skewed":
+		inst = workload.JoinSkewed(req.N, skewOr(req.Skew, 0.1))
+	case "triangle":
+		inst = workload.TriangleSkewFree(req.N)
+	case "triangle-skewed":
+		inst = workload.TriangleSkewed(req.N, skewOr(req.Skew, 0.1))
+	case "cycle":
+		inst = workload.CycleGraph(req.N)
+	case "path":
+		inst = workload.PathGraph(req.N)
+	case "random-graph":
+		m := req.M
+		if m <= 0 {
+			m = 4 * req.N
+		}
+		inst = workload.RandomGraph(req.N, m, req.Seed)
+	default:
+		return nil, errBadRequest("unknown generator %q", req.Generator)
+	}
+	for _, fs := range req.Facts {
+		f, err := rel.ParseFact(dict, fs)
+		if err != nil {
+			return nil, errParse(err)
+		}
+		inst.Add(f)
+	}
+	return inst, nil
+}
+
+func skewOr(v, def float64) float64 {
+	if v <= 0 || v >= 1 {
+		return def
+	}
+	return v
+}
+
+// deleteSession removes a live session.
+func (s *Server) deleteSession(id string) *apiError {
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	if s.sessions[id] == nil {
+		return errNotFound(id)
+	}
+	delete(s.sessions, id)
+	s.bump(func(st *serverStats) { st.sessionsDestroyed++ })
+	return nil
+}
+
+// run executes one query against the session, choosing among the three
+// serving paths:
+//
+//   - reuse: the anchor's distribution covers the query (pc transfer),
+//     so it evaluates on the warm fragments with zero communication;
+//   - repartition: redistribute the data by the query's own HyperCube
+//     grid — the exact per-server load is counted before anything
+//     ships, and the query is rejected typed instead of run if the
+//     load exceeds its budget or the shipment overdraws the session;
+//   - gather: queries outside the single-round fragment (Datalog
+//     programs, CQ¬) evaluate centrally on the union of the fragments,
+//     charged |I| against both budgets; the distribution stays warm.
+//
+// A rejected query leaves the session byte-for-byte unchanged.
+func (sess *Session) run(req *queryRequest) (*QueryResponse, *apiError) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	sq, aerr := sess.parseQuery(req.Lang, req.Query, req.Out)
+	if aerr != nil {
+		return nil, aerr
+	}
+	qBudget := req.Budget
+	if qBudget <= 0 {
+		qBudget = sess.srv.cfg.QueryBudget
+	}
+
+	resp := &QueryResponse{Session: sess.ID, Query: sq.text}
+	var out *rel.Instance
+	switch {
+	case sq.plan.gridable && sess.anchor != nil &&
+		!sess.srv.cfg.DisableReuse && sess.srv.coversFor(sess.anchor, sq):
+		out = sess.evalLocal(sq.cq)
+		resp.Path = PathReused
+		sess.reused++
+		sess.srv.bump(func(st *serverStats) { st.reused++ })
+	case sq.plan.gridable:
+		maxLoad, total, aerr := sess.repartition(sq, qBudget)
+		if aerr != nil {
+			return nil, aerr
+		}
+		out = sess.evalLocal(sq.cq)
+		resp.Path, resp.MaxLoad, resp.Comm = PathRepartitioned, maxLoad, total
+		sess.repartitioned++
+		sess.srv.bump(func(st *serverStats) { st.repartitioned++ })
+	default:
+		gathered, cost, aerr := sess.gather(sq, qBudget)
+		if aerr != nil {
+			return nil, aerr
+		}
+		out = gathered
+		resp.Path, resp.MaxLoad, resp.Comm = PathGathered, cost, cost
+		sess.gathered++
+		sess.srv.bump(func(st *serverStats) { st.gathered++ })
+	}
+	sess.queries++
+	resp.BudgetSpent = sess.budgetSpent
+	resp.BudgetRemaining = sess.budgetTotal - sess.budgetSpent
+	resp.Output = renderFacts(out, sess.dict)
+	resp.Count = len(resp.Output)
+	sess.srv.bump(func(st *serverStats) { st.admitted++; st.commTotal += resp.Comm })
+	return resp, nil
+}
+
+// evalLocal evaluates q on every server's fragment and unions the
+// results — sound and complete exactly when the current distribution
+// is parallel-correct for q, which both callers guarantee: the anchor
+// grid is parallel-correct for the anchor by construction, and the
+// reuse path only runs when transfer says the anchor covers q.
+func (sess *Session) evalLocal(q *cq.CQ) *rel.Instance {
+	out := rel.NewInstance()
+	for i := 0; i < sess.cluster.P(); i++ {
+		out.AddAll(cq.Output(q, sess.cluster.Server(i)))
+	}
+	return out
+}
+
+// gridRouter wraps the query's grid with a parking fallback: facts
+// matching no atom of the query are irrelevant to it but still belong
+// to the session, so they park on a hashed server instead of being
+// dropped (Grid.Targets routes non-matching facts nowhere). A parked
+// fact can never occur in a minimal valuation of the anchor — or of
+// any query the anchor covers, whose required facts are subsets of the
+// anchor's — so parking preserves parallel correctness for both.
+func (sess *Session) gridRouter(grid *hypercube.Grid) mpc.Router {
+	p, seed := uint64(sess.p), sess.seed
+	return mpc.RouterFunc(func(f rel.Fact) []int {
+		if ts := grid.Targets(f); len(ts) > 0 {
+			return ts
+		}
+		return []int{int(rel.Mix64(f.Hash()^seed^parkSalt) % p)}
+	})
+}
+
+// repartition is the admission-controlled redistribution: it counts
+// the exact per-server load of shipping the session's data through the
+// query's grid (routing is deterministic, so the count IS the measured
+// load — the defensive check at the bottom pins that equality), admits
+// or rejects against the query and session budgets, and only then
+// builds the new cluster. The data is re-shipped from a fresh
+// round-robin layout rather than the live fragments so the measured
+// load is independent of how replicated the previous anchor left them.
+func (sess *Session) repartition(sq *sessionQuery, qBudget int) (maxLoad, total int, aerr *apiError) {
+	shares, err := sq.plan.sharesFor(sq.cq, sess.p)
+	if err != nil {
+		return 0, 0, errBadRequest("no share assignment for %s on p=%d: %v", sq.text, sess.p, err)
+	}
+	grid, err := hypercube.NewGrid(sq.cq, shares, sess.seed)
+	if err != nil {
+		return 0, 0, errInternal(err) // unreachable: gridable excludes negation
+	}
+	router := sess.gridRouter(grid)
+	union := sess.cluster.Output()
+	counts := make([]int, sess.p)
+	union.Each(func(f rel.Fact) bool {
+		for _, d := range router.Route(f) {
+			counts[d]++
+			total++
+		}
+		return true
+	})
+	for _, n := range counts {
+		if n > maxLoad {
+			maxLoad = n
+		}
+	}
+	if maxLoad > qBudget {
+		sess.srv.bump(func(st *serverStats) { st.rejBudget++ })
+		return 0, 0, errBudgetExceeded(maxLoad, qBudget)
+	}
+	if remaining := sess.budgetTotal - sess.budgetSpent; total > remaining {
+		sess.srv.bump(func(st *serverStats) { st.rejSessionBudget++ })
+		return 0, 0, errSessionBudget(total, remaining)
+	}
+	fresh := mpc.NewCluster(sess.p, mpc.WithCheckpoints())
+	fresh.LoadRoundRobin(union)
+	stats, err := fresh.RunRound(mpc.Round{Name: "repartition " + sq.text, Route: router})
+	if err != nil {
+		return 0, 0, errInternal(err)
+	}
+	if stats.MaxLoad != maxLoad || stats.TotalComm != total {
+		return 0, 0, errInternal(fmt.Errorf(
+			"mpcd: admission counted max load %d / comm %d but the round measured %d / %d",
+			maxLoad, total, stats.MaxLoad, stats.TotalComm))
+	}
+	sess.cluster = fresh
+	sess.anchor = sq
+	sess.facts = union.Len()
+	sess.budgetSpent += total
+	return maxLoad, total, nil
+}
+
+// gather unions the fragments and evaluates centrally — the fallback
+// for queries the single-round machinery does not cover. The model
+// prices it honestly: every fact converges on one logical site, so the
+// cost is |I| against both the per-query load budget and the session's
+// communication budget. The distribution is left untouched.
+func (sess *Session) gather(sq *sessionQuery, qBudget int) (*rel.Instance, int, *apiError) {
+	union := sess.cluster.Output()
+	cost := union.Len()
+	if cost > qBudget {
+		sess.srv.bump(func(st *serverStats) { st.rejBudget++ })
+		return nil, 0, errBudgetExceeded(cost, qBudget)
+	}
+	if remaining := sess.budgetTotal - sess.budgetSpent; cost > remaining {
+		sess.srv.bump(func(st *serverStats) { st.rejSessionBudget++ })
+		return nil, 0, errSessionBudget(cost, remaining)
+	}
+	var out *rel.Instance
+	if sq.prog != nil {
+		res, err := datalog.EvalQuery(sq.prog, union, sq.outRel)
+		if err != nil {
+			return nil, 0, errBadRequest("datalog evaluation: %v", err)
+		}
+		out = res
+	} else {
+		out = cq.Output(sq.cq, union)
+	}
+	sess.budgetSpent += cost
+	return out, cost, nil
+}
+
+// renderFacts renders an instance as sorted symbolic facts.
+func renderFacts(out *rel.Instance, d *rel.Dict) []string {
+	fs := out.SortedFacts()
+	strs := make([]string, len(fs))
+	for i, f := range fs {
+		strs[i] = f.StringWith(d)
+	}
+	return strs
+}
+
+// status snapshots the session for GET /v1/sessions/{id}.
+func (sess *Session) status() SessionStatus {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	st := SessionStatus{
+		Session:         sess.ID,
+		P:               sess.p,
+		Facts:           sess.facts,
+		BudgetTotal:     sess.budgetTotal,
+		BudgetSpent:     sess.budgetSpent,
+		BudgetRemaining: sess.budgetTotal - sess.budgetSpent,
+		Queries:         sess.queries,
+		Reused:          sess.reused,
+		Repartitioned:   sess.repartitioned,
+		Gathered:        sess.gathered,
+	}
+	if sess.anchor != nil {
+		st.Anchor = sess.anchor.text
+	}
+	return st
+}
